@@ -1,0 +1,45 @@
+//! # plc-analysis — analytical models of CSMA/CA performance
+//!
+//! The "Analysis" curves of the paper's evaluation:
+//!
+//! * [`model1901::Model1901`] — decoupling-assumption fixed point for the
+//!   IEEE 1901 backoff process (backoff counter + deferral counter +
+//!   stage chain), following the companion analysis the report cites as
+//!   reference \[5\] (Vlachou, Banchs, Herzen, Thiran — ICNP 2014). Predicts
+//!   the per-slot attempt rate τ, the collision probability
+//!   `1 − (1 − τ)^(N−1)` plotted in Figure 2, and normalized throughput.
+//! * [`coupled::CoupledModel`] — the primary "Analysis" curve: a
+//!   champion-conditioned, residual-tracking round model that lands on
+//!   Figure 2 at every N (validated within ±0.01 of the simulator).
+//! * [`round_model::RoundModel`] — a simpler round-based mean-field
+//!   (fresh redraws, i.i.d. stations); kept as a comparison point in the
+//!   model-assumptions experiment alongside the naive decoupled model.
+//! * [`bianchi::BianchiModel`] — the classic 802.11 DCF fixed point, both
+//!   as the comparison baseline and as a closed-form cross-check of the
+//!   general stage-chain machinery (disable the deferral counter and the
+//!   two coincide).
+//! * [`throughput`] — slot-structure throughput/delay formulas shared by
+//!   both models.
+//! * [`boost`] — parameter-space search for throughput-optimal (CW, DC)
+//!   tables, the "boosting" use case.
+//!
+//! Everything is deterministic, allocation-light and fast: one fixed-point
+//! solve is microseconds, so whole parameter sweeps run interactively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bianchi;
+pub mod coupled;
+pub mod boost;
+pub mod math;
+pub mod model1901;
+pub mod round_model;
+pub mod throughput;
+
+pub use bianchi::{BianchiFixedPoint, BianchiModel};
+pub use coupled::{CoupledFixedPoint, CoupledModel};
+pub use boost::{boost_search, optimize_constant_window, BoostOptions, Candidate};
+pub use model1901::{FixedPoint, Model1901};
+pub use round_model::{RoundFixedPoint, RoundModel};
+pub use throughput::{normalized_throughput, SlotProbabilities};

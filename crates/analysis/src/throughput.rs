@@ -1,0 +1,141 @@
+//! Slot-structure throughput formulas.
+//!
+//! Given the per-slot attempt probability `τ` of each of `N` stations, the
+//! channel alternates between idle slots, successful transmissions and
+//! collisions with the classic probabilities below; normalized throughput
+//! is payload airtime over expected slot time — the same quantity the
+//! simulators report as `successes · frame_length / t`.
+
+use plc_core::timing::MacTiming;
+use serde::{Deserialize, Serialize};
+
+/// The three per-slot channel-state probabilities induced by `N` stations
+/// attempting independently with probability `τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotProbabilities {
+    /// `P(idle) = (1−τ)^N`.
+    pub idle: f64,
+    /// `P(success) = N τ (1−τ)^(N−1)`.
+    pub success: f64,
+    /// `P(collision) = 1 − idle − success`.
+    pub collision: f64,
+}
+
+impl SlotProbabilities {
+    /// Compute from the decoupled attempt rate.
+    pub fn from_tau(tau: f64, n: usize) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "τ must be a probability, got {tau}");
+        assert!(n >= 1);
+        let nf = n as f64;
+        let idle = (1.0 - tau).powi(n as i32);
+        let success = nf * tau * (1.0 - tau).powi(n as i32 - 1);
+        let collision = (1.0 - idle - success).max(0.0);
+        SlotProbabilities { idle, success, collision }
+    }
+}
+
+/// Normalized throughput:
+/// `S = P_succ · L / (P_idle σ + P_succ Ts + P_coll Tc)`.
+pub fn normalized_throughput(p: &SlotProbabilities, timing: &MacTiming) -> f64 {
+    let denom = p.idle * timing.slot.as_micros()
+        + p.success * timing.ts.as_micros()
+        + p.collision * timing.tc.as_micros();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    p.success * timing.frame_length.as_micros() / denom
+}
+
+/// Expected MAC-layer delay between two successful transmissions of a
+/// tagged station, in µs: the renewal time of the network divided by the
+/// station's share of successes (`1/N` by symmetry).
+pub fn mean_intersuccess_time(p: &SlotProbabilities, timing: &MacTiming, n: usize) -> f64 {
+    assert!(n >= 1);
+    if p.success == 0.0 {
+        return f64::INFINITY;
+    }
+    let slot_time = p.idle * timing.slot.as_micros()
+        + p.success * timing.ts.as_micros()
+        + p.collision * timing.tc.as_micros();
+    // Slots per network success = 1 / P_succ; per tagged-station success,
+    // multiply by N.
+    n as f64 * slot_time / p.success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for n in [1usize, 2, 5, 20] {
+            for tau in [0.01, 0.1, 0.3, 0.9] {
+                let p = SlotProbabilities::from_tau(tau, n);
+                assert!((p.idle + p.success + p.collision - 1.0).abs() < 1e-12);
+                assert!(p.idle >= 0.0 && p.success >= 0.0 && p.collision >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_station_never_collides() {
+        let p = SlotProbabilities::from_tau(0.2, 1);
+        assert!(p.collision.abs() < 1e-12);
+        assert!((p.success - 0.2).abs() < 1e-12);
+        assert!((p.idle - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_closed_form_check() {
+        // τ = 1 with N = 1: every slot a success → S = L / Ts.
+        let timing = MacTiming::paper_default();
+        let p = SlotProbabilities::from_tau(1.0, 1);
+        let s = normalized_throughput(&p, &timing);
+        assert!((s - 2050.0 / 2542.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_zero_when_silent() {
+        let timing = MacTiming::paper_default();
+        let p = SlotProbabilities::from_tau(0.0, 5);
+        assert_eq!(normalized_throughput(&p, &timing), 0.0);
+    }
+
+    #[test]
+    fn throughput_has_interior_maximum() {
+        // As a function of τ, throughput rises then falls (collisions
+        // dominate) — the CW tradeoff the paper describes in §2.
+        let timing = MacTiming::paper_default();
+        let n = 10;
+        let s_at = |tau: f64| normalized_throughput(&SlotProbabilities::from_tau(tau, n), &timing);
+        let low = s_at(0.001);
+        let mid = s_at(0.02);
+        let high = s_at(0.5);
+        assert!(mid > low, "too-large CW wastes slots");
+        assert!(mid > high, "too-small CW wastes collisions");
+    }
+
+    #[test]
+    fn intersuccess_time_scales_with_n() {
+        let timing = MacTiming::paper_default();
+        let p2 = SlotProbabilities::from_tau(0.1, 2);
+        let p4 = SlotProbabilities::from_tau(0.1, 4);
+        let d2 = mean_intersuccess_time(&p2, &timing, 2);
+        let d4 = mean_intersuccess_time(&p4, &timing, 4);
+        assert!(d4 > d2, "more stations → longer per-station gaps");
+        assert!(d2 > 0.0);
+    }
+
+    #[test]
+    fn intersuccess_infinite_when_silent() {
+        let timing = MacTiming::paper_default();
+        let p = SlotProbabilities::from_tau(0.0, 3);
+        assert!(mean_intersuccess_time(&p, &timing, 3).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_tau() {
+        SlotProbabilities::from_tau(1.5, 2);
+    }
+}

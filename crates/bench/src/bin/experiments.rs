@@ -1,0 +1,57 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper (plus the extension experiments) as printed tables.
+//!
+//! ```text
+//! experiments [--full] [NAME...]
+//!
+//!   --full     paper-length runs (240 s tests, 10 repeats, 100 s sims);
+//!              default is quick mode (CI-friendly)
+//!   NAME       any of: table1 figure1 table2 figure2 throughput
+//!              priorities boost fairness mme_overhead bursts models
+//!              (default: all, in order)
+//! ```
+
+use plc_bench::{registry, RunOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let opts = RunOpts { quick: !full };
+    let registry = registry();
+
+    let selected: Vec<_> = if names.is_empty() {
+        registry
+    } else {
+        let known: Vec<&str> = registry.iter().map(|(n, _)| *n).collect();
+        for name in &names {
+            if !known.contains(name) {
+                eprintln!("unknown experiment '{name}'; known: {}", known.join(" "));
+                std::process::exit(2);
+            }
+        }
+        registry
+            .into_iter()
+            .filter(|(n, _)| names.contains(n))
+            .collect()
+    };
+
+    println!(
+        "plc experiment harness — mode: {}\n",
+        if full { "FULL (paper-length)" } else { "quick" }
+    );
+    for (name, runner) in selected {
+        println!("==================================================================");
+        println!("== {name}");
+        println!("==================================================================");
+        let started = std::time::Instant::now();
+        let output = runner(&opts);
+        println!("{output}");
+        println!("[{name} finished in {:.1} s]\n", started.elapsed().as_secs_f64());
+    }
+}

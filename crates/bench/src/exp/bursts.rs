@@ -1,0 +1,100 @@
+//! E6 — burst-size frequencies (§3.1).
+//!
+//! "Up to four MPDUs may be supported in a burst … It turns out that the
+//! stations in the isolated experiments use bursts with 2 MPDUs." The
+//! emulated devices use the same fixed-2 policy by default; this
+//! experiment verifies the sniffer-side measurement recovers it, and
+//! contrasts a channel-adaptive random policy.
+
+use crate::RunOpts;
+use plc_core::units::Microseconds;
+use plc_sim::BurstPolicy;
+use plc_stats::hist::Histogram;
+use plc_stats::table::Table;
+use plc_testbed::capture::burst_size_histogram;
+use plc_testbed::tools::Faifa;
+use plc_testbed::{group_bursts, PowerStrip, TestbedConfig};
+
+/// Capture and histogram the burst sizes under a policy.
+pub fn measure(opts: &RunOpts, policy: BurstPolicy, seed: u64) -> Histogram {
+    let mut strip = PowerStrip::new(TestbedConfig {
+        n_stations: 3,
+        duration: Microseconds::from_secs(opts.test_secs().min(20.0)),
+        seed,
+        burst: policy,
+        mme_rate_per_us: 0.0, // data bursts only, like the paper's isolation
+        ..Default::default()
+    });
+    let faifa = Faifa::new(strip.bus());
+    let d = strip.destination_mac();
+    faifa.set_sniffer(d, true).expect("sniffer on");
+    strip.run_test();
+    let captures = faifa.collect(d).expect("captures");
+    burst_size_histogram(&group_bursts(&captures))
+}
+
+/// Render the experiment.
+pub fn run(opts: &RunOpts) -> String {
+    let int6300 = measure(opts, BurstPolicy::INT6300, 42);
+    let adaptive = measure(
+        opts,
+        BurstPolicy::Random { weights: [0.1, 0.5, 0.25, 0.15] },
+        42,
+    );
+    let mut t = Table::new(vec![
+        "burst size",
+        "INT6300 freq.",
+        "adaptive freq.",
+    ]);
+    for size in 1..=4usize {
+        t.row(vec![
+            size.to_string(),
+            format!("{:.3}", int6300.frequency(size)),
+            format!("{:.3}", adaptive.frequency(size)),
+        ]);
+    }
+    format!(
+        "E6 — burst-size frequencies measured at the sniffer (§3.1)\n\n{}\n\
+         The INT6300 policy reproduces the paper's observation (all bursts\n\
+         of 2); the adaptive column models 'depends on channel conditions\n\
+         and station capabilities'. Mean burst size: {:.2} vs {:.2}.\n",
+        t.render(),
+        int6300.mean(),
+        adaptive.mean()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int6300_measures_all_twos() {
+        let h = measure(&RunOpts { quick: true }, BurstPolicy::INT6300, 1);
+        assert!(h.total() > 50);
+        assert_eq!(h.mode(), Some(2));
+        assert!(
+            h.frequency(2) > 0.999,
+            "saturated stations with Fixed(2) produce only 2-MPDU bursts \
+             (collisions included — the sniffer demultiplexes interleaved \
+             delimiters by source): {:?}",
+            (1..=4).map(|s| h.frequency(s)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_policy_spreads_sizes() {
+        let h = measure(
+            &RunOpts { quick: true },
+            BurstPolicy::Random { weights: [1.0, 1.0, 1.0, 1.0] },
+            2,
+        );
+        for size in 1..=4 {
+            assert!(
+                h.frequency(size) > 0.1,
+                "size {size} should appear ≈25% of the time: {}",
+                h.frequency(size)
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 2 — collision probability vs number of stations: MAC
+//! simulation, analysis, and (emulated) HomePlug AV measurements.
+//!
+//! The paper overlays the three series for N = 1…7 under the default CA1
+//! configuration and finds "an excellent fit". The same three series are
+//! regenerated here; the parallel sweep over N uses crossbeam scoped
+//! threads (each point is an independent simulation).
+
+use crate::RunOpts;
+use plc_analysis::CoupledModel;
+use plc_core::units::Microseconds;
+use plc_sim::PaperSim;
+use plc_stats::summary::Welford;
+use plc_stats::table::{fmt_prob, Table};
+use plc_testbed::experiment::mean_collision_probability;
+use plc_testbed::CollisionExperiment;
+
+/// One Figure 2 point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Station count.
+    pub n: usize,
+    /// Paper's measured value (from Table 2).
+    pub paper: f64,
+    /// Reference-simulator value.
+    pub simulation: f64,
+    /// Coupled-model analysis value.
+    pub analysis: f64,
+    /// Emulated-testbed measurement (mean over repeats).
+    pub measured: f64,
+    /// 95% CI half-width of the emulated measurement.
+    pub measured_ci95: f64,
+}
+
+/// The paper's curve, `ΣCᵢ/ΣAᵢ` from Table 2.
+pub const PAPER: [f64; 7] = [0.000154, 0.07414, 0.13387, 0.17789, 0.21761, 0.24427, 0.26686];
+
+/// Compute all seven points. The sweep over N runs in parallel.
+pub fn points(opts: &RunOpts) -> Vec<Point> {
+    let model = CoupledModel::default_ca1();
+    let horizon = opts.horizon_us();
+    let secs = opts.test_secs().min(60.0);
+    let repeats = opts.repeats();
+
+    let mut out: Vec<Option<Point>> = vec![None; 7];
+    crossbeam::thread::scope(|scope| {
+        for (slot, n) in out.iter_mut().zip(1..=7usize) {
+            let model = &model;
+            scope.spawn(move |_| {
+                let simulation = PaperSim::with_n_and_time(n, horizon)
+                    .run(40 + n as u64)
+                    .expect("valid inputs")
+                    .collision_pr;
+                let analysis = model.solve(n).collision_probability;
+                let outcomes = CollisionExperiment {
+                    duration: Microseconds::from_secs(secs),
+                    ..CollisionExperiment::paper(n, 500 + n as u64)
+                }
+                .run_repeated(repeats)
+                .expect("testbed runs");
+                let measured = mean_collision_probability(&outcomes);
+                let mut w = Welford::new();
+                for o in &outcomes {
+                    w.push(o.collision_probability);
+                }
+                *slot = Some(Point {
+                    n,
+                    paper: PAPER[n - 1],
+                    simulation,
+                    analysis,
+                    measured,
+                    measured_ci95: w.ci_half_width(0.95),
+                });
+            });
+        }
+    })
+    .expect("sweep threads");
+    out.into_iter().map(|p| p.expect("computed")).collect()
+}
+
+/// Render the figure as a table.
+pub fn run(opts: &RunOpts) -> String {
+    let pts = points(opts);
+    let mut t = Table::new(vec![
+        "N",
+        "paper (meas.)",
+        "simulation",
+        "analysis",
+        "emul. testbed",
+        "±95% CI",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.n.to_string(),
+            fmt_prob(p.paper),
+            fmt_prob(p.simulation),
+            fmt_prob(p.analysis),
+            fmt_prob(p.measured),
+            fmt_prob(p.measured_ci95),
+        ]);
+    }
+    format!(
+        "Figure 2 — collision probability vs N (CA1 defaults, {} repeats)\n\n{}",
+        opts.repeats(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_agree_and_track_the_paper() {
+        let pts = points(&RunOpts { quick: true });
+        assert_eq!(pts.len(), 7);
+        for p in &pts[1..] {
+            // The three reproduced series agree within 2.5 points.
+            assert!((p.simulation - p.analysis).abs() < 0.025, "{p:?}");
+            assert!((p.simulation - p.measured).abs() < 0.025, "{p:?}");
+            // And track the paper within 3 points.
+            assert!((p.simulation - p.paper).abs() < 0.03, "{p:?}");
+        }
+        // Monotone in N.
+        for w in pts.windows(2) {
+            assert!(w[1].simulation >= w[0].simulation);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! E5 — management-message overhead via the sniffer methodology (§3.3).
+//!
+//! "This overhead is computed by dividing the number of bursts
+//! corresponding to MMEs by the number of bursts corresponding to data
+//! frames" — bursts, not MPDUs, because bursts are what pay the CSMA/CA
+//! overhead. Data is told from management by the SoF LinkID priority.
+
+use crate::RunOpts;
+use plc_core::units::Microseconds;
+use plc_stats::table::{fmt_prob, Table};
+use plc_testbed::tools::Faifa;
+use plc_testbed::{group_bursts, mme_overhead, PowerStrip, TestbedConfig};
+
+/// Measured overhead at one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadPoint {
+    /// Transmitting stations.
+    pub n: usize,
+    /// MME rate per device (frames/µs).
+    pub mme_rate: f64,
+    /// Data bursts captured.
+    pub data_bursts: usize,
+    /// MME bursts captured.
+    pub mme_bursts: usize,
+    /// MME bursts per data burst.
+    pub overhead: f64,
+}
+
+/// Run the sniffer capture and compute the overhead.
+pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> OverheadPoint {
+    let mut strip = PowerStrip::new(TestbedConfig {
+        n_stations: n,
+        duration: Microseconds::from_secs(opts.test_secs().min(30.0)),
+        seed,
+        mme_rate_per_us: mme_rate,
+        ..Default::default()
+    });
+    let faifa = Faifa::new(strip.bus());
+    let d = strip.destination_mac();
+    faifa.set_sniffer(d, true).expect("sniffer on");
+    strip.run_test();
+    let captures = faifa.collect(d).expect("captures");
+    let bursts = group_bursts(&captures);
+    let data = bursts.iter().filter(|b| b.is_data()).count();
+    let mme = bursts.iter().filter(|b| !b.is_data()).count();
+    OverheadPoint { n, mme_rate, data_bursts: data, mme_bursts: mme, overhead: mme_overhead(&bursts) }
+}
+
+/// Render the experiment.
+pub fn run(opts: &RunOpts) -> String {
+    let mut t = Table::new(vec![
+        "N",
+        "MME rate (1/s/dev)",
+        "data bursts",
+        "MME bursts",
+        "overhead",
+    ]);
+    for &(n, rate) in &[(2usize, 2e-6), (2, 1e-5), (5, 2e-6), (5, 1e-5)] {
+        let p = measure(opts, n, rate, 900 + n as u64);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", rate * 1e6),
+            p.data_bursts.to_string(),
+            p.mme_bursts.to_string(),
+            fmt_prob(p.overhead),
+        ]);
+    }
+    format!(
+        "E5 — MME overhead over bursts (§3.3 methodology, sniffer at D)\n\n{}\n\
+         Saturated data dominates; the management plane costs a few bursts\n\
+         per hundred data bursts and grows linearly with the MME rate.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_scales_with_mme_rate() {
+        let opts = RunOpts { quick: true };
+        let low = measure(&opts, 2, 2e-6, 1);
+        let high = measure(&opts, 2, 2e-5, 1);
+        assert!(low.overhead > 0.0);
+        assert!(
+            high.overhead > 2.0 * low.overhead,
+            "10× the MME rate must raise the overhead well over 2×: {} vs {}",
+            low.overhead,
+            high.overhead
+        );
+    }
+
+    #[test]
+    fn zero_rate_means_zero_overhead() {
+        let p = measure(&RunOpts { quick: true }, 2, 0.0, 2);
+        assert_eq!(p.mme_bursts, 0);
+        assert_eq!(p.overhead, 0.0);
+        assert!(p.data_bursts > 0);
+    }
+
+    use plc_core::priority::Priority;
+
+    #[test]
+    fn classification_is_by_priority() {
+        // All captured MME bursts carry CA2/CA3, data bursts CA0/CA1 —
+        // verified indirectly through the BurstRecord predicate used by
+        // measure(); here we double-check a raw capture.
+        let mut strip = PowerStrip::new(TestbedConfig {
+            n_stations: 2,
+            duration: Microseconds::from_secs(5.0),
+            seed: 3,
+            ..Default::default()
+        });
+        let faifa = Faifa::new(strip.bus());
+        let d = strip.destination_mac();
+        faifa.set_sniffer(d, true).unwrap();
+        strip.run_test();
+        let captures = faifa.collect(d).unwrap();
+        for b in group_bursts(&captures) {
+            if b.is_data() {
+                assert!(matches!(b.priority, Priority::CA0 | Priority::CA1));
+            } else {
+                assert!(matches!(b.priority, Priority::CA2 | Priority::CA3));
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per regenerated table/figure. See the crate docs for the
+//! mapping to the paper.
+
+pub mod adaptation;
+pub mod aggregation;
+pub mod boost;
+pub mod bursts;
+pub mod coexistence;
+pub mod delay;
+pub mod errors;
+pub mod fairness;
+pub mod figure1;
+pub mod figure2;
+pub mod load;
+pub mod mme_overhead;
+pub mod models;
+pub mod priorities;
+pub mod table1;
+pub mod table2;
+pub mod throughput;

@@ -1,0 +1,139 @@
+//! E2 — the CA0–CA3 priority classes (Table 1's two columns) under the
+//! explicit priority-resolution engine.
+//!
+//! Two questions the multi-class engine answers:
+//!
+//! 1. *within-class performance*: the CA2/CA3 table caps CW at 32, so at
+//!    larger N the delay-sensitive table collides more than CA0/CA1 —
+//!    the cost of bounded access delay;
+//! 2. *cross-class precedence*: strict starvation under saturation, and
+//!    near-zero impact of light high-priority traffic (the paper's MME
+//!    background).
+
+use crate::RunOpts;
+use plc_analysis::CoupledModel;
+use plc_core::config::CsmaConfig;
+use plc_core::priority::Priority;
+use plc_core::units::Microseconds;
+use plc_mac::Backoff1901;
+use plc_sim::multiclass::{ClassStationSpec, MultiClassConfig, MultiClassEngine};
+use plc_sim::TrafficModel;
+use plc_stats::table::{fmt_prob, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Collision probability of N same-class saturated stations, per class
+/// table, simulated with explicit PRS plus predicted by the model.
+pub fn class_collision_curves(opts: &RunOpts) -> Vec<(usize, f64, f64, f64, f64)> {
+    let ca01 = CoupledModel::new(CsmaConfig::ieee1901_ca01());
+    let ca23 = CoupledModel::new(CsmaConfig::ieee1901_ca23());
+    (1..=7usize)
+        .map(|n| {
+            let sim = |prio: Priority, seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let stations: Vec<_> = (0..n)
+                    .map(|_| {
+                        ClassStationSpec::new(
+                            Backoff1901::new(CsmaConfig::ieee1901_for(prio), &mut rng),
+                            prio,
+                            TrafficModel::Saturated,
+                        )
+                    })
+                    .collect();
+                let cfg = MultiClassConfig {
+                    horizon: Microseconds::new(opts.horizon_us()),
+                    ..Default::default()
+                };
+                let mut e = MultiClassEngine::new(cfg, stations, seed);
+                e.run().collision_probability()
+            };
+            (
+                n,
+                sim(Priority::CA1, 30 + n as u64),
+                ca01.solve(n).collision_probability,
+                sim(Priority::CA3, 60 + n as u64),
+                ca23.solve(n).collision_probability,
+            )
+        })
+        .collect()
+}
+
+/// Render the experiment.
+pub fn run(opts: &RunOpts) -> String {
+    let mut t = Table::new(vec![
+        "N",
+        "CA1 sim",
+        "CA1 model",
+        "CA3 sim",
+        "CA3 model",
+    ]);
+    for (n, s01, m01, s23, m23) in class_collision_curves(opts) {
+        t.row(vec![
+            n.to_string(),
+            fmt_prob(s01),
+            fmt_prob(m01),
+            fmt_prob(s23),
+            fmt_prob(m23),
+        ]);
+    }
+
+    // Cross-class scenario: 2×CA1 saturated + 1×CA2 light.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let stations = vec![
+        ClassStationSpec::new(
+            Backoff1901::new(CsmaConfig::ieee1901_ca01(), &mut rng),
+            Priority::CA1,
+            TrafficModel::Saturated,
+        ),
+        ClassStationSpec::new(
+            Backoff1901::new(CsmaConfig::ieee1901_ca01(), &mut rng),
+            Priority::CA1,
+            TrafficModel::Saturated,
+        ),
+        ClassStationSpec::new(
+            Backoff1901::new(CsmaConfig::ieee1901_ca23(), &mut rng),
+            Priority::CA2,
+            TrafficModel::Poisson { rate_per_us: 1e-4, queue_cap: 32 },
+        ),
+    ];
+    let cfg = MultiClassConfig {
+        horizon: Microseconds::new(opts.horizon_us()),
+        ..Default::default()
+    };
+    let mut e = MultiClassEngine::new(cfg, stations, 5);
+    e.run();
+    let by_class = e.successes_by_class();
+
+    format!(
+        "E2 — priority classes (Table 1 columns) under explicit priority resolution\n\n\
+         Per-class collision probability, N same-class saturated stations:\n\n{}\n\
+         The CA2/CA3 table (CW capped at 32) collides more at large N — bounded\n\
+         windows buy bounded access delay at the cost of collisions.\n\n\
+         Cross-class: 2×CA1 saturated + 1×CA2 Poisson(100 frames/s):\n\
+         CA1 successes = {}, CA2 successes = {} — light high-priority traffic\n\
+         preempts per-frame but barely dents CA1 throughput.\n",
+        t.render(),
+        by_class[1],
+        by_class[2],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ca23_collides_more_at_every_n() {
+        // The CA2/CA3 table halves the stage-2/3 windows, so it collides
+        // more — visibly even at N = 2, where a loser cascades into the
+        // capped stages within a few busy rounds.
+        let rows = class_collision_curves(&RunOpts { quick: true });
+        for &(n, s01, m01, s23, m23) in &rows[1..] {
+            assert!(s23 > s01, "N={n}: CA3 sim {s23} vs CA1 sim {s01}");
+            assert!(m23 > m01, "N={n}: CA3 model {m23} vs CA1 model {m01}");
+            // Model tracks the PRS-engine simulation per class.
+            assert!((s01 - m01).abs() < 0.035, "N={n}: CA1 sim {s01} vs model {m01}");
+            assert!((s23 - m23).abs() < 0.035, "N={n}: CA3 sim {s23} vs model {m23}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Table 1 — the IEEE 1901 contention parameters per backoff stage and
+//! priority class, regenerated from the implementation's own constants
+//! (so a drift between code and paper fails loudly here and in tests).
+
+use crate::RunOpts;
+use plc_core::config::CsmaConfig;
+use plc_stats::table::Table;
+
+/// The four rows of Table 1 as `(stage, bpc_label, ca01, ca23)`.
+pub fn rows() -> Vec<(usize, &'static str, (u32, u32), (u32, u32))> {
+    let ca01 = CsmaConfig::ieee1901_ca01();
+    let ca23 = CsmaConfig::ieee1901_ca23();
+    let bpc_labels = ["0", "1", "2", "≥ 3"];
+    (0..4)
+        .map(|i| {
+            let a = ca01.stage(i);
+            let b = ca23.stage(i);
+            (i, bpc_labels[i], (a.cw, a.dc), (b.cw, b.dc))
+        })
+        .collect()
+}
+
+/// Render the table.
+pub fn run(_opts: &RunOpts) -> String {
+    let mut t = Table::new(vec![
+        "backoff stage i",
+        "BPC",
+        "CA0/CA1 CWi",
+        "CA0/CA1 di",
+        "CA2/CA3 CWi",
+        "CA2/CA3 di",
+    ]);
+    for (i, bpc, (cw01, d01), (cw23, d23)) in rows() {
+        t.row(vec![
+            i.to_string(),
+            bpc.to_string(),
+            cw01.to_string(),
+            d01.to_string(),
+            cw23.to_string(),
+            d23.to_string(),
+        ]);
+    }
+    format!(
+        "Table 1 — IEEE 1901 contention windows CWi and initial deferral\n\
+         counter values di per backoff stage (regenerated from plc-core):\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_the_paper_exactly() {
+        let r = rows();
+        assert_eq!(r.len(), 4);
+        let expect = [
+            (8, 0, 8, 0),
+            (16, 1, 16, 1),
+            (32, 3, 16, 3),
+            (64, 15, 32, 15),
+        ];
+        for (i, (cw01, d01, cw23, d23)) in expect.iter().enumerate() {
+            assert_eq!(r[i].2, (*cw01, *d01), "CA0/CA1 stage {i}");
+            assert_eq!(r[i].3, (*cw23, *d23), "CA2/CA3 stage {i}");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_values() {
+        let s = run(&RunOpts::default());
+        for needle in ["64", "15", "≥ 3", "CA2/CA3"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

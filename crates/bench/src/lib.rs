@@ -1,0 +1,124 @@
+//! # plc-bench — the experiment harness
+//!
+//! One module per table/figure of the paper (plus the extension
+//! experiments from DESIGN.md), each exposing a `run(&RunOpts) -> String`
+//! that regenerates the artifact as a printed table. The `experiments`
+//! binary dispatches to them; the criterion benches in `benches/` measure
+//! the computational cost of the same pipelines.
+//!
+//! | module | artifact |
+//! |--------|----------|
+//! | [`exp::table1`] | Table 1 — CW/DC parameter tables |
+//! | [`exp::figure1`] | Figure 1 — two-station backoff trace |
+//! | [`exp::table2`] | Table 2 — ΣCᵢ/ΣAᵢ counters, N = 1…7 |
+//! | [`exp::figure2`] | Figure 2 — collision probability vs N (sim/analysis/testbed) |
+//! | [`exp::throughput`] | E1 — throughput vs N, 1901 vs 802.11 |
+//! | [`exp::priorities`] | E2 — CA0–CA3 priority classes |
+//! | [`exp::boost`] | E3 — throughput-optimal (CW, DC) search |
+//! | [`exp::fairness`] | E4 — short-term fairness, 1901 vs 802.11 |
+//! | [`exp::mme_overhead`] | E5 — management-message overhead |
+//! | [`exp::bursts`] | E6 — burst-size frequencies |
+//! | [`exp::models`] | E7 — modelling-assumption comparison |
+//! | [`exp::errors`] | E8 — channel errors & selective PB retransmission |
+//! | [`exp::delay`] | E9 — MAC access delay vs N |
+//! | [`exp::load`] | E10 — unsaturated throughput/drops vs offered load |
+//! | [`exp::coexistence`] | E11 — mixed default/boosted populations |
+//! | [`exp::aggregation`] | E12 — Ethernet→PLC frame aggregation |
+//! | [`exp::adaptation`] | E13 — tone-map adaptation vs channel drift |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+
+/// Execution options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Quick mode: shorter horizons and fewer repetitions (CI-friendly).
+    /// Full mode approaches the paper's durations.
+    pub quick: bool,
+}
+
+impl RunOpts {
+    /// Simulation horizon in µs, scaled by mode.
+    pub fn horizon_us(&self) -> f64 {
+        if self.quick {
+            1.0e7
+        } else {
+            1.0e8
+        }
+    }
+
+    /// Emulated-testbed test duration in seconds.
+    pub fn test_secs(&self) -> f64 {
+        if self.quick {
+            10.0
+        } else {
+            240.0
+        }
+    }
+
+    /// Repetitions for averaged measurements (the paper uses 10).
+    pub fn repeats(&self) -> u64 {
+        if self.quick {
+            3
+        } else {
+            10
+        }
+    }
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { quick: true }
+    }
+}
+
+/// Every experiment's name and runner, in presentation order.
+pub fn registry() -> Vec<(&'static str, fn(&RunOpts) -> String)> {
+    vec![
+        ("table1", exp::table1::run as fn(&RunOpts) -> String),
+        ("figure1", exp::figure1::run),
+        ("table2", exp::table2::run),
+        ("figure2", exp::figure2::run),
+        ("throughput", exp::throughput::run),
+        ("priorities", exp::priorities::run),
+        ("boost", exp::boost::run),
+        ("fairness", exp::fairness::run),
+        ("mme_overhead", exp::mme_overhead::run),
+        ("bursts", exp::bursts::run),
+        ("models", exp::models::run),
+        ("errors", exp::errors::run),
+        ("delay", exp::delay::run),
+        ("load", exp::load::run),
+        ("coexistence", exp::coexistence::run),
+        ("aggregation", exp::aggregation::run),
+        ("adaptation", exp::adaptation::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<_> = registry().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn opts_scale_with_mode() {
+        let quick = RunOpts { quick: true };
+        let full = RunOpts { quick: false };
+        assert!(quick.horizon_us() < full.horizon_us());
+        assert!(quick.test_secs() < full.test_secs());
+        assert!(quick.repeats() < full.repeats());
+        assert_eq!(full.test_secs(), 240.0, "paper's test duration");
+        assert_eq!(full.repeats(), 10, "paper averages 10 tests");
+    }
+}

@@ -1,0 +1,196 @@
+//! Addressing for emulated HomePlug AV devices.
+//!
+//! Two identifier spaces appear in the paper's methodology:
+//!
+//! * Ethernet-style **MAC addresses** — what `ampstat` queries statistics by
+//!   ("given the destination MAC address"), and what MMEs are addressed to.
+//! * **Terminal Equipment Identifiers (TEIs)** — the 8-bit station
+//!   identifiers carried in SoF delimiters, which the sniffer uses to build
+//!   per-source transmission traces ("the SoF contains the source
+//!   identification of each frame").
+
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet-style MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A deterministic locally-administered address for emulated station
+    /// `index`: `02:19:01:00:00:<index>` (with the index spilling into the
+    /// higher bytes past 255). The `02` prefix marks it locally
+    /// administered; `19:01` is a nod to the standard.
+    pub fn station(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x19, 0x01, b[1], b[2], b[3]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_local(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(());
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected colon-separated MAC address like 02:19:01:00:00:01")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, ParseMacError> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let p = parts.next().ok_or(ParseMacError(()))?;
+            if p.len() != 2 {
+                return Err(ParseMacError(()));
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseMacError(()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError(()));
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// A Terminal Equipment Identifier: the 8-bit station id carried in SoF
+/// delimiters. TEI 0 is unassociated; 255 is broadcast; 1–254 are stations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tei(pub u8);
+
+impl Tei {
+    /// The unassociated TEI.
+    pub const UNASSOCIATED: Tei = Tei(0);
+    /// The broadcast TEI.
+    pub const BROADCAST: Tei = Tei(255);
+
+    /// TEI for emulated station `index` (0-based), i.e. `index + 1`.
+    ///
+    /// Panics if `index ≥ 254` — a single AVLN cannot hold more stations.
+    pub fn station(index: u32) -> Tei {
+        assert!(index < 254, "a 1901 AVLN holds at most 254 stations");
+        Tei((index + 1) as u8)
+    }
+
+    /// The 0-based station index, if this is a station TEI.
+    pub fn station_index(self) -> Option<u32> {
+        match self.0 {
+            0 | 255 => None,
+            t => Some(t as u32 - 1),
+        }
+    }
+
+    /// True for TEIs that denote an associated station.
+    pub fn is_station(self) -> bool {
+        self.0 != 0 && self.0 != 255
+    }
+}
+
+impl fmt::Display for Tei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TEI#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_addresses_are_distinct_and_local() {
+        let a = MacAddr::station(0);
+        let b = MacAddr::station(1);
+        assert_ne!(a, b);
+        assert!(a.is_local());
+        assert!(!a.is_broadcast());
+        assert_eq!(a.to_string(), "02:19:01:00:00:00");
+        assert_eq!(b.to_string(), "02:19:01:00:00:01");
+    }
+
+    #[test]
+    fn station_address_high_index() {
+        let a = MacAddr::station(0x01_02_03);
+        assert_eq!(a.to_string(), "02:19:01:01:02:03");
+    }
+
+    #[test]
+    fn broadcast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let a = MacAddr::station(42);
+        let parsed: MacAddr = a.to_string().parse().unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:19:01".parse::<MacAddr>().is_err());
+        assert!("02:19:01:00:00:zz".parse::<MacAddr>().is_err());
+        assert!("02:19:01:00:00:01:02".parse::<MacAddr>().is_err());
+        assert!("2:19:1:0:0:1".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn tei_mapping() {
+        assert_eq!(Tei::station(0), Tei(1));
+        assert_eq!(Tei::station(6), Tei(7));
+        assert_eq!(Tei(7).station_index(), Some(6));
+        assert_eq!(Tei::UNASSOCIATED.station_index(), None);
+        assert_eq!(Tei::BROADCAST.station_index(), None);
+        assert!(Tei(1).is_station());
+        assert!(!Tei(0).is_station());
+        assert!(!Tei(255).is_station());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 254")]
+    fn tei_overflow_panics() {
+        Tei::station(254);
+    }
+
+    #[test]
+    fn tei_display() {
+        assert_eq!(Tei(3).to_string(), "TEI#3");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// All the ways configuration or parsing can fail in `plc-core`.
+///
+/// The simulator crates deliberately keep their own richer error types;
+/// this enum covers the foundational layer only: invalid CSMA parameter
+/// tables, malformed frames and malformed management messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A CSMA/CA configuration was structurally invalid.
+    InvalidConfig {
+        /// Human-readable description of which constraint was violated.
+        reason: String,
+    },
+    /// A buffer was too short to contain the structure being parsed.
+    ///
+    /// `needed` is the minimum number of bytes the parser required and
+    /// `got` is what it was given.
+    Truncated {
+        /// What was being parsed (e.g. `"MME header"`).
+        what: &'static str,
+        /// Minimum length required.
+        needed: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// A field held a value outside its legal range.
+    FieldRange {
+        /// Field name (e.g. `"MPDUCnt"`).
+        field: &'static str,
+        /// The offending value, widened to `u64` for reporting.
+        value: u64,
+        /// Largest legal value.
+        max: u64,
+    },
+    /// An MMType was not recognised by the parser in use.
+    UnknownMmtype(u16),
+    /// A delimiter type byte did not correspond to a known delimiter.
+    UnknownDelimiter(u8),
+    /// A checksum over a frame or MME did not match.
+    BadChecksum {
+        /// Checksum carried in the buffer.
+        expected: u32,
+        /// Checksum recomputed over the contents.
+        computed: u32,
+    },
+}
+
+impl Error {
+    /// Shorthand used by config validation.
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        Error::InvalidConfig { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => write!(f, "invalid CSMA/CA configuration: {reason}"),
+            Error::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need at least {needed} bytes, got {got}")
+            }
+            Error::FieldRange { field, value, max } => {
+                write!(f, "field {field} out of range: {value} > {max}")
+            }
+            Error::UnknownMmtype(t) => write!(f, "unknown MMType 0x{t:04X}"),
+            Error::UnknownDelimiter(d) => write!(f, "unknown delimiter type 0x{d:02X}"),
+            Error::BadChecksum { expected, computed } => {
+                write!(f, "bad checksum: frame carries 0x{expected:08X}, computed 0x{computed:08X}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::Truncated { what: "MME header", needed: 19, got: 4 };
+        let s = e.to_string();
+        assert!(s.contains("MME header"));
+        assert!(s.contains("19"));
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn display_unknown_mmtype_is_hex() {
+        assert_eq!(Error::UnknownMmtype(0xA030).to_string(), "unknown MMType 0xA030");
+    }
+
+    #[test]
+    fn display_field_range() {
+        let e = Error::FieldRange { field: "MPDUCnt", value: 9, max: 3 };
+        assert!(e.to_string().contains("MPDUCnt"));
+    }
+
+    #[test]
+    fn invalid_config_helper() {
+        let e = Error::invalid_config("cw empty");
+        assert_eq!(e, Error::InvalidConfig { reason: "cw empty".into() });
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let e = Error::UnknownDelimiter(0xFF);
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,50 @@
+//! # plc-core — foundational types for the IEEE 1901 / HomePlug AV MAC suite
+//!
+//! This crate holds everything the rest of the workspace agrees on:
+//!
+//! * [`Priority`] — the four 1901 channel-access priority classes (CA0–CA3)
+//!   and the two-slot priority-resolution signalling they imply.
+//! * [`CsmaConfig`] — the CSMA/CA parameter tables: per-backoff-stage
+//!   contention windows `CW_i` and initial deferral-counter values `d_i`
+//!   (Table 1 of the paper), plus presets for the standard CA0/CA1 and
+//!   CA2/CA3 tables and for 802.11-style binary-exponential configs.
+//! * [`timing`] — HomePlug AV MAC timing constants (the 35.84 µs slot,
+//!   priority-resolution slots, inter-frame spaces, and the paper's default
+//!   `Ts`/`Tc`/frame-length values) expressed in [`Microseconds`].
+//! * [`MacAddr`] / [`Tei`] — addressing for emulated devices.
+//! * [`frame`] — the HomePlug AV framing model: 512-byte physical blocks
+//!   (PBs), MPDUs, bursts of up to four MPDUs, and the start-of-frame (SoF)
+//!   delimiter fields that the paper's sniffer methodology reads
+//!   (LinkID priority, MPDUCnt, source TEI).
+//! * [`mme`] — management-message (MME) encoding: the header with its
+//!   `MMType` field and the two vendor-specific messages the paper's tools
+//!   use — `0xA030` (ampstat statistics) and `0xA034` (sniffer mode) — with
+//!   the exact reply byte offsets the report quotes (bytes 25–32 acked,
+//!   33–40 collided).
+//!
+//! Everything here is plain data with byte-level encode/parse where the
+//! paper's methodology depends on wire formats. No I/O, no randomness.
+//!
+//! ## Design
+//!
+//! Following the smoltcp philosophy: simple owned types, no lifetimes in
+//! public APIs, no `unsafe`, exhaustive documentation, and errors that tell
+//! you exactly which field was out of range.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod mme;
+pub mod priority;
+pub mod timing;
+pub mod units;
+
+pub use addr::{MacAddr, Tei};
+pub use config::{CsmaConfig, StageParams};
+pub use error::{Error, Result};
+pub use priority::Priority;
+pub use units::Microseconds;

@@ -1,0 +1,558 @@
+//! Management message entries (MMEs): the control-plane messages the
+//! paper's tools speak to the PLC firmware.
+//!
+//! The two tools of the paper's experimental framework drive the devices
+//! exclusively through vendor-specific MMEs:
+//!
+//! * **ampstat** (Atheros Open PLC Toolkit) sends MMType `0xA030` to reset
+//!   or retrieve the acknowledged/collided frame counters of a link. In the
+//!   reply, "the bytes 25–32 … represent the number of acknowledged frames
+//!   and the bytes 33–40 represent the number of collided frames" — those
+//!   1-indexed byte positions are honoured exactly by
+//!   [`AmpStatCnf::encode`] / [`AmpStatCnf::decode`].
+//! * **faifa** sends MMType `0xA034` to toggle the *sniffer mode*, after
+//!   which the device delivers one indication per captured SoF delimiter.
+//!
+//! The MME header follows the HomePlug AV layout: destination and source
+//! MAC addresses, the `0x88E1` Ethertype, the MM version, the 16-bit
+//! `MMType` (whose two low bits encode REQ/CNF/IND/RSP), and the
+//! fragmentation field — 19 bytes in total, followed by the vendor OUI for
+//! vendor-specific messages.
+
+use crate::addr::MacAddr;
+use crate::error::{Error, Result};
+use crate::frame::{SofDelimiter, SOF_WIRE_LEN};
+use crate::priority::Priority;
+use serde::{Deserialize, Serialize};
+
+/// The HomePlug AV Ethertype carried in the MME header.
+pub const ETHERTYPE_HOMEPLUG_AV: u16 = 0x88E1;
+
+/// The Intellon/Atheros vendor OUI used by INT6300-era vendor MMEs.
+pub const VENDOR_OUI: [u8; 3] = [0x00, 0xB0, 0x52];
+
+/// Length of the MME header on the wire (ODA 6 + OSA 6 + Ethertype 2 +
+/// MMV 1 + MMType 2 + FMI 2).
+pub const MME_HEADER_LEN: usize = 19;
+
+/// Offset of the first vendor payload byte (header + 3-byte OUI).
+pub const VENDOR_PAYLOAD_OFFSET: usize = MME_HEADER_LEN + 3;
+
+/// Base MMType of the vendor statistics message the `ampstat` tool uses.
+pub const MMTYPE_STATS: u16 = 0xA030;
+
+/// Base MMType of the vendor sniffer-mode message the `faifa` tool uses.
+pub const MMTYPE_SNIFFER: u16 = 0xA034;
+
+/// The four MME variants encoded in the two low bits of the MMType.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MmVariant {
+    /// Request (host → device).
+    Req,
+    /// Confirm (device → host, answers a request).
+    Cnf,
+    /// Indication (device → host, unsolicited).
+    Ind,
+    /// Response (host → device, answers an indication).
+    Rsp,
+}
+
+impl MmVariant {
+    /// The two-bit encoding.
+    pub fn to_bits(self) -> u16 {
+        match self {
+            MmVariant::Req => 0,
+            MmVariant::Cnf => 1,
+            MmVariant::Ind => 2,
+            MmVariant::Rsp => 3,
+        }
+    }
+
+    /// Decode from the two low bits of an MMType.
+    pub fn from_mmtype(mmtype: u16) -> Self {
+        match mmtype & 0b11 {
+            0 => MmVariant::Req,
+            1 => MmVariant::Cnf,
+            2 => MmVariant::Ind,
+            _ => MmVariant::Rsp,
+        }
+    }
+}
+
+/// Compose an MMType from its base (variant bits zero) and variant.
+pub fn mmtype(base: u16, variant: MmVariant) -> u16 {
+    (base & !0b11) | variant.to_bits()
+}
+
+/// Split an MMType into base and variant.
+pub fn mmtype_split(t: u16) -> (u16, MmVariant) {
+    (t & !0b11, MmVariant::from_mmtype(t))
+}
+
+/// The 19-byte MME header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmeHeader {
+    /// Destination MAC address (ODA).
+    pub oda: MacAddr,
+    /// Source MAC address (OSA).
+    pub osa: MacAddr,
+    /// Management message version.
+    pub mmv: u8,
+    /// Full MMType including the variant bits — "The PLC device
+    /// distinguishes the MME requests using the field MMType".
+    pub mmtype: u16,
+    /// Fragmentation management information (unused by our tools; always 0).
+    pub fmi: u16,
+}
+
+impl MmeHeader {
+    /// Header for a vendor request.
+    pub fn request(oda: MacAddr, osa: MacAddr, base: u16) -> Self {
+        MmeHeader { oda, osa, mmv: 1, mmtype: mmtype(base, MmVariant::Req), fmi: 0 }
+    }
+
+    /// Header for the confirm answering `req` (swaps addresses, bumps the
+    /// variant to CNF).
+    pub fn confirm_to(req: &MmeHeader) -> Self {
+        MmeHeader {
+            oda: req.osa,
+            osa: req.oda,
+            mmv: req.mmv,
+            mmtype: mmtype(req.mmtype, MmVariant::Cnf),
+            fmi: 0,
+        }
+    }
+
+    /// The variant encoded in the MMType.
+    pub fn variant(&self) -> MmVariant {
+        MmVariant::from_mmtype(self.mmtype)
+    }
+
+    /// The MMType base (variant bits cleared).
+    pub fn base(&self) -> u16 {
+        self.mmtype & !0b11
+    }
+
+    /// Encode to the 19-byte wire format.
+    pub fn encode(&self) -> [u8; MME_HEADER_LEN] {
+        let mut b = [0u8; MME_HEADER_LEN];
+        b[0..6].copy_from_slice(self.oda.as_bytes());
+        b[6..12].copy_from_slice(self.osa.as_bytes());
+        b[12..14].copy_from_slice(&ETHERTYPE_HOMEPLUG_AV.to_be_bytes());
+        b[14] = self.mmv;
+        // MMType is little-endian on the HomePlug AV wire.
+        b[15..17].copy_from_slice(&self.mmtype.to_le_bytes());
+        b[17..19].copy_from_slice(&self.fmi.to_le_bytes());
+        b
+    }
+
+    /// Parse the wire format.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < MME_HEADER_LEN {
+            return Err(Error::Truncated { what: "MME header", needed: MME_HEADER_LEN, got: buf.len() });
+        }
+        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        if ethertype != ETHERTYPE_HOMEPLUG_AV {
+            return Err(Error::FieldRange {
+                field: "Ethertype",
+                value: ethertype as u64,
+                max: ETHERTYPE_HOMEPLUG_AV as u64,
+            });
+        }
+        let mut oda = [0u8; 6];
+        oda.copy_from_slice(&buf[0..6]);
+        let mut osa = [0u8; 6];
+        osa.copy_from_slice(&buf[6..12]);
+        Ok(MmeHeader {
+            oda: MacAddr(oda),
+            osa: MacAddr(osa),
+            mmv: buf[14],
+            mmtype: u16::from_le_bytes([buf[15], buf[16]]),
+            fmi: u16::from_le_bytes([buf[17], buf[18]]),
+        })
+    }
+}
+
+/// Direction selector of an `ampstat` query: transmit-side or receive-side
+/// counters ("given the destination MAC address, the priority, and the
+/// direction (transmission or reception) of a specific link").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Frames transmitted by the queried device on the link.
+    Tx,
+    /// Frames received by the queried device on the link.
+    Rx,
+}
+
+impl Direction {
+    fn to_byte(self) -> u8 {
+        match self {
+            Direction::Tx => 0,
+            Direction::Rx => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(Direction::Tx),
+            1 => Ok(Direction::Rx),
+            other => Err(Error::FieldRange { field: "direction", value: other as u64, max: 1 }),
+        }
+    }
+}
+
+/// What an `ampstat` request asks the firmware to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatsControl {
+    /// Read the counters, leaving them running.
+    Read,
+    /// Reset the counters to zero ("we reset the statistics of the frames
+    /// transmitted at all the stations at the beginning of each test").
+    Reset,
+}
+
+/// The vendor statistics request (MMType `0xA030` REQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmpStatReq {
+    /// Read or reset.
+    pub control: StatsControl,
+    /// Direction of the link to query.
+    pub direction: Direction,
+    /// Priority class of the queried link.
+    pub priority: Priority,
+    /// Peer MAC address of the link (the destination station `D` in the
+    /// paper's tests).
+    pub peer: MacAddr,
+}
+
+impl AmpStatReq {
+    /// Vendor-payload length of the request.
+    pub const PAYLOAD_LEN: usize = 9;
+
+    /// Encode the full MME (header + OUI + payload).
+    pub fn encode(&self, header: &MmeHeader) -> Vec<u8> {
+        let mut out = Vec::with_capacity(VENDOR_PAYLOAD_OFFSET + Self::PAYLOAD_LEN);
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(&VENDOR_OUI);
+        out.push(match self.control {
+            StatsControl::Read => 0,
+            StatsControl::Reset => 1,
+        });
+        out.push(self.direction.to_byte());
+        out.push(self.priority.to_bits());
+        out.extend_from_slice(self.peer.as_bytes());
+        out
+    }
+
+    /// Decode the vendor payload of a full MME buffer (header already
+    /// parsed by the caller).
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let need = VENDOR_PAYLOAD_OFFSET + Self::PAYLOAD_LEN;
+        if buf.len() < need {
+            return Err(Error::Truncated { what: "ampstat request", needed: need, got: buf.len() });
+        }
+        let p = &buf[VENDOR_PAYLOAD_OFFSET..];
+        let control = match p[0] {
+            0 => StatsControl::Read,
+            1 => StatsControl::Reset,
+            other => {
+                return Err(Error::FieldRange { field: "stats control", value: other as u64, max: 1 })
+            }
+        };
+        let direction = Direction::from_byte(p[1])?;
+        let priority = Priority::from_bits(p[2]).ok_or(Error::FieldRange {
+            field: "priority",
+            value: p[2] as u64,
+            max: 3,
+        })?;
+        let mut peer = [0u8; 6];
+        peer.copy_from_slice(&p[3..9]);
+        Ok(AmpStatReq { control, direction, priority, peer: MacAddr(peer) })
+    }
+}
+
+/// The vendor statistics confirm (MMType `0xA030` CNF): the acknowledged
+/// and collided frame counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AmpStatCnf {
+    /// Number of acknowledged MPDUs (`Aᵢ`). Per the 1901 selective-ACK
+    /// behaviour this **includes** collided-but-delimiter-decoded MPDUs.
+    pub acked: u64,
+    /// Number of collided MPDUs (`Cᵢ`).
+    pub collided: u64,
+}
+
+/// 1-indexed byte positions of the counters in the reply, exactly as the
+/// report states: acknowledged in bytes 25–32, collided in bytes 33–40.
+/// (0-indexed: `24..32` and `32..40`.)
+pub const AMPSTAT_ACKED_RANGE: core::ops::Range<usize> = 24..32;
+/// See [`AMPSTAT_ACKED_RANGE`].
+pub const AMPSTAT_COLLIDED_RANGE: core::ops::Range<usize> = 32..40;
+
+impl AmpStatCnf {
+    /// Total reply length.
+    pub const WIRE_LEN: usize = 40;
+
+    /// Encode the full reply MME. The header and OUI occupy bytes 1–22
+    /// (1-indexed), bytes 23–24 carry a status word, and the counters sit at
+    /// the report's documented offsets.
+    pub fn encode(&self, header: &MmeHeader) -> Vec<u8> {
+        let mut out = vec![0u8; Self::WIRE_LEN];
+        out[..MME_HEADER_LEN].copy_from_slice(&header.encode());
+        out[MME_HEADER_LEN..MME_HEADER_LEN + 3].copy_from_slice(&VENDOR_OUI);
+        // Bytes 23–24 (1-indexed): status = 0 (success).
+        out[AMPSTAT_ACKED_RANGE].copy_from_slice(&self.acked.to_le_bytes());
+        out[AMPSTAT_COLLIDED_RANGE].copy_from_slice(&self.collided.to_le_bytes());
+        out
+    }
+
+    /// Decode a reply buffer.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(Error::Truncated { what: "ampstat reply", needed: Self::WIRE_LEN, got: buf.len() });
+        }
+        let mut acked = [0u8; 8];
+        acked.copy_from_slice(&buf[AMPSTAT_ACKED_RANGE]);
+        let mut collided = [0u8; 8];
+        collided.copy_from_slice(&buf[AMPSTAT_COLLIDED_RANGE]);
+        Ok(AmpStatCnf {
+            acked: u64::from_le_bytes(acked),
+            collided: u64::from_le_bytes(collided),
+        })
+    }
+}
+
+/// The sniffer-mode request (MMType `0xA034` REQ) — faifa "activates the
+/// 'sniffer' mode of the devices".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnifferReq {
+    /// Enable or disable capture.
+    pub enable: bool,
+}
+
+impl SnifferReq {
+    /// Encode the full MME.
+    pub fn encode(&self, header: &MmeHeader) -> Vec<u8> {
+        let mut out = Vec::with_capacity(VENDOR_PAYLOAD_OFFSET + 1);
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(&VENDOR_OUI);
+        out.push(self.enable as u8);
+        out
+    }
+
+    /// Decode the vendor payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let need = VENDOR_PAYLOAD_OFFSET + 1;
+        if buf.len() < need {
+            return Err(Error::Truncated { what: "sniffer request", needed: need, got: buf.len() });
+        }
+        match buf[VENDOR_PAYLOAD_OFFSET] {
+            0 => Ok(SnifferReq { enable: false }),
+            1 => Ok(SnifferReq { enable: true }),
+            other => Err(Error::FieldRange { field: "sniffer enable", value: other as u64, max: 1 }),
+        }
+    }
+}
+
+/// A sniffer indication (MMType `0xA034` IND): one captured SoF delimiter
+/// with a device timestamp. faifa "captures and prints the fields of the
+/// preambles of PLC frames" — only the delimiter, never the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnifferInd {
+    /// Device capture timestamp in microseconds.
+    pub timestamp_us: f64,
+    /// The captured delimiter fields.
+    pub sof: SofDelimiter,
+}
+
+impl SnifferInd {
+    /// Total indication length: vendor payload is an 8-byte timestamp plus
+    /// the 16-byte encoded delimiter.
+    pub const WIRE_LEN: usize = VENDOR_PAYLOAD_OFFSET + 8 + SOF_WIRE_LEN;
+
+    /// Encode the full indication MME.
+    pub fn encode(&self, header: &MmeHeader) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        out.extend_from_slice(&header.encode());
+        out.extend_from_slice(&VENDOR_OUI);
+        out.extend_from_slice(&self.timestamp_us.to_le_bytes());
+        out.extend_from_slice(&self.sof.encode());
+        out
+    }
+
+    /// Decode a full indication buffer.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(Error::Truncated { what: "sniffer indication", needed: Self::WIRE_LEN, got: buf.len() });
+        }
+        let p = &buf[VENDOR_PAYLOAD_OFFSET..];
+        let mut ts = [0u8; 8];
+        ts.copy_from_slice(&p[..8]);
+        let sof = SofDelimiter::decode(&p[8..8 + SOF_WIRE_LEN])?;
+        Ok(SnifferInd { timestamp_us: f64::from_le_bytes(ts), sof })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Tei;
+
+    fn hdr(base: u16) -> MmeHeader {
+        MmeHeader::request(MacAddr::station(0), MacAddr::station(1), base)
+    }
+
+    #[test]
+    fn variant_bits() {
+        assert_eq!(mmtype(MMTYPE_STATS, MmVariant::Req), 0xA030);
+        assert_eq!(mmtype(MMTYPE_STATS, MmVariant::Cnf), 0xA031);
+        assert_eq!(mmtype(MMTYPE_STATS, MmVariant::Ind), 0xA032);
+        assert_eq!(mmtype(MMTYPE_STATS, MmVariant::Rsp), 0xA033);
+        assert_eq!(mmtype(MMTYPE_SNIFFER, MmVariant::Ind), 0xA036);
+        let (base, var) = mmtype_split(0xA031);
+        assert_eq!(base, 0xA030);
+        assert_eq!(var, MmVariant::Cnf);
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = hdr(MMTYPE_STATS);
+        let wire = h.encode();
+        assert_eq!(wire.len(), MME_HEADER_LEN);
+        let parsed = MmeHeader::decode(&wire).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.variant(), MmVariant::Req);
+        assert_eq!(parsed.base(), MMTYPE_STATS);
+    }
+
+    #[test]
+    fn header_rejects_wrong_ethertype() {
+        let mut wire = hdr(MMTYPE_STATS).encode();
+        wire[12] = 0x08;
+        wire[13] = 0x00; // IPv4 ethertype
+        assert!(MmeHeader::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn header_rejects_truncation() {
+        let wire = hdr(MMTYPE_STATS).encode();
+        assert!(MmeHeader::decode(&wire[..10]).is_err());
+    }
+
+    #[test]
+    fn confirm_swaps_addresses() {
+        let req = hdr(MMTYPE_STATS);
+        let cnf = MmeHeader::confirm_to(&req);
+        assert_eq!(cnf.oda, req.osa);
+        assert_eq!(cnf.osa, req.oda);
+        assert_eq!(cnf.variant(), MmVariant::Cnf);
+        assert_eq!(cnf.base(), MMTYPE_STATS);
+    }
+
+    #[test]
+    fn ampstat_request_round_trips() {
+        let req = AmpStatReq {
+            control: StatsControl::Reset,
+            direction: Direction::Tx,
+            priority: Priority::CA1,
+            peer: MacAddr::station(9),
+        };
+        let wire = req.encode(&hdr(MMTYPE_STATS));
+        let parsed = AmpStatReq::decode(&wire).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn ampstat_request_rejects_bad_fields() {
+        let req = AmpStatReq {
+            control: StatsControl::Read,
+            direction: Direction::Rx,
+            priority: Priority::CA3,
+            peer: MacAddr::station(2),
+        };
+        let mut wire = req.encode(&hdr(MMTYPE_STATS));
+        wire[VENDOR_PAYLOAD_OFFSET] = 7; // bad control
+        assert!(AmpStatReq::decode(&wire).is_err());
+        let mut wire2 = req.encode(&hdr(MMTYPE_STATS));
+        wire2[VENDOR_PAYLOAD_OFFSET + 2] = 9; // bad priority
+        assert!(AmpStatReq::decode(&wire2).is_err());
+        assert!(AmpStatReq::decode(&wire[..20]).is_err());
+    }
+
+    #[test]
+    fn ampstat_reply_counters_at_documented_offsets() {
+        // The report: "the bytes 25-32 of this reply represent the number of
+        // acknowledged frames and the bytes 33-40 represent the number of
+        // collided frames". Verify against the raw buffer, 1-indexed.
+        let cnf = AmpStatCnf { acked: 0x0102_0304_0506_0708, collided: 42 };
+        let wire = cnf.encode(&MmeHeader::confirm_to(&hdr(MMTYPE_STATS)));
+        assert_eq!(wire.len(), 40);
+        // 1-indexed byte 25 is wire[24].
+        assert_eq!(&wire[24..32], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(&wire[32..40], &42u64.to_le_bytes());
+        let parsed = AmpStatCnf::decode(&wire).unwrap();
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn ampstat_reply_rejects_truncation() {
+        let cnf = AmpStatCnf { acked: 1, collided: 2 };
+        let wire = cnf.encode(&MmeHeader::confirm_to(&hdr(MMTYPE_STATS)));
+        assert!(AmpStatCnf::decode(&wire[..39]).is_err());
+    }
+
+    #[test]
+    fn sniffer_request_round_trips() {
+        for enable in [true, false] {
+            let req = SnifferReq { enable };
+            let wire = req.encode(&hdr(MMTYPE_SNIFFER));
+            assert_eq!(SnifferReq::decode(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn sniffer_indication_round_trips() {
+        let ind = SnifferInd {
+            timestamp_us: 1234.5,
+            sof: SofDelimiter {
+                src: Tei(2),
+                dst: Tei(1),
+                priority: Priority::CA2,
+                mpdu_cnt: 0,
+                num_pbs: 4,
+                fl_units: 1602,
+            },
+        };
+        let hdr = MmeHeader {
+            oda: MacAddr::BROADCAST,
+            osa: MacAddr::station(0),
+            mmv: 1,
+            mmtype: mmtype(MMTYPE_SNIFFER, MmVariant::Ind),
+            fmi: 0,
+        };
+        let wire = ind.encode(&hdr);
+        assert_eq!(wire.len(), SnifferInd::WIRE_LEN);
+        let parsed = SnifferInd::decode(&wire).unwrap();
+        assert_eq!(parsed, ind);
+    }
+
+    #[test]
+    fn sniffer_indication_rejects_corrupt_sof() {
+        let ind = SnifferInd {
+            timestamp_us: 0.0,
+            sof: SofDelimiter {
+                src: Tei(2),
+                dst: Tei(1),
+                priority: Priority::CA1,
+                mpdu_cnt: 1,
+                num_pbs: 1,
+                fl_units: 100,
+            },
+        };
+        let hdr = hdr(MMTYPE_SNIFFER);
+        let mut wire = ind.encode(&hdr);
+        let n = wire.len();
+        wire[n - 1] ^= 0xFF; // corrupt SoF CRC
+        assert!(SnifferInd::decode(&wire).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! IEEE 1901 channel-access priority classes and priority-resolution
+//! signalling.
+//!
+//! 1901 defines four priorities, CA0 (lowest) to CA3 (highest). Before the
+//! backoff contention begins, stations signal their priority during two
+//! *priority-resolution slots* (PRS0 and PRS1) using busy tones: a station
+//! asserts a tone in PRS0 and/or PRS1 according to the two-bit encoding of
+//! its priority. Only stations in the highest contending class run the
+//! backoff process for that contention round; everyone else defers.
+//!
+//! The paper's testbed methodology leans on this: UDP data traffic goes out
+//! at the default CA1 priority, while management messages (MMEs) use CA2 or
+//! CA3, which is how the sniffer distinguishes them via the SoF LinkID
+//! field.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A 1901 channel-access priority class.
+///
+/// Ordering follows contention precedence: `CA0 < CA1 < CA2 < CA3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Lowest priority, best-effort bulk traffic.
+    CA0 = 0,
+    /// Default priority for best-effort traffic (the paper's UDP tests).
+    CA1 = 1,
+    /// Delay-sensitive traffic; used by MMEs in the paper's testbed.
+    CA2 = 2,
+    /// Highest priority, delay-sensitive traffic (voice); also used by MMEs.
+    CA3 = 3,
+}
+
+impl Priority {
+    /// All four priorities, lowest first.
+    pub const ALL: [Priority; 4] = [Priority::CA0, Priority::CA1, Priority::CA2, Priority::CA3];
+
+    /// The default priority HomePlug AV devices assign to untagged data
+    /// traffic, per the paper's measurements ("the default priority which is
+    /// CA1").
+    pub const DEFAULT_DATA: Priority = Priority::CA1;
+
+    /// Construct from the two-bit LinkID / channel-access encoding.
+    ///
+    /// Returns `None` for values above 3.
+    pub fn from_bits(bits: u8) -> Option<Priority> {
+        match bits {
+            0 => Some(Priority::CA0),
+            1 => Some(Priority::CA1),
+            2 => Some(Priority::CA2),
+            3 => Some(Priority::CA3),
+            _ => None,
+        }
+    }
+
+    /// The two-bit encoding used in the SoF LinkID field.
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this class shares a CSMA parameter table with CA0/CA1
+    /// (best-effort) or with CA2/CA3 (delay-sensitive) — the two columns of
+    /// Table 1 in the paper.
+    pub fn is_delay_sensitive(self) -> bool {
+        matches!(self, Priority::CA2 | Priority::CA3)
+    }
+
+    /// Busy-tone pattern for the two priority-resolution slots.
+    ///
+    /// Per 1901, the priority is signalled MSB-first over (PRS0, PRS1):
+    /// CA3 = (1,1), CA2 = (1,0), CA1 = (0,1), CA0 = (0,0).
+    pub fn prs_tones(self) -> (bool, bool) {
+        let b = self as u8;
+        (b & 0b10 != 0, b & 0b01 != 0)
+    }
+
+    /// Decode the winning priority class from the OR of all asserted tones
+    /// in the two priority-resolution slots.
+    ///
+    /// This models the resolution rule: a station that did not assert PRS0
+    /// defers as soon as it hears a tone in PRS0; a station that asserted
+    /// PRS0 (or heard none) but did not assert PRS1 defers on hearing a tone
+    /// in PRS1. The surviving class is exactly the one whose two-bit pattern
+    /// equals the OR-ed tone pattern.
+    pub fn from_prs_tones(prs0: bool, prs1: bool) -> Priority {
+        match (prs0, prs1) {
+            (true, true) => Priority::CA3,
+            (true, false) => Priority::CA2,
+            (false, true) => Priority::CA1,
+            (false, false) => Priority::CA0,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CA{}", *self as u8)
+    }
+}
+
+/// Outcome of a priority-resolution phase over a set of contending classes.
+///
+/// Given the classes that have a frame ready, computes which class survives
+/// and therefore runs the backoff process this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityResolution {
+    /// Tone heard in PRS0 (OR over all contenders asserting it).
+    pub prs0: bool,
+    /// Tone heard in PRS1. Note the 1901 rule: a station that lost in PRS0
+    /// does not assert PRS1, which this computation honours.
+    pub prs1: bool,
+    /// The class that wins the round.
+    pub winner: Priority,
+}
+
+/// Resolve the contention among `contenders`, returning `None` when the set
+/// is empty (idle network — no PRS tones at all).
+///
+/// Implements the two-slot elimination faithfully: PRS1 tones are only
+/// asserted by stations that were not eliminated in PRS0.
+pub fn resolve_priority(contenders: &[Priority]) -> Option<PriorityResolution> {
+    if contenders.is_empty() {
+        return None;
+    }
+    let prs0 = contenders.iter().any(|p| p.prs_tones().0);
+    // Stations eliminated in PRS0 (they did not assert it but heard it) stay
+    // silent in PRS1.
+    let prs1 = contenders
+        .iter()
+        .filter(|p| !prs0 || p.prs_tones().0)
+        .any(|p| p.prs_tones().1);
+    let winner = Priority::from_prs_tones(prs0, prs1);
+    Some(PriorityResolution { prs0, prs1, winner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_precedence() {
+        assert!(Priority::CA0 < Priority::CA1);
+        assert!(Priority::CA1 < Priority::CA2);
+        assert!(Priority::CA2 < Priority::CA3);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_bits(p.to_bits()), Some(p));
+        }
+        assert_eq!(Priority::from_bits(4), None);
+        assert_eq!(Priority::from_bits(255), None);
+    }
+
+    #[test]
+    fn table_column_split() {
+        assert!(!Priority::CA0.is_delay_sensitive());
+        assert!(!Priority::CA1.is_delay_sensitive());
+        assert!(Priority::CA2.is_delay_sensitive());
+        assert!(Priority::CA3.is_delay_sensitive());
+    }
+
+    #[test]
+    fn prs_tone_patterns() {
+        assert_eq!(Priority::CA0.prs_tones(), (false, false));
+        assert_eq!(Priority::CA1.prs_tones(), (false, true));
+        assert_eq!(Priority::CA2.prs_tones(), (true, false));
+        assert_eq!(Priority::CA3.prs_tones(), (true, true));
+    }
+
+    #[test]
+    fn tones_decode_to_class() {
+        for p in Priority::ALL {
+            let (a, b) = p.prs_tones();
+            assert_eq!(Priority::from_prs_tones(a, b), p);
+        }
+    }
+
+    #[test]
+    fn resolution_single_class() {
+        for p in Priority::ALL {
+            let r = resolve_priority(&[p, p, p]).unwrap();
+            assert_eq!(r.winner, p);
+        }
+    }
+
+    #[test]
+    fn resolution_highest_wins() {
+        let r = resolve_priority(&[Priority::CA1, Priority::CA3, Priority::CA0]).unwrap();
+        assert_eq!(r.winner, Priority::CA3);
+        assert!(r.prs0 && r.prs1);
+    }
+
+    #[test]
+    fn resolution_ca2_beats_ca1_via_prs0() {
+        // CA2 asserts PRS0; CA1 does not and is eliminated, so its PRS1 tone
+        // must NOT be heard. Winner pattern is (1,0) = CA2, not (1,1) = CA3.
+        let r = resolve_priority(&[Priority::CA2, Priority::CA1]).unwrap();
+        assert_eq!(r.winner, Priority::CA2);
+        assert!(r.prs0);
+        assert!(!r.prs1, "eliminated CA1 must stay silent in PRS1");
+    }
+
+    #[test]
+    fn resolution_ca1_vs_ca0() {
+        let r = resolve_priority(&[Priority::CA0, Priority::CA1]).unwrap();
+        assert_eq!(r.winner, Priority::CA1);
+        assert!(!r.prs0 && r.prs1);
+    }
+
+    #[test]
+    fn resolution_empty_is_none() {
+        assert_eq!(resolve_priority(&[]), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Priority::CA2.to_string(), "CA2");
+    }
+}

@@ -1,0 +1,225 @@
+//! Time units used by the MAC simulator.
+//!
+//! All MAC timing in IEEE 1901 is specified in microseconds, and the paper's
+//! reference simulator advances a floating-point clock in microseconds (the
+//! slot is 35.84 µs, not an integer). We keep a thin `f64` newtype so that
+//! durations cannot be silently mixed with slot counts or byte counts, while
+//! staying trivially cheap in the hot simulation loop.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A duration (or a point in simulated time) in microseconds.
+///
+/// Backed by `f64` because the 1901 slot time (35.84 µs) and the paper's
+/// default transmission durations (2542.64 µs, 2920.64 µs) are not integer
+/// microsecond counts. Comparisons use the exact IEEE semantics of `f64`;
+/// the simulator never relies on equality of accumulated times, only on
+/// ordering against the simulation horizon.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Microseconds(pub f64);
+
+impl Microseconds {
+    /// Zero duration.
+    pub const ZERO: Microseconds = Microseconds(0.0);
+
+    /// Construct from a raw `f64` microsecond count.
+    pub const fn new(us: f64) -> Self {
+        Microseconds(us)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Microseconds(ms * 1_000.0)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Microseconds(s * 1_000_000.0)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> f64 {
+        self.0
+    }
+
+    /// This duration expressed in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// True if the duration is finite and non-negative — the only durations
+    /// the simulator accepts as inputs.
+    pub fn is_valid_duration(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// Saturating subtraction: returns zero instead of a negative duration.
+    pub fn saturating_sub(self, rhs: Microseconds) -> Microseconds {
+        Microseconds((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Microseconds) -> Microseconds {
+        Microseconds(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Microseconds) -> Microseconds {
+        Microseconds(self.0.min(other.0))
+    }
+}
+
+impl Add for Microseconds {
+    type Output = Microseconds;
+    fn add(self, rhs: Microseconds) -> Microseconds {
+        Microseconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Microseconds {
+    fn add_assign(&mut self, rhs: Microseconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Microseconds {
+    type Output = Microseconds;
+    fn sub(self, rhs: Microseconds) -> Microseconds {
+        Microseconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Microseconds {
+    fn sub_assign(&mut self, rhs: Microseconds) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Microseconds {
+    type Output = Microseconds;
+    fn mul(self, rhs: f64) -> Microseconds {
+        Microseconds(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Microseconds {
+    type Output = Microseconds;
+    fn mul(self, rhs: u64) -> Microseconds {
+        Microseconds(self.0 * rhs as f64)
+    }
+}
+
+impl Div<Microseconds> for Microseconds {
+    /// Dividing two durations yields a dimensionless ratio (e.g. normalized
+    /// throughput = airtime carrying payload / total time).
+    type Output = f64;
+    fn div(self, rhs: Microseconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<f64> for Microseconds {
+    type Output = Microseconds;
+    fn div(self, rhs: f64) -> Microseconds {
+        Microseconds(self.0 / rhs)
+    }
+}
+
+impl Sum for Microseconds {
+    fn sum<I: Iterator<Item = Microseconds>>(iter: I) -> Microseconds {
+        Microseconds(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Microseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000.0 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else {
+            write!(f, "{:.2} µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let d = Microseconds::from_secs(2.5);
+        assert_eq!(d.as_micros(), 2_500_000.0);
+        assert_eq!(d.as_millis(), 2_500.0);
+        assert_eq!(d.as_secs(), 2.5);
+        assert_eq!(Microseconds::from_millis(1.5).as_micros(), 1_500.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Microseconds(100.0);
+        let b = Microseconds(35.84);
+        assert_eq!((a + b).0, 135.84);
+        assert!(((a - b).0 - 64.16).abs() < 1e-12);
+        assert_eq!((b * 2.0).0, 71.68);
+        assert_eq!((b * 2u64).0, 71.68);
+        assert_eq!(a / Microseconds(50.0), 2.0);
+        assert_eq!((a / 4.0).0, 25.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Microseconds(10.0);
+        let b = Microseconds(20.0);
+        assert_eq!(a.saturating_sub(b), Microseconds::ZERO);
+        assert_eq!(b.saturating_sub(a).0, 10.0);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(Microseconds(0.0).is_valid_duration());
+        assert!(Microseconds(35.84).is_valid_duration());
+        assert!(!Microseconds(-1.0).is_valid_duration());
+        assert!(!Microseconds(f64::NAN).is_valid_duration());
+        assert!(!Microseconds(f64::INFINITY).is_valid_duration());
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(Microseconds(35.84).to_string(), "35.84 µs");
+        assert_eq!(Microseconds(2542.64).to_string(), "2.543 ms");
+        assert_eq!(Microseconds::from_secs(240.0).to_string(), "240.000 s");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Microseconds = (0..4).map(|_| Microseconds(35.84)).sum();
+        assert!((total.0 - 143.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Microseconds(1.0);
+        let b = Microseconds(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Microseconds::ZERO;
+        t += Microseconds(35.84);
+        t += Microseconds(35.84);
+        t -= Microseconds(35.84);
+        assert!((t.0 - 35.84).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # plc-mac — CSMA/CA backoff state machines
+//!
+//! This crate implements the contention logic of the paper's two protocols
+//! as pure, engine-independent state machines:
+//!
+//! * [`Backoff1901`] — the IEEE 1901 backoff process with its three
+//!   counters: backoff counter **BC**, deferral counter **DC** and backoff
+//!   procedure counter **BPC**. This is the paper's central object: a 1901
+//!   station can advance to the next backoff stage *without attempting a
+//!   transmission* when it senses the medium busy while DC = 0.
+//! * [`BackoffDcf`] — the 802.11 DCF baseline: freeze-on-busy backoff with
+//!   binary-exponential contention windows and no deferral counter.
+//!
+//! Both implement [`BackoffProcess`], the slot-event interface consumed by
+//! the engines in `plc-sim`. The state machines own no clock and perform no
+//! I/O; they react to four events (idle slot, busy slot, transmission
+//! success, transmission failure) and expose whether they want to transmit
+//! (`BC == 0`). Determinism: all randomness comes through the caller's RNG.
+//!
+//! ## Semantics (faithful to the paper's reference simulator)
+//!
+//! On entering backoff stage *i* the station draws
+//! `BC ~ U{0, …, CW_i − 1}` and sets `DC = d_i`. Then, per slot:
+//!
+//! * **idle slot** — `BC -= 1`;
+//! * **busy slot** — if `DC == 0`, jump to the next backoff stage (redraw,
+//!   `BPC += 1`) *without transmitting*; otherwise `BC -= 1, DC -= 1`
+//!   (1901 decrements BC on busy slots too — unlike 802.11's freeze);
+//! * **`BC == 0`** — attempt a transmission; on success return to stage 0
+//!   (`BPC = 0`), on failure advance the stage (`BPC += 1`);
+//! * the stage index saturates at the last entry of the table
+//!   (the standard's "re-enters the last backoff stage").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod any;
+pub mod backoff1901;
+pub mod dcf;
+pub mod process;
+pub mod retry;
+
+pub use any::AnyBackoff;
+pub use backoff1901::Backoff1901;
+pub use dcf::BackoffDcf;
+pub use process::{BackoffProcess, BackoffSnapshot, Protocol};
+pub use retry::RetryPolicy;

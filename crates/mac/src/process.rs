@@ -1,0 +1,120 @@
+//! The [`BackoffProcess`] trait: the slot-event interface between a
+//! contention state machine and a simulation engine.
+//!
+//! The engines in `plc-sim` are generic over this trait, which is what lets
+//! a single engine run IEEE 1901, 802.11 DCF, and the ablation variants
+//! (1901 without deferral counter, constant-window) under identical channel
+//! dynamics — the comparison the paper's evaluation rests on.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Which protocol family a process implements; used for labelling traces
+/// and experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// IEEE 1901 (HomePlug AV) CSMA/CA with deferral counter.
+    Ieee1901,
+    /// IEEE 802.11 DCF-style CSMA/CA (freeze on busy, no deferral counter).
+    Dcf80211,
+}
+
+impl core::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Protocol::Ieee1901 => write!(f, "IEEE 1901"),
+            Protocol::Dcf80211 => write!(f, "802.11 DCF"),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a backoff process's counters, used by the
+/// trace machinery to reproduce Figure 1 of the paper (the two-station
+/// CW/DC/BC time evolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffSnapshot {
+    /// Backoff stage currently in effect (0-based, saturated at the last).
+    pub stage: usize,
+    /// Contention window in effect (`CW_i`).
+    pub cw: u32,
+    /// Current backoff counter value.
+    pub bc: u32,
+    /// Current deferral counter value; `None` when the protocol has no
+    /// deferral counter (802.11) or it is disabled at this stage.
+    pub dc: Option<u32>,
+    /// Backoff procedure counter: number of stage entries since the last
+    /// successful transmission (the standard's BPC).
+    pub bpc: u32,
+}
+
+/// A CSMA/CA contention state machine, driven by slot events.
+///
+/// # Contract
+///
+/// * The engine must consult [`wants_tx`](BackoffProcess::wants_tx) at the
+///   top of every slot. If it returns `true` the station transmits in that
+///   slot and the engine must then call exactly one of
+///   [`on_tx_success`](BackoffProcess::on_tx_success) /
+///   [`on_tx_failure`](BackoffProcess::on_tx_failure).
+/// * If it returns `false`, the engine must call exactly one of
+///   [`on_idle_slot`](BackoffProcess::on_idle_slot) (no station transmitted)
+///   or [`on_busy`](BackoffProcess::on_busy) (some other station
+///   transmitted — the station *sensed the medium busy*).
+/// * After any event, `wants_tx` reflects the next slot's intention.
+///
+/// All state transitions are deterministic given the RNG stream.
+pub trait BackoffProcess {
+    /// True when `BC == 0`: the station attempts a transmission in the
+    /// current slot.
+    fn wants_tx(&self) -> bool;
+
+    /// The medium was idle for one contention slot.
+    fn on_idle_slot(&mut self, rng: &mut dyn RngCore);
+
+    /// The station sensed the medium busy (another station's transmission
+    /// occupied the slot). For 1901 this decrements BC *and* DC, possibly
+    /// jumping to the next backoff stage; for 802.11 the backoff freezes.
+    fn on_busy(&mut self, rng: &mut dyn RngCore);
+
+    /// The station's own transmission was acknowledged: return to backoff
+    /// stage 0.
+    fn on_tx_success(&mut self, rng: &mut dyn RngCore);
+
+    /// The station's own transmission collided: advance the backoff stage.
+    fn on_tx_failure(&mut self, rng: &mut dyn RngCore);
+
+    /// Start a fresh backoff for a new head-of-line frame: return to stage
+    /// 0 and redraw BC — the standard's "upon the arrival of a new packet,
+    /// a transmitting station enters backoff stage 0". Also used after a
+    /// retry-limit drop.
+    ///
+    /// The default implementation reuses the success transition, which has
+    /// exactly these semantics in both implemented protocols.
+    fn reset(&mut self, rng: &mut dyn RngCore) {
+        self.on_tx_success(rng);
+    }
+
+    /// Which protocol this process implements.
+    fn protocol(&self) -> Protocol;
+
+    /// Counter snapshot for tracing.
+    fn snapshot(&self) -> BackoffSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(Protocol::Ieee1901.to_string(), "IEEE 1901");
+        assert_eq!(Protocol::Dcf80211.to_string(), "802.11 DCF");
+    }
+
+    #[test]
+    fn snapshot_is_plain_data() {
+        let s = BackoffSnapshot { stage: 1, cw: 16, bc: 5, dc: Some(1), bpc: 2 };
+        let t = s;
+        assert_eq!(s, t);
+    }
+}

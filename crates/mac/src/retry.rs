@@ -1,0 +1,112 @@
+//! Retry policies.
+//!
+//! The paper's reference simulator assumes an **infinite retry limit**
+//! ("they never discard a frame until it is successfully transmitted").
+//! Real MACs bound retries and drop the frame; we model both so extension
+//! experiments can quantify how a finite limit changes collision
+//! probability and goodput.
+
+use serde::{Deserialize, Serialize};
+
+/// How many failed attempts a station tolerates before discarding a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RetryPolicy {
+    /// Never discard — the paper's assumption.
+    Infinite,
+    /// Discard after `max_attempts` failed transmission attempts and start
+    /// fresh (stage 0) with the next frame.
+    Limited {
+        /// Maximum number of attempts (≥ 1) before the frame is dropped.
+        max_attempts: u32,
+    },
+}
+
+impl RetryPolicy {
+    /// The 802.11 long-retry default of 7 attempts, a realistic bound.
+    pub const DOT11_DEFAULT: RetryPolicy = RetryPolicy::Limited { max_attempts: 7 };
+
+    /// Whether a frame that has already failed `attempts_so_far` times
+    /// should be dropped rather than retried.
+    pub fn should_drop(&self, attempts_so_far: u32) -> bool {
+        match *self {
+            RetryPolicy::Infinite => false,
+            RetryPolicy::Limited { max_attempts } => attempts_so_far >= max_attempts,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The paper's assumption: infinite retries.
+    fn default() -> Self {
+        RetryPolicy::Infinite
+    }
+}
+
+/// Tracks the attempt count of the head-of-line frame against a policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryState {
+    attempts: u32,
+}
+
+impl RetryState {
+    /// Fresh state for a new head-of-line frame.
+    pub fn new() -> Self {
+        RetryState { attempts: 0 }
+    }
+
+    /// Record a failed attempt; returns `true` if the policy says the frame
+    /// must now be dropped (the caller then resets with [`RetryState::new`]).
+    pub fn record_failure(&mut self, policy: RetryPolicy) -> bool {
+        self.attempts = self.attempts.saturating_add(1);
+        policy.should_drop(self.attempts)
+    }
+
+    /// Attempts made so far for the current frame.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_never_drops() {
+        let p = RetryPolicy::Infinite;
+        assert!(!p.should_drop(0));
+        assert!(!p.should_drop(u32::MAX));
+        let mut st = RetryState::new();
+        for _ in 0..1000 {
+            assert!(!st.record_failure(p));
+        }
+        assert_eq!(st.attempts(), 1000);
+    }
+
+    #[test]
+    fn limited_drops_at_bound() {
+        let p = RetryPolicy::Limited { max_attempts: 3 };
+        let mut st = RetryState::new();
+        assert!(!st.record_failure(p)); // 1st failure
+        assert!(!st.record_failure(p)); // 2nd
+        assert!(st.record_failure(p)); // 3rd → drop
+    }
+
+    #[test]
+    fn dot11_default_is_seven() {
+        let mut st = RetryState::new();
+        let mut drops = 0;
+        for _ in 0..7 {
+            if st.record_failure(RetryPolicy::DOT11_DEFAULT) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 1);
+        assert_eq!(st.attempts(), 7);
+    }
+
+    #[test]
+    fn default_policy_is_infinite() {
+        assert_eq!(RetryPolicy::default(), RetryPolicy::Infinite);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the protocol state machines: for arbitrary legal
+//! event scripts, the invariants of both protocols hold and the
+//! [`AnyBackoff`] adapter behaves identically to its inner process.
+
+use plc_core::config::{CsmaConfig, DC_DISABLED};
+use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf, BackoffProcess};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Drive a process with a script of channel events. Returns the sequence
+/// of snapshots taken after each event.
+fn drive<P: BackoffProcess>(
+    p: &mut P,
+    rng: &mut SmallRng,
+    script: &[u8],
+) -> Vec<plc_mac::process::BackoffSnapshot> {
+    let mut out = Vec::with_capacity(script.len());
+    for &step in script {
+        if p.wants_tx() {
+            if step % 2 == 0 {
+                p.on_tx_success(rng);
+            } else {
+                p.on_tx_failure(rng);
+            }
+        } else {
+            match step % 3 {
+                0 | 1 => p.on_idle_slot(rng),
+                _ => p.on_busy(rng),
+            }
+        }
+        out.push(p.snapshot());
+    }
+    out
+}
+
+proptest! {
+    /// The adapter enum is transparent: same seed, same script → the
+    /// wrapped process and the bare process produce identical snapshot
+    /// sequences.
+    #[test]
+    fn any_backoff_is_transparent_1901(seed in any::<u64>(), script in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut rng1 = SmallRng::seed_from_u64(seed);
+        let mut bare = Backoff1901::default_ca1(&mut rng1);
+        let bare_trace = drive(&mut bare, &mut rng1, &script);
+
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let mut wrapped: AnyBackoff = Backoff1901::default_ca1(&mut rng2).into();
+        let wrapped_trace = drive(&mut wrapped, &mut rng2, &script);
+
+        prop_assert_eq!(bare_trace, wrapped_trace);
+    }
+
+    #[test]
+    fn any_backoff_is_transparent_dcf(seed in any::<u64>(), script in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut rng1 = SmallRng::seed_from_u64(seed);
+        let mut bare = BackoffDcf::classic(&mut rng1);
+        let bare_trace = drive(&mut bare, &mut rng1, &script);
+
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let mut wrapped: AnyBackoff = BackoffDcf::classic(&mut rng2).into();
+        let wrapped_trace = drive(&mut wrapped, &mut rng2, &script);
+
+        prop_assert_eq!(bare_trace, wrapped_trace);
+    }
+
+    /// DCF invariants: BC below CW, CW follows the doubling table indexed
+    /// by the snapshot's stage, busy slots change nothing.
+    #[test]
+    fn dcf_invariants(seed in any::<u64>(), script in proptest::collection::vec(any::<u8>(), 1..300)) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = BackoffDcf::classic(&mut rng);
+        for &step in &script {
+            let before = p.snapshot();
+            if p.wants_tx() {
+                if step % 2 == 0 {
+                    p.on_tx_success(&mut rng);
+                    prop_assert_eq!(p.stage(), 0, "success resets the stage");
+                } else {
+                    p.on_tx_failure(&mut rng);
+                    prop_assert_eq!(
+                        p.stage(),
+                        (before.stage + 1).min(5),
+                        "failure advances one stage, saturating"
+                    );
+                }
+            } else if step % 3 == 2 {
+                p.on_busy(&mut rng);
+                prop_assert_eq!(p.snapshot(), before, "busy freezes DCF entirely");
+            } else {
+                p.on_idle_slot(&mut rng);
+                prop_assert_eq!(p.bc(), before.bc - 1);
+            }
+            prop_assert!(p.bc() < p.cw());
+            prop_assert_eq!(p.cw(), 16 << p.stage());
+        }
+    }
+
+    /// 1901 invariant: the deferral counter never exceeds the initial
+    /// value of the stage in effect, and jumps preserve the table.
+    #[test]
+    fn dc_bounded_by_stage_initial(seed in any::<u64>(), script in proptest::collection::vec(any::<u8>(), 1..300)) {
+        let cfg = CsmaConfig::ieee1901_ca01();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Backoff1901::new(cfg.clone(), &mut rng);
+        for &step in &script {
+            if p.wants_tx() {
+                if step % 2 == 0 { p.on_tx_success(&mut rng) } else { p.on_tx_failure(&mut rng) }
+            } else if step % 3 == 2 {
+                p.on_busy(&mut rng);
+            } else {
+                p.on_idle_slot(&mut rng);
+            }
+            let stage = p.stage();
+            let d_init = cfg.stage(stage).dc;
+            if d_init != DC_DISABLED {
+                prop_assert!(p.dc().unwrap() <= d_init, "DC above its initial value");
+            }
+            prop_assert_eq!(p.cw(), cfg.stage(stage).cw);
+        }
+    }
+
+    /// Reset always lands at stage 0 with a legal draw, for any config.
+    #[test]
+    fn reset_restores_stage_zero(seed in any::<u64>(), failures in 0usize..10) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Backoff1901::default_ca1(&mut rng);
+        for _ in 0..failures {
+            p.on_tx_failure(&mut rng);
+        }
+        p.reset(&mut rng);
+        prop_assert_eq!(p.stage(), 0);
+        prop_assert!(p.bc() < 8);
+        prop_assert_eq!(p.snapshot().bpc, 0);
+    }
+}

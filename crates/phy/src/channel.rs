@@ -1,0 +1,179 @@
+//! A synthetic power-line channel model.
+//!
+//! Power-line links have no published, validated channel simulator (the
+//! report: "there is no model of the bit error probability for HomePlug
+//! AV devices"). This model captures the three properties that matter to
+//! the MAC-level experiments and are well documented in the PLC
+//! measurement literature:
+//!
+//! * **log-distance attenuation** — SNR falls roughly linearly in dB with
+//!   cable run length (plus per-outlet insertion loss);
+//! * **frequency selectivity** — notches from multipath reflections at
+//!   stub branches, modelled as deterministic sinusoidal ripple plus
+//!   seeded per-carrier fading;
+//! * **mains-cycle variation** — the channel is *periodically
+//!   time-varying, synchronous to the 50/60 Hz mains*, because appliance
+//!   impedances switch with the voltage; HomePlug AV even keeps separate
+//!   tone maps per mains-cycle region.
+
+use crate::tonemap::{ToneMap, NUM_CARRIERS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Synthetic channel between two outlets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Transmit SNR at zero distance (dB) — transmit PSD over noise floor.
+    pub snr0_db: f64,
+    /// Attenuation per metre of cable (dB/m); PLC literature reports
+    /// 0.2–2 dB/m depending on cable class.
+    pub atten_db_per_m: f64,
+    /// Cable run length (m).
+    pub distance_m: f64,
+    /// Peak-to-peak depth of frequency-selective ripple (dB).
+    pub ripple_db: f64,
+    /// Standard deviation of seeded per-carrier fading (dB).
+    pub fading_sigma_db: f64,
+    /// Peak-to-peak swing of the mains-cycle variation (dB).
+    pub mains_swing_db: f64,
+    /// Mains frequency (Hz); 50 in Europe (the paper's testbed), 60 in NA.
+    pub mains_hz: f64,
+    /// Seed for the per-carrier fading draw.
+    pub seed: u64,
+}
+
+impl ChannelModel {
+    /// A short, clean in-room link: high SNR, mild ripple.
+    pub fn short_link() -> Self {
+        ChannelModel {
+            snr0_db: 38.0,
+            atten_db_per_m: 0.4,
+            distance_m: 5.0,
+            ripple_db: 4.0,
+            fading_sigma_db: 1.5,
+            mains_swing_db: 2.0,
+            mains_hz: 50.0,
+            seed: 1,
+        }
+    }
+
+    /// A cross-home link through the breaker panel: heavy attenuation and
+    /// selectivity.
+    pub fn long_link() -> Self {
+        ChannelModel {
+            snr0_db: 38.0,
+            atten_db_per_m: 0.6,
+            distance_m: 40.0,
+            ripple_db: 10.0,
+            fading_sigma_db: 3.0,
+            mains_swing_db: 5.0,
+            mains_hz: 50.0,
+            seed: 2,
+        }
+    }
+
+    /// The paper's power-strip setup: all stations on one strip, "ideal"
+    /// conditions — essentially zero distance.
+    pub fn power_strip() -> Self {
+        ChannelModel {
+            distance_m: 1.0,
+            ripple_db: 2.0,
+            fading_sigma_db: 0.5,
+            mains_swing_db: 1.0,
+            ..Self::short_link()
+        }
+    }
+
+    /// Mean (carrier- and time-averaged) SNR of the link in dB.
+    pub fn mean_snr_db(&self) -> f64 {
+        self.snr0_db - self.atten_db_per_m * self.distance_m
+    }
+
+    /// Per-carrier SNR at time `t_us` (µs since epoch), including ripple,
+    /// seeded fading and the mains-cycle term.
+    pub fn snr_profile_db(&self, t_us: f64) -> Vec<f64> {
+        let base = self.mean_snr_db();
+        let mains_phase = 2.0 * std::f64::consts::PI * self.mains_hz * (t_us / 1.0e6);
+        // Full-wave-rectified appliances switch twice per cycle.
+        let mains = 0.5 * self.mains_swing_db * (2.0 * mains_phase).sin();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..NUM_CARRIERS)
+            .map(|c| {
+                let x = c as f64 / NUM_CARRIERS as f64;
+                // Two incommensurate ripple periods approximate multipath
+                // notching across the band.
+                let ripple = 0.5
+                    * self.ripple_db
+                    * (0.6 * (2.0 * std::f64::consts::PI * 7.3 * x).sin()
+                        + 0.4 * (2.0 * std::f64::consts::PI * 17.9 * x).sin());
+                // Seeded fading: deterministic per (seed, carrier).
+                let fade: f64 = rng.gen_range(-1.0..1.0) * self.fading_sigma_db * 1.732;
+                base + ripple + fade + mains
+            })
+            .collect()
+    }
+
+    /// The tone map this link negotiates at time `t_us`.
+    pub fn tone_map(&self, t_us: f64) -> ToneMap {
+        ToneMap::from_snrs(&self.snr_profile_db(t_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attenuation_reduces_rate() {
+        let short = ChannelModel::short_link();
+        let long = ChannelModel::long_link();
+        assert!(long.mean_snr_db() < short.mean_snr_db());
+        let bs = short.tone_map(0.0).bits_per_symbol();
+        let bl = long.tone_map(0.0).bits_per_symbol();
+        assert!(bl < bs, "long link must carry fewer bits/symbol: {bl} vs {bs}");
+        assert!(bs > 0);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let ch = ChannelModel::short_link();
+        assert_eq!(ch.snr_profile_db(123.0), ch.snr_profile_db(123.0));
+        let ch2 = ChannelModel { seed: 99, ..ch.clone() };
+        assert_ne!(ch.snr_profile_db(0.0), ch2.snr_profile_db(0.0));
+    }
+
+    #[test]
+    fn mains_cycle_moves_the_channel() {
+        let ch = ChannelModel::long_link();
+        // Half a mains-variation period (the variation runs at 2×mains):
+        // 1/(4·50 Hz) = 5 ms apart, the mains term flips sign.
+        let a = ch.tone_map(0.0).bits_per_symbol();
+        let b = ch.tone_map(2_500.0).bits_per_symbol();
+        let c = ch.tone_map(7_500.0).bits_per_symbol();
+        assert!(
+            b != c || a != b,
+            "tone map must vary over the mains cycle: {a} {b} {c}"
+        );
+    }
+
+    #[test]
+    fn period_is_the_mains_half_cycle() {
+        let ch = ChannelModel::long_link();
+        // The variation has period 10 ms at 50 Hz (twice per cycle).
+        let a = ch.snr_profile_db(1_000.0);
+        let b = ch.snr_profile_db(1_000.0 + 10_000.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_strip_is_near_ideal() {
+        let ch = ChannelModel::power_strip();
+        let tm = ch.tone_map(0.0);
+        // On the strip nearly every carrier should be at high order.
+        assert!(tm.mean_bits_per_active_carrier() > 8.0);
+        assert_eq!(tm.active_carriers(), NUM_CARRIERS);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-physical-block error probabilities.
+//!
+//! §4.1 of the report lists channel errors among the unmodelled pieces:
+//! "there is no model of the bit error probability for HomePlug AV
+//! devices" and "the retransmissions can involve some physical blocks
+//! (PB) and not the entire frame". This module supplies the synthetic
+//! stand-in: an SNR-margin → PB-error-rate curve that feeds the engines'
+//! selective-retransmission extension, so the *mechanism* (per-PB
+//! selective ACK and partial retransmission) can be exercised even though
+//! the vendors' true error curve is unpublished.
+
+use crate::channel::ChannelModel;
+use crate::tonemap::Modulation;
+use serde::{Deserialize, Serialize};
+
+/// Maps link conditions to a per-512-byte-PB error probability.
+///
+/// Model: each carrier is loaded to its threshold with `margin_db` of
+/// spare SNR; the resulting symbol-error rate follows a logistic curve in
+/// the margin (turbo-coded links have sharp waterfalls), and a PB fails
+/// if any of its symbols does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PbErrorModel {
+    /// SNR margin above the loading thresholds (dB). The bit-loading rule
+    /// in [`Modulation::for_snr`] leaves 0–6 dB depending on where the
+    /// SNR falls between thresholds.
+    pub margin_db: f64,
+    /// Waterfall steepness (dB per decade of error rate); ≈ 1.5 dB for
+    /// turbo-coded HPAV-class links.
+    pub steepness_db: f64,
+}
+
+impl PbErrorModel {
+    /// Model at a given margin with the default waterfall.
+    pub fn with_margin(margin_db: f64) -> Self {
+        PbErrorModel { margin_db, steepness_db: 1.5 }
+    }
+
+    /// Error-free limit (infinite margin).
+    pub fn ideal() -> Self {
+        Self::with_margin(f64::INFINITY)
+    }
+
+    /// Derive the *average* margin of a live channel at time `t_us`: how
+    /// far each active carrier sits above the threshold of the modulation
+    /// loaded on it.
+    pub fn from_channel(ch: &ChannelModel, t_us: f64) -> Self {
+        let snrs = ch.snr_profile_db(t_us);
+        let mut total = 0.0;
+        let mut active = 0usize;
+        for &s in &snrs {
+            let m = Modulation::for_snr(s);
+            if m != Modulation::Off {
+                total += s - m.snr_threshold_db();
+                active += 1;
+            }
+        }
+        if active == 0 {
+            // Dead channel: zero margin (everything errors).
+            PbErrorModel::with_margin(0.0)
+        } else {
+            PbErrorModel::with_margin(total / active as f64)
+        }
+    }
+
+    /// Probability that one 512-byte physical block is received in error.
+    pub fn pb_error_prob(&self) -> f64 {
+        if self.margin_db.is_infinite() {
+            return 0.0;
+        }
+        // Logistic waterfall centred at 0 dB margin where PER = 0.5.
+        let x = self.margin_db / self.steepness_db;
+        1.0 / (1.0 + (x * std::f64::consts::LN_10).exp())
+    }
+
+    /// Probability that an MPDU of `num_pbs` blocks is delivered with
+    /// every PB clean.
+    pub fn mpdu_clean_prob(&self, num_pbs: u16) -> f64 {
+        (1.0 - self.pb_error_prob()).powi(num_pbs as i32)
+    }
+
+    /// Expected transmissions to deliver all of `num_pbs` blocks with
+    /// per-PB selective retransmission (each round retransmits only the
+    /// still-errored blocks): `E[max of num_pbs geometrics]`.
+    pub fn expected_rounds(&self, num_pbs: u16) -> f64 {
+        expected_rounds_for(self.pb_error_prob(), num_pbs)
+    }
+}
+
+/// `E[max of num_pbs geometrics]` at a raw per-PB error probability `p` —
+/// the expected selective-retransmission rounds per frame, usable without
+/// constructing a margin-based model.
+pub fn expected_rounds_for(p: f64, num_pbs: u16) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    // E[max] = Σ_{r≥1} P(max ≥ r) = Σ_{r≥0} (1 − (1 − p^r)^k).
+    let k = num_pbs as i32;
+    let mut sum = 0.0;
+    let mut p_r: f64 = 1.0; // p^r for r = 0
+    for _ in 0..10_000 {
+        let term = 1.0 - (1.0 - p_r).powi(k);
+        sum += term;
+        if term < 1e-15 {
+            break;
+        }
+        p_r *= p;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_error_free() {
+        let m = PbErrorModel::ideal();
+        assert_eq!(m.pb_error_prob(), 0.0);
+        assert_eq!(m.mpdu_clean_prob(4), 1.0);
+        assert_eq!(m.expected_rounds(4), 1.0);
+    }
+
+    #[test]
+    fn waterfall_shape() {
+        let at = |db: f64| PbErrorModel::with_margin(db).pb_error_prob();
+        assert!((at(0.0) - 0.5).abs() < 1e-12, "PER = 1/2 at zero margin");
+        assert!(at(3.0) < 0.01, "3 dB margin → ≪1%: {}", at(3.0));
+        assert!(at(6.0) < 1e-4);
+        assert!(at(-3.0) > 0.99, "negative margin → almost sure loss");
+        // Monotone decreasing.
+        assert!(at(1.0) > at(2.0) && at(2.0) > at(4.0));
+    }
+
+    #[test]
+    fn mpdu_clean_prob_compounds() {
+        let m = PbErrorModel::with_margin(1.5); // PER = 1/(1+10) ≈ 0.0909
+        let p = m.pb_error_prob();
+        assert!((m.mpdu_clean_prob(4) - (1.0 - p).powi(4)).abs() < 1e-12);
+        assert!(m.mpdu_clean_prob(4) < m.mpdu_clean_prob(1));
+    }
+
+    #[test]
+    fn expected_rounds_matches_known_values() {
+        // Single block: E[rounds] = 1/(1−p).
+        let m = PbErrorModel::with_margin(1.5);
+        let p = m.pb_error_prob();
+        assert!((m.expected_rounds(1) - 1.0 / (1.0 - p)).abs() < 1e-9);
+        // More blocks → more rounds (max of geometrics).
+        assert!(m.expected_rounds(8) > m.expected_rounds(1));
+        // But selective retransmission keeps it close to 1 at low PER.
+        let low = PbErrorModel::with_margin(4.5);
+        assert!(low.expected_rounds(4) < 1.01);
+    }
+
+    #[test]
+    fn from_channel_tracks_quality() {
+        let good = PbErrorModel::from_channel(&ChannelModel::power_strip(), 0.0);
+        let bad = PbErrorModel::from_channel(&ChannelModel::long_link(), 0.0);
+        assert!(good.pb_error_prob() <= bad.pb_error_prob());
+        assert!(good.pb_error_prob() < 0.2);
+    }
+
+    #[test]
+    fn dead_channel_always_errors_half_plus() {
+        let dead = ChannelModel {
+            snr0_db: -20.0,
+            ..ChannelModel::short_link()
+        };
+        let m = PbErrorModel::from_channel(&dead, 0.0);
+        assert!(m.pb_error_prob() >= 0.5);
+    }
+}

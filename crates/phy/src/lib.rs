@@ -1,0 +1,45 @@
+//! # plc-phy — a synthetic HomePlug AV PHY model
+//!
+//! The paper deliberately excludes the PHY (§4.1): the vendors' bit-loading
+//! algorithms are unpublished, there is no validated PLC PHY simulator, and
+//! the MAC study doesn't need one — it uses fixed `Ts`/`Tc`/frame-length
+//! constants. The same section, however, names exactly what a fuller model
+//! would need: *frame aggregation and bit loading* ("the bit loading …
+//! depends on the channel, and each frame can employ different modulation
+//! scheme"), and *channel errors* ("the retransmissions can involve some
+//! physical blocks (PB) and not the entire frame").
+//!
+//! This crate is the closest synthetic equivalent, built from the public
+//! facts of the HomePlug AV PHY, so that those excluded mechanisms can be
+//! exercised as extension experiments:
+//!
+//! * [`channel::ChannelModel`] — per-link SNR with log-distance
+//!   attenuation and the periodic variation power-line channels exhibit
+//!   synchronously with the mains cycle;
+//! * [`tonemap::ToneMap`] — per-carrier modulation selection by SNR
+//!   threshold (the *bit loading*), over the 917 usable OFDM carriers;
+//! * [`rate::PhyRate`] — payload bits per OFDM symbol → frame airtime, and
+//!   a bridge to `plc_core::timing::MacTiming` so the MAC simulators can
+//!   run on channel-derived timing instead of the paper constants;
+//! * [`robo`] — the fixed robust (ROBO) modes used for delimiters,
+//!   broadcast and fallback, which is *why* collided frames' delimiters
+//!   are still decodable;
+//! * [`error::PbErrorModel`] — per-512-byte-PB error probability from SNR,
+//!   feeding the engines' selective-retransmission extension.
+//!
+//! Everything is deterministic and documented as a *model*, not a claim
+//! about vendor firmware; DESIGN.md records the substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod error;
+pub mod rate;
+pub mod robo;
+pub mod tonemap;
+
+pub use channel::ChannelModel;
+pub use error::PbErrorModel;
+pub use rate::PhyRate;
+pub use tonemap::{Modulation, ToneMap};

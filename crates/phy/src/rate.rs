@@ -1,0 +1,125 @@
+//! PHY rates and frame airtime.
+//!
+//! HomePlug AV OFDM symbols last 40.96 µs plus a guard interval (5.56 µs
+//! for payload symbols in the common configuration); the payload rate is
+//! `bits_per_symbol / symbol_time × code_rate`. This module converts a
+//! tone map into a data rate and a frame's byte count into airtime — the
+//! bridge from the synthetic channel to the MAC timing the simulators
+//! consume ("to simulate the full MAC stack, we need full information, or
+//! a model of the PHY layer").
+
+use crate::tonemap::ToneMap;
+use plc_core::timing::MacTiming;
+use plc_core::units::Microseconds;
+use serde::{Deserialize, Serialize};
+
+/// Useful part of an OFDM symbol (µs).
+pub const SYMBOL_US: f64 = 40.96;
+
+/// Guard interval per payload symbol (µs).
+pub const GUARD_US: f64 = 5.56;
+
+/// HomePlug AV's turbo code rate for payload.
+pub const CODE_RATE: f64 = 16.0 / 21.0;
+
+/// A physical-layer rate derived from a tone map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhyRate {
+    /// Coded payload bits per OFDM symbol.
+    pub bits_per_symbol: u64,
+}
+
+impl PhyRate {
+    /// Rate achieved by a tone map.
+    pub fn from_tone_map(tm: &ToneMap) -> Self {
+        PhyRate { bits_per_symbol: tm.bits_per_symbol() }
+    }
+
+    /// Information bit rate in Mb/s (after coding).
+    pub fn mbps(&self) -> f64 {
+        self.bits_per_symbol as f64 * CODE_RATE / (SYMBOL_US + GUARD_US)
+    }
+
+    /// Airtime of `payload_bytes` of application data (µs): the number of
+    /// OFDM symbols needed at this rate. Returns `None` on a dead channel.
+    pub fn airtime(&self, payload_bytes: usize) -> Option<Microseconds> {
+        if self.bits_per_symbol == 0 {
+            return None;
+        }
+        let info_bits = payload_bytes as f64 * 8.0;
+        let coded_bits = info_bits / CODE_RATE;
+        let symbols = (coded_bits / self.bits_per_symbol as f64).ceil();
+        Some(Microseconds(symbols * (SYMBOL_US + GUARD_US)))
+    }
+
+    /// Derive a full [`MacTiming`] for MPDUs carrying `payload_bytes`,
+    /// with `Ts`/`Tc` rebuilt from the standard overhead structure around
+    /// the channel-determined payload airtime. Returns `None` on a dead
+    /// channel.
+    pub fn mac_timing(&self, payload_bytes: usize) -> Option<MacTiming> {
+        self.airtime(payload_bytes).map(MacTiming::from_payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::tonemap::{ToneMap, NUM_CARRIERS};
+
+    #[test]
+    fn top_rate_is_hpav_class() {
+        // All carriers at 1024-QAM: 9170 bits/symbol → ≈ 150 Mb/s coded
+        // payload rate, the HomePlug AV class figure.
+        let r = PhyRate::from_tone_map(&ToneMap::flat(35.0));
+        assert_eq!(r.bits_per_symbol, 10 * NUM_CARRIERS as u64);
+        assert!((140.0..165.0).contains(&r.mbps()), "rate {} Mb/s", r.mbps());
+    }
+
+    #[test]
+    fn airtime_scales_inversely_with_rate() {
+        let fast = PhyRate::from_tone_map(&ToneMap::flat(35.0));
+        let slow = PhyRate::from_tone_map(&ToneMap::flat(5.0));
+        let tf = fast.airtime(8 * 512).unwrap();
+        let ts = slow.airtime(8 * 512).unwrap();
+        assert!(ts > tf);
+        // 5 dB loads QPSK (2 bits) vs 10 bits at 35 dB → ≈ 5× airtime.
+        let ratio = ts.as_micros() / tf.as_micros();
+        assert!((4.0..6.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dead_channel_has_no_airtime() {
+        let dead = PhyRate::from_tone_map(&ToneMap::flat(-10.0));
+        assert_eq!(dead.airtime(512), None);
+        assert_eq!(dead.mac_timing(512), None);
+        assert_eq!(dead.mbps(), 0.0);
+    }
+
+    #[test]
+    fn airtime_is_symbol_quantized() {
+        let r = PhyRate::from_tone_map(&ToneMap::flat(35.0));
+        let t1 = r.airtime(1).unwrap();
+        let sym = SYMBOL_US + GUARD_US;
+        assert!((t1.as_micros() - sym).abs() < 1e-9, "one byte still costs one symbol");
+        let t0 = r.airtime(0).unwrap();
+        assert_eq!(t0.as_micros(), 0.0);
+    }
+
+    #[test]
+    fn strip_channel_yields_papers_order_of_magnitude() {
+        // The paper's frame_length is 2050 µs for a large aggregated
+        // frame. A power-strip channel carrying a ~36 kB aggregate should
+        // land in the same order of magnitude.
+        let ch = ChannelModel::power_strip();
+        let rate = PhyRate::from_tone_map(&ch.tone_map(0.0));
+        let t = rate.airtime(36 * 1024).unwrap();
+        assert!(
+            (1000.0..4000.0).contains(&t.as_micros()),
+            "aggregate airtime {t} should be paper-like"
+        );
+        let timing = rate.mac_timing(36 * 1024).unwrap();
+        assert!(timing.is_valid());
+        assert!(timing.tc > timing.ts);
+    }
+}

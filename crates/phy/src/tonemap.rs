@@ -1,0 +1,207 @@
+//! Tone maps: per-carrier modulation selection ("bit loading").
+//!
+//! HomePlug AV modulates 917 usable OFDM carriers between 1.8 and 28 MHz,
+//! each independently loaded with the densest constellation its SNR
+//! supports — that per-carrier choice is the *tone map* negotiated between
+//! each pair of stations. The report notes the vendors' adaptation
+//! algorithm is unpublished; we use the textbook rule: pick the highest
+//! modulation whose SNR threshold is met (thresholds ≈ the uncoded
+//! requirement for ~10⁻³ symbol error rate with HPAV's turbo code margin).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of usable data carriers in HomePlug AV (1155 total, 917 enabled
+/// in the North American mask).
+pub const NUM_CARRIERS: usize = 917;
+
+/// Per-carrier modulations HomePlug AV supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// Carrier masked or too noisy to use.
+    Off,
+    /// BPSK — 1 bit/carrier/symbol.
+    Bpsk,
+    /// QPSK — 2 bits.
+    Qpsk,
+    /// 8-QAM — 3 bits.
+    Qam8,
+    /// 16-QAM — 4 bits.
+    Qam16,
+    /// 64-QAM — 6 bits.
+    Qam64,
+    /// 256-QAM — 8 bits.
+    Qam256,
+    /// 1024-QAM — 10 bits (HPAV's densest).
+    Qam1024,
+}
+
+impl Modulation {
+    /// All modulations in increasing density.
+    pub const LADDER: [Modulation; 8] = [
+        Modulation::Off,
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam8,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+        Modulation::Qam1024,
+    ];
+
+    /// Bits per carrier per OFDM symbol.
+    pub fn bits(self) -> u32 {
+        match self {
+            Modulation::Off => 0,
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam8 => 3,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+            Modulation::Qam1024 => 10,
+        }
+    }
+
+    /// Minimum SNR (dB) at which the loading rule selects this
+    /// modulation. Approximate uncoded thresholds minus HPAV's coding
+    /// margin; `Off` below 0 dB.
+    pub fn snr_threshold_db(self) -> f64 {
+        match self {
+            Modulation::Off => f64::NEG_INFINITY,
+            Modulation::Bpsk => 0.0,
+            Modulation::Qpsk => 4.0,
+            Modulation::Qam8 => 8.0,
+            Modulation::Qam16 => 11.0,
+            Modulation::Qam64 => 17.0,
+            Modulation::Qam256 => 23.0,
+            Modulation::Qam1024 => 29.0,
+        }
+    }
+
+    /// The densest modulation supported at `snr_db`.
+    pub fn for_snr(snr_db: f64) -> Modulation {
+        let mut chosen = Modulation::Off;
+        for m in Modulation::LADDER {
+            if m != Modulation::Off && snr_db >= m.snr_threshold_db() {
+                chosen = m;
+            }
+        }
+        chosen
+    }
+}
+
+/// A tone map: one modulation per carrier for one directed link.
+///
+/// # Examples
+///
+/// ```
+/// use plc_phy::tonemap::{Modulation, ToneMap};
+///
+/// // A clean 30 dB channel loads 1024-QAM on every carrier.
+/// let tm = ToneMap::flat(30.0);
+/// assert_eq!(tm.carriers()[0], Modulation::Qam1024);
+/// assert_eq!(tm.bits_per_symbol(), 10 * 917);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToneMap {
+    carriers: Vec<Modulation>,
+}
+
+impl ToneMap {
+    /// Load every carrier according to its SNR. `snr_db` must have
+    /// [`NUM_CARRIERS`] entries (use [`ToneMap::flat`] for a scalar SNR).
+    pub fn from_snrs(snr_db: &[f64]) -> Self {
+        assert_eq!(snr_db.len(), NUM_CARRIERS, "one SNR per carrier");
+        ToneMap { carriers: snr_db.iter().map(|&s| Modulation::for_snr(s)).collect() }
+    }
+
+    /// A flat tone map: the same SNR on all carriers.
+    pub fn flat(snr_db: f64) -> Self {
+        ToneMap { carriers: vec![Modulation::for_snr(snr_db); NUM_CARRIERS] }
+    }
+
+    /// The per-carrier modulations.
+    pub fn carriers(&self) -> &[Modulation] {
+        &self.carriers
+    }
+
+    /// Payload bits carried by one OFDM symbol under this map.
+    pub fn bits_per_symbol(&self) -> u64 {
+        self.carriers.iter().map(|m| m.bits() as u64).sum()
+    }
+
+    /// Number of active (non-`Off`) carriers.
+    pub fn active_carriers(&self) -> usize {
+        self.carriers.iter().filter(|&&m| m != Modulation::Off).count()
+    }
+
+    /// Average bits per active carrier (`NaN` if none).
+    pub fn mean_bits_per_active_carrier(&self) -> f64 {
+        let active = self.active_carriers();
+        if active == 0 {
+            f64::NAN
+        } else {
+            self.bits_per_symbol() as f64 / active as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        let mut prev_bits = 0;
+        let mut prev_thr = f64::NEG_INFINITY;
+        for m in Modulation::LADDER {
+            assert!(m.bits() >= prev_bits);
+            assert!(m.snr_threshold_db() >= prev_thr);
+            prev_bits = m.bits();
+            prev_thr = m.snr_threshold_db();
+        }
+    }
+
+    #[test]
+    fn loading_rule_picks_densest_supported() {
+        assert_eq!(Modulation::for_snr(-5.0), Modulation::Off);
+        assert_eq!(Modulation::for_snr(0.0), Modulation::Bpsk);
+        assert_eq!(Modulation::for_snr(10.9), Modulation::Qam8);
+        assert_eq!(Modulation::for_snr(11.0), Modulation::Qam16);
+        assert_eq!(Modulation::for_snr(28.0), Modulation::Qam256);
+        assert_eq!(Modulation::for_snr(50.0), Modulation::Qam1024);
+    }
+
+    #[test]
+    fn flat_map_bits() {
+        let tm = ToneMap::flat(29.0); // 1024-QAM everywhere
+        assert_eq!(tm.bits_per_symbol(), 10 * NUM_CARRIERS as u64);
+        assert_eq!(tm.active_carriers(), NUM_CARRIERS);
+        assert_eq!(tm.mean_bits_per_active_carrier(), 10.0);
+    }
+
+    #[test]
+    fn dead_channel_carries_nothing() {
+        let tm = ToneMap::flat(-10.0);
+        assert_eq!(tm.bits_per_symbol(), 0);
+        assert_eq!(tm.active_carriers(), 0);
+        assert!(tm.mean_bits_per_active_carrier().is_nan());
+    }
+
+    #[test]
+    fn mixed_snrs() {
+        let mut snrs = vec![0.0; NUM_CARRIERS];
+        for (i, s) in snrs.iter_mut().enumerate() {
+            *s = if i < 100 { -5.0 } else { 17.0 };
+        }
+        let tm = ToneMap::from_snrs(&snrs);
+        assert_eq!(tm.active_carriers(), NUM_CARRIERS - 100);
+        assert_eq!(tm.bits_per_symbol(), 6 * (NUM_CARRIERS as u64 - 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "one SNR per carrier")]
+    fn wrong_carrier_count_rejected() {
+        ToneMap::from_snrs(&[10.0; 5]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Frame aggregation: packing Ethernet frames into PLC frames.
+//!
+//! §3.1/§4.1 of the report: "IEEE 1901 employs aggregation of multiple
+//! Ethernet frames in one PLC frame. The data are organized in physical
+//! blocks (PBs) … there is a timeout between the arrival of the first
+//! Ethernet frame inserted in the PLC frame and the last Ethernet frame
+//! inserted" — with the exact vendor policy unpublished. This module
+//! implements the canonical policy those constraints describe:
+//!
+//! * an MPDU closes when it reaches its PB budget (`max_pbs`, set by the
+//!   tone map and standard limits), **or**
+//! * when the aggregation timeout since its *first* Ethernet frame
+//!   expires, **or**
+//! * when the MAC wins contention and drains whatever is ready.
+//!
+//! [`AggregationQueue`] is a deterministic state machine over arrival
+//! events; the sweep in the `aggregation` experiment drives it with
+//! Poisson arrivals to show the load ↔ efficiency ↔ latency triangle.
+
+use plc_core::frame::pbs_for_bytes;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the aggregation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregationConfig {
+    /// Timeout from the first enqueued Ethernet frame to forced closure
+    /// (µs). The report says such a timeout exists; vendors don't publish
+    /// the value.
+    pub timeout_us: f64,
+    /// Maximum physical blocks per MPDU.
+    pub max_pbs: u16,
+}
+
+impl AggregationConfig {
+    /// A plausible HomePlug AV-like default: 72 PBs (≈ 36 kB, about
+    /// 2050 µs of airtime at strip rates) and a 2 ms timeout.
+    pub fn default_hpav() -> Self {
+        AggregationConfig { timeout_us: 2_000.0, max_pbs: 72 }
+    }
+}
+
+/// One Ethernet frame waiting to be aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    /// Arrival time (µs).
+    pub arrival_us: f64,
+    /// Frame length in bytes (≤ 1518 for standard Ethernet).
+    pub bytes: usize,
+}
+
+/// A closed PLC frame (MPDU payload) ready for transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedMpdu {
+    /// Time the MPDU was closed (µs).
+    pub closed_at_us: f64,
+    /// Ethernet frames packed inside.
+    pub frames: usize,
+    /// Total payload bytes.
+    pub bytes: usize,
+    /// Physical blocks occupied (the MAC-visible size).
+    pub pbs: u16,
+    /// Why the MPDU closed.
+    pub reason: CloseReason,
+    /// Aggregation latency of the *first* frame (µs): closure time minus
+    /// its arrival — the head-of-line cost of waiting to aggregate.
+    pub first_frame_wait_us: f64,
+}
+
+/// Why an MPDU was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloseReason {
+    /// The PB budget filled up.
+    Full,
+    /// The aggregation timeout expired.
+    Timeout,
+    /// The MAC drained the queue at a transmission opportunity.
+    Drained,
+}
+
+/// The aggregation state machine. Feed arrivals with
+/// [`push`](AggregationQueue::push) and clock advances with
+/// [`advance_to`](AggregationQueue::advance_to); closed MPDUs accumulate
+/// and are taken with [`take_closed`](AggregationQueue::take_closed).
+///
+/// # Examples
+///
+/// ```
+/// use plc_sim::aggregation::{AggregationConfig, AggregationQueue, EthernetFrame};
+///
+/// let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 72 });
+/// q.push(EthernetFrame { arrival_us: 0.0, bytes: 1500 });
+/// q.push(EthernetFrame { arrival_us: 50.0, bytes: 1500 });
+/// q.advance_to(100.0); // the first frame's timeout expires
+/// let mpdus = q.take_closed();
+/// assert_eq!(mpdus.len(), 1);
+/// assert_eq!(mpdus[0].frames, 2);
+/// assert_eq!(mpdus[0].pbs, 6); // 2 × ⌈1500/512⌉
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregationQueue {
+    cfg: AggregationConfig,
+    /// Open MPDU state: first-arrival time, frames, bytes, PBs used.
+    open: Option<OpenMpdu>,
+    closed: Vec<AggregatedMpdu>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenMpdu {
+    first_arrival_us: f64,
+    frames: usize,
+    bytes: usize,
+    pbs: u16,
+}
+
+impl AggregationQueue {
+    /// Empty queue under a policy.
+    pub fn new(cfg: AggregationConfig) -> Self {
+        assert!(cfg.timeout_us > 0.0, "timeout must be positive");
+        assert!(cfg.max_pbs >= 1, "need at least one PB per MPDU");
+        AggregationQueue { cfg, open: None, closed: Vec::new() }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> AggregationConfig {
+        self.cfg
+    }
+
+    /// Advance the clock, closing the open MPDU if its timeout passed.
+    pub fn advance_to(&mut self, now_us: f64) {
+        if let Some(open) = self.open {
+            let deadline = open.first_arrival_us + self.cfg.timeout_us;
+            if now_us >= deadline {
+                self.close(deadline, CloseReason::Timeout);
+            }
+        }
+    }
+
+    /// Enqueue one Ethernet frame (arrivals must be time-ordered). May
+    /// close the running MPDU first (timeout or budget).
+    pub fn push(&mut self, frame: EthernetFrame) {
+        self.advance_to(frame.arrival_us);
+        let frame_pbs = pbs_for_bytes(frame.bytes) as u16;
+        assert!(
+            frame_pbs <= self.cfg.max_pbs,
+            "a single Ethernet frame ({} B) cannot exceed the MPDU budget",
+            frame.bytes
+        );
+        if let Some(open) = self.open {
+            if open.pbs + frame_pbs > self.cfg.max_pbs {
+                // Budget full: close at this arrival instant, start fresh.
+                self.close(frame.arrival_us, CloseReason::Full);
+            }
+        }
+        match &mut self.open {
+            Some(open) => {
+                open.frames += 1;
+                open.bytes += frame.bytes;
+                open.pbs += frame_pbs;
+            }
+            None => {
+                self.open = Some(OpenMpdu {
+                    first_arrival_us: frame.arrival_us,
+                    frames: 1,
+                    bytes: frame.bytes,
+                    pbs: frame_pbs,
+                });
+            }
+        }
+        // A frame that exactly fills the budget closes immediately.
+        if let Some(open) = self.open {
+            if open.pbs == self.cfg.max_pbs {
+                self.close(frame.arrival_us, CloseReason::Full);
+            }
+        }
+    }
+
+    /// The MAC won contention at `now_us`: close whatever is open (if
+    /// anything) so it can be transmitted.
+    pub fn drain(&mut self, now_us: f64) {
+        self.advance_to(now_us);
+        if self.open.is_some() {
+            self.close(now_us, CloseReason::Drained);
+        }
+    }
+
+    /// Take the closed MPDUs accumulated so far.
+    pub fn take_closed(&mut self) -> Vec<AggregatedMpdu> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Frames currently waiting in the open MPDU.
+    pub fn pending_frames(&self) -> usize {
+        self.open.map(|o| o.frames).unwrap_or(0)
+    }
+
+    fn close(&mut self, at_us: f64, reason: CloseReason) {
+        let open = self.open.take().expect("closing requires an open MPDU");
+        self.closed.push(AggregatedMpdu {
+            closed_at_us: at_us,
+            frames: open.frames,
+            bytes: open.bytes,
+            pbs: open.pbs,
+            reason,
+            first_frame_wait_us: at_us - open.first_arrival_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eth(t: f64, bytes: usize) -> EthernetFrame {
+        EthernetFrame { arrival_us: t, bytes }
+    }
+
+    #[test]
+    fn timeout_closes_a_lonely_frame() {
+        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 8 });
+        q.push(eth(0.0, 1500));
+        q.advance_to(99.0);
+        assert!(q.take_closed().is_empty(), "before the timeout nothing closes");
+        q.advance_to(100.0);
+        let closed = q.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Timeout);
+        assert_eq!(closed[0].frames, 1);
+        assert_eq!(closed[0].pbs, 3); // 1500 B → 3 × 512 B blocks
+        assert_eq!(closed[0].closed_at_us, 100.0);
+        assert_eq!(closed[0].first_frame_wait_us, 100.0);
+    }
+
+    #[test]
+    fn budget_closes_eagerly() {
+        // max 6 PBs; each 1500 B frame takes 3: the 2nd fills the MPDU.
+        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 1e9, max_pbs: 6 });
+        q.push(eth(0.0, 1500));
+        q.push(eth(10.0, 1500));
+        let closed = q.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Full);
+        assert_eq!(closed[0].frames, 2);
+        assert_eq!(closed[0].pbs, 6);
+        assert_eq!(q.pending_frames(), 0);
+    }
+
+    #[test]
+    fn oversized_next_frame_splits_mpdus() {
+        // 4-PB budget: a 1500 B frame (3 PBs) then another cannot share.
+        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 1e9, max_pbs: 4 });
+        q.push(eth(0.0, 1500));
+        q.push(eth(5.0, 1500));
+        let closed = q.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].frames, 1, "first MPDU closed with one frame");
+        assert_eq!(closed[0].reason, CloseReason::Full);
+        assert_eq!(q.pending_frames(), 1, "second frame opens a new MPDU");
+    }
+
+    #[test]
+    fn drain_takes_whatever_is_ready() {
+        let mut q = AggregationQueue::new(AggregationConfig::default_hpav());
+        q.push(eth(0.0, 800));
+        q.push(eth(100.0, 800));
+        q.drain(150.0);
+        let closed = q.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Drained);
+        assert_eq!(closed[0].frames, 2);
+        assert_eq!(closed[0].first_frame_wait_us, 150.0);
+        // Draining an empty queue is a no-op.
+        q.drain(200.0);
+        assert!(q.take_closed().is_empty());
+    }
+
+    #[test]
+    fn timeout_anchored_to_first_frame() {
+        // Later arrivals do NOT extend the deadline.
+        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 72 });
+        q.push(eth(0.0, 500));
+        q.push(eth(90.0, 500));
+        q.push(eth(120.0, 500)); // arrives after the deadline → new MPDU
+        let closed = q.take_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].frames, 2);
+        assert_eq!(closed[0].closed_at_us, 100.0, "closed at the deadline, not at the arrival");
+        assert_eq!(q.pending_frames(), 1);
+    }
+
+    #[test]
+    fn aggregation_efficiency_grows_with_rate() {
+        // Deterministic arrivals at two rates: the faster stream packs
+        // more frames per MPDU before the timeout.
+        let run = |gap_us: f64| {
+            let mut q =
+                AggregationQueue::new(AggregationConfig { timeout_us: 500.0, max_pbs: 72 });
+            for k in 0..200 {
+                q.push(eth(k as f64 * gap_us, 1500));
+            }
+            q.drain(200.0 * gap_us + 1_000.0);
+            let closed = q.take_closed();
+            closed.iter().map(|m| m.frames).sum::<usize>() as f64 / closed.len() as f64
+        };
+        let slow = run(400.0); // ~2 frames per timeout window
+        let fast = run(50.0); // ~10 frames per window
+        assert!(fast > 2.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the MPDU budget")]
+    fn oversized_single_frame_rejected() {
+        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 2 });
+        q.push(eth(0.0, 2000)); // needs 4 PBs
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn zero_timeout_rejected() {
+        AggregationQueue::new(AggregationConfig { timeout_us: 0.0, max_pbs: 4 });
+    }
+}

@@ -1,0 +1,179 @@
+//! Fairness metrics over success traces.
+//!
+//! The paper's sniffer methodology "can be used to capture a trace of the
+//! sources for all the transmitted data frames. Employing this, we can
+//! study the fairness of the PLC MAC layer" — the trace of winning station
+//! ids, ordered in time. These functions turn such a trace into the
+//! standard fairness numbers:
+//!
+//! * [`jain_index`] — Jain's fairness index over per-station allocations;
+//! * [`windowed_jain`] — short-term fairness: Jain's index computed over a
+//!   sliding window of `w` consecutive successes, averaged over the trace.
+//!   1901's deferral counter makes this metric markedly worse than 802.11's
+//!   at small `w` (the winner restarts at CW₀ = 8 while losers climb to
+//!   large CWs — the Figure 1 caption's "short-term unfairness");
+//! * [`intersuccess_counts`] — for a tagged station, the number of other
+//!   stations' successes between its own consecutive successes (the
+//!   inter-transmission distribution used in \[4\]).
+
+/// Jain's fairness index: `(Σxᵢ)² / (n · Σxᵢ²)`.
+///
+/// Ranges from `1/n` (one station hogs everything) to `1.0` (perfect
+/// equality). Returns `NaN` for an empty slice and `1.0` when every
+/// allocation is zero (vacuously fair).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return f64::NAN;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sum_sq)
+}
+
+/// Short-term fairness: slide a window of `window` consecutive successes
+/// over `trace` (station ids of successive winners), compute Jain's index
+/// of the per-station success counts inside each window, and average.
+///
+/// `num_stations` fixes the population (stations absent from a window count
+/// as zero — that is the point of the metric). Returns `NaN` when the trace
+/// is shorter than the window.
+pub fn windowed_jain(trace: &[usize], num_stations: usize, window: usize) -> f64 {
+    assert!(window >= 1, "window must be at least 1");
+    assert!(num_stations >= 1, "need at least one station");
+    if trace.len() < window {
+        return f64::NAN;
+    }
+    let mut counts = vec![0.0f64; num_stations];
+    for &s in &trace[..window] {
+        counts[s] += 1.0;
+    }
+    let mut total = jain_index(&counts);
+    let mut n_windows = 1usize;
+    for i in window..trace.len() {
+        counts[trace[i - window]] -= 1.0;
+        counts[trace[i]] += 1.0;
+        total += jain_index(&counts);
+        n_windows += 1;
+    }
+    total / n_windows as f64
+}
+
+/// For the tagged station `station`, the run lengths of *other* stations'
+/// successes between its own consecutive successes.
+///
+/// A perfectly round-robin trace yields all values equal to `n − 1`; heavy
+/// short-term unfairness shows up as a mix of zeros (winning streaks) and
+/// large values (starvation stretches).
+pub fn intersuccess_counts(trace: &[usize], station: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut seen_first = false;
+    let mut gap = 0u64;
+    for &s in trace {
+        if s == station {
+            if seen_first {
+                out.push(gap);
+            }
+            seen_first = true;
+            gap = 0;
+        } else if seen_first {
+            gap += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfect_equality() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_total_capture() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12, "1/n for n=4, got {idx}");
+    }
+
+    #[test]
+    fn jain_known_intermediate() {
+        // (1+2+3)² / (3 · (1+4+9)) = 36/42
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs() {
+        assert!(jain_index(&[]).is_nan());
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn windowed_jain_round_robin_is_fair() {
+        let trace: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let f = windowed_jain(&trace, 4, 4);
+        assert!((f - 1.0).abs() < 1e-12, "round robin windows of 4 are perfectly fair");
+    }
+
+    #[test]
+    fn windowed_jain_streaky_is_unfair() {
+        // Station 0 wins 50 in a row, then station 1 does.
+        let mut trace = vec![0usize; 50];
+        trace.extend(vec![1usize; 50]);
+        let f = windowed_jain(&trace, 2, 10);
+        // Most windows are single-station → index 1/2.
+        assert!(f < 0.6, "streaky trace must look unfair, got {f}");
+        let round_robin: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        assert!(windowed_jain(&round_robin, 2, 10) > f);
+    }
+
+    #[test]
+    fn windowed_jain_short_trace_is_nan() {
+        assert!(windowed_jain(&[0, 1], 2, 10).is_nan());
+    }
+
+    #[test]
+    fn windowed_jain_window_one() {
+        // Any single success is maximally unfair over n stations: 1/n.
+        let trace = [0usize, 1, 0, 1];
+        let f = windowed_jain(&trace, 2, 1);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn windowed_jain_rejects_zero_window() {
+        windowed_jain(&[0], 1, 0);
+    }
+
+    #[test]
+    fn intersuccess_round_robin() {
+        let trace: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let gaps = intersuccess_counts(&trace, 0);
+        assert_eq!(gaps, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn intersuccess_streaks_and_starvation() {
+        let trace = [0usize, 0, 0, 1, 1, 1, 1, 0];
+        let gaps = intersuccess_counts(&trace, 0);
+        assert_eq!(gaps, vec![0, 0, 4]);
+    }
+
+    #[test]
+    fn intersuccess_absent_station() {
+        let trace = [1usize, 2, 1];
+        assert!(intersuccess_counts(&trace, 0).is_empty());
+    }
+
+    #[test]
+    fn intersuccess_single_occurrence() {
+        let trace = [1usize, 0, 1];
+        assert!(intersuccess_counts(&trace, 0).is_empty(), "one success yields no gaps");
+    }
+}

@@ -1,0 +1,218 @@
+//! Integer-bucket histograms.
+//!
+//! Used for the burst-size frequency measurement (§3.1 of the report: "we
+//! measured the frequency of all the possible burst sizes") and for
+//! inter-transmission count distributions in the fairness study.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over non-negative integer values with dense buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += n;
+        self.total += n;
+    }
+
+    /// Count in bucket `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Relative frequency of `value` (`NaN` when empty).
+    pub fn frequency(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the distribution (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by cumulative count; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(v);
+            }
+        }
+        Some(self.counts.len().saturating_sub(1))
+    }
+
+    /// The most frequent value; ties break toward the smaller value.
+    /// `None` when empty.
+    pub fn mode(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| v)
+    }
+
+    /// Iterate over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Largest observed value, `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(5);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 3);
+        assert!((h.frequency(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.max_value(), Some(5));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert!(h.frequency(0).is_nan());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.iter().count(), 0);
+    }
+
+    #[test]
+    fn mean_and_mode() {
+        let mut h = Histogram::new();
+        h.record_n(1, 3);
+        h.record_n(2, 6);
+        h.record_n(4, 1);
+        // mean = (3 + 12 + 4) / 10
+        assert!((h.mean() - 1.9).abs() < 1e-12);
+        assert_eq!(h.mode(), Some(2));
+    }
+
+    #[test]
+    fn mode_tie_breaks_low() {
+        let mut h = Histogram::new();
+        h.record_n(1, 5);
+        h.record_n(3, 5);
+        assert_eq!(h.mode(), Some(1));
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new();
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(2), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(7, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+    }
+
+    #[test]
+    fn iter_skips_gaps() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(4);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (4, 1)]);
+    }
+}

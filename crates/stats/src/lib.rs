@@ -1,0 +1,33 @@
+//! # plc-stats — statistics utilities for the experiment harness
+//!
+//! Small, dependency-free building blocks used across the workspace:
+//!
+//! * [`summary::Welford`] — online mean/variance, the backbone of every
+//!   repeated-test average in the evaluation (the paper averages 10 tests
+//!   per point in Figure 2).
+//! * [`summary::Summary`] — batch summaries with Student-t confidence
+//!   intervals.
+//! * [`fairness`] — Jain's fairness index and windowed short-term fairness
+//!   over success traces, used for the fairness study the paper points to
+//!   (its prior work \[4\]) and our extension experiment E4.
+//! * [`hist::Histogram`] — integer-bucket histograms (burst sizes,
+//!   inter-transmission counts).
+//! * [`quantile::P2Quantile`] — streaming quantile estimation (P²) for
+//!   delay tails without storing traces.
+//! * [`table::Table`] — fixed-width text tables so every experiment prints
+//!   rows the way the paper's tables read.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod hist;
+pub mod quantile;
+pub mod summary;
+pub mod table;
+
+pub use fairness::{jain_index, windowed_jain};
+pub use hist::Histogram;
+pub use quantile::P2Quantile;
+pub use summary::{Summary, Welford};
+pub use table::Table;

@@ -1,0 +1,236 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Delay distributions need tail quantiles over millions of observations;
+//! storing and sorting them is wasteful inside long simulations. Jain &
+//! Chlamtac's P² algorithm (CACM 1985) tracks a single quantile with five
+//! markers and O(1) work per observation, with parabolic interpolation of
+//! marker heights — plenty accurate for p50–p99 experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of one quantile via the P² algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use plc_stats::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95);
+/// for k in 0..10_000 {
+///     p95.push((k % 100) as f64);
+/// }
+/// assert!((p95.estimate() - 94.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen.
+    count: u64,
+    /// First five observations, collected before the markers initialize.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` ∈ (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
+                    *h = w;
+                }
+            }
+            return;
+        }
+
+        // Find the cell and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, qi, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, ni, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        qi + s / (np - nm)
+            * ((ni - nm + s) * (qp - qi) / (np - ni) + (np - ni - s) * (qi - qm) / (ni - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; falls back to the exact small-sample quantile
+    /// while fewer than five observations have arrived. `NaN` when empty.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.warmup.len() < 5 {
+            let mut v = self.warmup.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let idx = ((v.len() as f64 - 1.0) * self.q).round() as usize;
+            return v[idx];
+        }
+        self.heights[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(mut v: Vec<f64>, q: f64) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[((v.len() as f64 - 1.0) * q).round() as usize]
+    }
+
+    #[test]
+    fn uniform_median() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut p2 = P2Quantile::new(0.5);
+        for _ in 0..100_000 {
+            p2.push(rng.gen::<f64>());
+        }
+        assert!((p2.estimate() - 0.5).abs() < 0.01, "median {}", p2.estimate());
+    }
+
+    #[test]
+    fn exponential_p95() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut p2 = P2Quantile::new(0.95);
+        let mut all = Vec::new();
+        for _ in 0..200_000 {
+            let u: f64 = rng.gen();
+            let x = -(1.0f64 - u).ln();
+            p2.push(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(all, 0.95);
+        // True p95 of Exp(1) is ln(20) ≈ 2.9957.
+        assert!((exact - 2.9957).abs() < 0.05);
+        assert!(
+            (p2.estimate() - exact).abs() / exact < 0.03,
+            "P² {} vs exact {exact}",
+            p2.estimate()
+        );
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.estimate().is_nan());
+        p2.push(3.0);
+        assert_eq!(p2.estimate(), 3.0);
+        p2.push(1.0);
+        p2.push(2.0);
+        assert_eq!(p2.estimate(), 2.0);
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn heavy_tail_p99() {
+        // Pareto-ish: x = u^{-1/2}; p99 = 10.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p2 = P2Quantile::new(0.99);
+        for _ in 0..300_000 {
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            p2.push(u.powf(-0.5));
+        }
+        let est = p2.estimate();
+        assert!((est - 10.0).abs() / 10.0 < 0.1, "p99 {est}");
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut p2 = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p2.push(7.0);
+        }
+        assert_eq!(p2.estimate(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_bad_quantile() {
+        P2Quantile::new(1.0);
+    }
+}

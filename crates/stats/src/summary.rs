@@ -1,0 +1,348 @@
+//! Online and batch summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance: numerically stable,
+/// one pass, O(1) memory. Used by the simulator for inter-success delays
+/// and by the harness for averaging repeated tests.
+///
+/// # Examples
+///
+/// ```
+/// use plc_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `NaN` with fewer than 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Finish into a [`Summary`] with a 95% confidence half-width.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+            ci95_half_width: self.ci_half_width(0.95),
+        }
+    }
+
+    /// Half-width of the `level` confidence interval for the mean, using a
+    /// Student-t quantile (Cornish-Fisher style approximation adequate for
+    /// reporting; exact for large n).
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        let t = t_quantile(level, (self.n - 1) as f64);
+        t * self.std_err()
+    }
+}
+
+/// Two-sided Student-t quantile for confidence `level` (e.g. 0.95) and
+/// `df` degrees of freedom.
+///
+/// Uses the normal quantile plus the first two terms of the Cornish–Fisher
+/// expansion in 1/df; the error is below 2% for df ≥ 4 and below 0.3% for
+/// df ≥ 9, which is ample for experiment error bars.
+pub fn t_quantile(level: f64, df: f64) -> f64 {
+    assert!((0.0..1.0).contains(&level), "confidence level must be in (0,1)");
+    assert!(df >= 1.0);
+    let p = 0.5 + level / 2.0; // one-sided probability
+    let z = normal_quantile(p);
+    // Cornish–Fisher correction terms for the t distribution.
+    let z3 = z * z * z;
+    let z5 = z3 * z * z;
+    z + (z3 + z) / (4.0 * df) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * df * df)
+}
+
+/// Standard normal quantile via the Acklam rational approximation
+/// (|ε| < 1.15e−9 over the full open interval).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A finished batch summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Half-width of the 95% confidence interval for the mean.
+    pub ci95_half_width: f64,
+}
+
+impl Summary {
+    /// Summarize a slice in one pass.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut w = Welford::new();
+        for &v in values {
+            w.push(v);
+        }
+        w.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of the classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+        let mut w1 = Welford::new();
+        w1.push(3.5);
+        assert_eq!(w1.mean(), 3.5);
+        assert!(w1.variance().is_nan());
+        assert!(w1.ci_half_width(0.95).is_nan());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        // Tail region
+        assert!((normal_quantile(0.001) + 3.090232).abs() < 1e-5);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_quantile_rejects_bounds() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn t_quantile_approximates_tables() {
+        // Known two-sided 95% t critical values.
+        assert!((t_quantile(0.95, 9.0) - 2.262).abs() < 0.01, "df=9");
+        assert!((t_quantile(0.95, 30.0) - 2.042).abs() < 0.005, "df=30");
+        assert!((t_quantile(0.95, 1e6) - 1.960).abs() < 0.001, "df→∞");
+        assert!((t_quantile(0.99, 9.0) - 3.250).abs() < 0.05, "99%, df=9");
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!(s.ci95_half_width > 0.0);
+        // CI half width = t(0.95, 4) * sd/sqrt(5) ≈ 2.776 * 0.7071 ≈ 1.963;
+        // the Cornish–Fisher t approximation is ~2% low at df = 4.
+        assert!((s.ci95_half_width - 1.963).abs() < 0.05);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        let mut small = Welford::new();
+        let mut big = Welford::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            big.push((i % 3) as f64);
+        }
+        assert!(big.ci_half_width(0.95) < small.ci_half_width(0.95));
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixed-width text tables for experiment output.
+//!
+//! Every experiment binary prints its results as aligned rows (the way the
+//! paper's tables read), plus an optional CSV form for plotting. No
+//! external dependencies; column widths adapt to content.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers; all columns default to
+    /// right alignment except the first.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if let Some(first) = aligns.first_mut() {
+            *first = Align::Left;
+        }
+        Table { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Override column alignments (must match the header count).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count must match headers");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row; the cell count must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with a header underline and two-space column gaps.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        if i + 1 < ncols {
+                            line.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — experiment cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a probability/ratio with 4 decimal places.
+pub fn fmt_prob(p: f64) -> String {
+    if p.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Format a float in scientific notation like the paper's Table 2
+/// (e.g. `1.6222e5`).
+pub fn fmt_sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let exp = x.abs().log10().floor() as i32;
+    let mant = x / 10f64.powi(exp);
+    format!("{mant:.4}e{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["N", "collision p"]);
+        t.row(vec!["1", "0.0002"]);
+        t.row(vec!["7", "0.2670"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("N"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned under the header.
+        assert!(lines[2].ends_with("0.0002"));
+        assert!(lines[3].ends_with("0.2670"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn row_length_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn align_length_checked() {
+        Table::new(vec!["a", "b"]).with_aligns(vec![Align::Left]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(vec!["1", "abc"]);
+        let s = t.render();
+        let line = s.lines().nth(2).unwrap();
+        assert!(line.starts_with("1"));
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_prob(0.12345), "0.1235");
+        assert_eq!(fmt_prob(f64::NAN), "-");
+        assert_eq!(fmt_sci(162220.0), "1.6222e5");
+        assert_eq!(fmt_sci(25.0), "2.5000e1");
+        assert_eq!(fmt_sci(0.0), "0");
+    }
+
+    #[test]
+    fn wide_cells_stretch_columns() {
+        let mut t = Table::new(vec!["h", "v"]);
+        t.row(vec!["a-very-long-label", "1"]);
+        let s = t.render();
+        let header = s.lines().next().unwrap();
+        assert!(header.len() >= "a-very-long-label".len());
+    }
+}

@@ -1,0 +1,160 @@
+//! `plc-tools` — command-line frontends mirroring the paper's tooling.
+//!
+//! The report's experimental framework is built on two command-line tools
+//! (`ampstat` from the Atheros Open PLC Toolkit, and `faifa`) plus the
+//! MATLAB `sim_1901` function. This binary packages the same three
+//! workflows against the emulated testbed:
+//!
+//! ```text
+//! plc-tools sim N SIM_TIME TC TS FRAME_LENGTH CW.. -- DC..
+//!     The paper's simulator invocation, e.g. the Table 3 example:
+//!     plc-tools sim 2 5e8 2920.64 2542.64 2050 8 16 32 64 -- 0 1 3 15
+//!
+//! plc-tools ampstat N [DURATION_S] [SEED]
+//!     Run the §3.2 methodology: reset counters on N stations, run a
+//!     test, print per-station Ci/Ai and ΣCi/ΣAi.
+//!
+//! plc-tools faifa N [DURATION_S] [SEED]
+//!     Enable sniffer mode at the destination, run a test, print the
+//!     captured SoF delimiter fields, burst statistics and MME overhead.
+//! ```
+
+use plc_core::mme::Direction;
+use plc_core::priority::Priority;
+use plc_core::units::Microseconds;
+use plc_sim::paper::PaperSim;
+use plc_testbed::tools::{AmpStat, Faifa};
+use plc_testbed::{group_bursts, mme_overhead, PowerStrip, TestbedConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  plc-tools sim N SIM_TIME TC TS FRAME_LENGTH CW.. -- DC..\n  \
+         plc-tools ampstat N [DURATION_S] [SEED]\n  \
+         plc-tools faifa N [DURATION_S] [SEED]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {what}: '{s}'");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_sim(args: &[String]) {
+    if args.len() < 6 {
+        usage();
+    }
+    let n: usize = parse(&args[0], "N");
+    let sim_time: f64 = parse(&args[1], "SIM_TIME");
+    let tc: f64 = parse(&args[2], "TC");
+    let ts: f64 = parse(&args[3], "TS");
+    let frame_length: f64 = parse(&args[4], "FRAME_LENGTH");
+    let rest = &args[5..];
+    let split = rest.iter().position(|a| a == "--").unwrap_or_else(|| usage());
+    let cw: Vec<u32> = rest[..split].iter().map(|a| parse(a, "CW")).collect();
+    let dc: Vec<u32> = rest[split + 1..].iter().map(|a| parse(a, "DC")).collect();
+
+    let sim = PaperSim { n, sim_time, tc, ts, frame_length, cw, dc };
+    match sim.run(0) {
+        Ok(r) => {
+            println!("collision_pr   = {:.6}", r.collision_pr);
+            println!("norm_throughput = {:.6}", r.norm_throughput);
+            println!(
+                "({} successes, {} collided transmissions in {:.3} s simulated)",
+                r.succ_transmissions,
+                r.collisions,
+                r.elapsed / 1e6
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn strip_for(args: &[String]) -> PowerStrip {
+    let n: usize = parse(args.first().map(String::as_str).unwrap_or_else(|| usage()), "N");
+    let secs: f64 = args.get(1).map(|a| parse(a, "DURATION_S")).unwrap_or(20.0);
+    let seed: u64 = args.get(2).map(|a| parse(a, "SEED")).unwrap_or(1);
+    PowerStrip::new(TestbedConfig {
+        n_stations: n,
+        duration: Microseconds::from_secs(secs),
+        seed,
+        ..Default::default()
+    })
+}
+
+fn cmd_ampstat(args: &[String]) {
+    let mut strip = strip_for(args);
+    let n = strip.config().n_stations;
+    let tool = AmpStat::new(strip.bus());
+    let dst = strip.destination_mac();
+    for i in 0..n {
+        tool.reset(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)
+            .expect("reset");
+    }
+    println!(
+        "running {:.0} s test, {} station(s) → D = {dst} ...",
+        strip.config().duration.as_secs(),
+        n
+    );
+    strip.run_test();
+    let (mut sum_c, mut sum_a) = (0u64, 0u64);
+    for i in 0..n {
+        let s = tool
+            .get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)
+            .expect("get stats");
+        println!(
+            "station {i} ({}): acked = {:>8}  collided = {:>8}",
+            strip.station_mac(i),
+            s.acked,
+            s.collided
+        );
+        sum_c += s.collided;
+        sum_a += s.acked;
+    }
+    println!("ΣCi = {sum_c}, ΣAi = {sum_a}");
+    println!(
+        "collision probability ΣCi/ΣAi = {:.6}",
+        if sum_a == 0 { 0.0 } else { sum_c as f64 / sum_a as f64 }
+    );
+}
+
+fn cmd_faifa(args: &[String]) {
+    let mut strip = strip_for(args);
+    let tool = Faifa::new(strip.bus());
+    let d = strip.destination_mac();
+    tool.set_sniffer(d, true).expect("sniffer on");
+    println!("sniffer enabled at D = {d}; running test ...");
+    strip.run_test();
+    let captures = tool.collect(d).expect("collect");
+    println!("captured {} SoF delimiters; first 20:", captures.len());
+    for ind in captures.iter().take(20) {
+        println!("  {}", Faifa::format_sof(ind));
+    }
+    let bursts = group_bursts(&captures);
+    let data = bursts.iter().filter(|b| b.is_data()).count();
+    println!(
+        "\n{} bursts total ({data} data, {} management)",
+        bursts.len(),
+        bursts.len() - data
+    );
+    let hist = plc_testbed::capture::burst_size_histogram(&bursts);
+    for (size, count) in hist.iter() {
+        println!("  burst size {size}: {count} ({:.1}%)", 100.0 * hist.frequency(size));
+    }
+    println!("MME overhead (bursts): {:.4}", mme_overhead(&bursts));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("ampstat") => cmd_ampstat(&args[1..]),
+        Some("faifa") => cmd_faifa(&args[1..]),
+        _ => usage(),
+    }
+}

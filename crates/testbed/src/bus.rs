@@ -1,0 +1,144 @@
+//! The management bus: the host's path to device firmware.
+//!
+//! On the real testbed the tools send raw Ethernet frames carrying MMEs to
+//! the PLC adapter they are plugged into. Here the "Ethernet" is an
+//! in-process router over the shared device table: requests are routed by
+//! the destination MAC of the MME header, and the device's raw confirm
+//! bytes are returned. The wire format is real on both legs — the tools
+//! exercise the exact encodings the report documents.
+
+use crate::device::Device;
+use parking_lot::Mutex;
+use plc_core::addr::MacAddr;
+use plc_core::error::{Error, Result};
+use plc_core::mme::MmeHeader;
+use std::sync::Arc;
+
+/// Shared handle to the devices on the strip.
+pub type DeviceTable = Arc<Mutex<Vec<Device>>>;
+
+/// The management bus. Cheap to clone; all clones see the same devices.
+#[derive(Clone)]
+pub struct MgmtBus {
+    devices: DeviceTable,
+    /// The measurement host's MAC (source address of tool requests).
+    host: MacAddr,
+}
+
+impl MgmtBus {
+    /// A bus over an existing device table.
+    pub fn new(devices: DeviceTable, host: MacAddr) -> Self {
+        MgmtBus { devices, host }
+    }
+
+    /// The measurement host's MAC address.
+    pub fn host_mac(&self) -> MacAddr {
+        self.host
+    }
+
+    /// Send one raw MME request; returns the device's raw confirm.
+    pub fn send(&self, raw: &[u8]) -> Result<Vec<u8>> {
+        let header = MmeHeader::decode(raw)?;
+        let mut devices = self.devices.lock();
+        let dev = devices
+            .iter_mut()
+            .find(|d| d.mac() == header.oda)
+            .ok_or_else(|| Error::invalid_config(format!("no device with MAC {}", header.oda)))?;
+        dev.handle_mme(raw)
+    }
+
+    /// Collect (and drain) the sniffer indications of the device at `mac`,
+    /// as raw indication MMEs addressed to the host.
+    pub fn collect_indications(&self, mac: MacAddr) -> Result<Vec<Vec<u8>>> {
+        let mut devices = self.devices.lock();
+        let dev = devices
+            .iter_mut()
+            .find(|d| d.mac() == mac)
+            .ok_or_else(|| Error::invalid_config(format!("no device with MAC {mac}")))?;
+        Ok(dev.capture_indications(self.host))
+    }
+
+    /// Run a closure with shared access to a device (tests, assertions).
+    pub fn with_device<R>(&self, mac: MacAddr, f: impl FnOnce(&Device) -> R) -> Result<R> {
+        let devices = self.devices.lock();
+        let dev = devices
+            .iter()
+            .find(|d| d.mac() == mac)
+            .ok_or_else(|| Error::invalid_config(format!("no device with MAC {mac}")))?;
+        Ok(f(dev))
+    }
+
+    /// MAC addresses of all devices on the bus.
+    pub fn device_macs(&self) -> Vec<MacAddr> {
+        self.devices.lock().iter().map(|d| d.mac()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plc_core::addr::Tei;
+    use plc_core::mme::{AmpStatReq, Direction, MmeHeader, StatsControl, MMTYPE_STATS};
+    use plc_core::priority::Priority;
+
+    fn setup() -> MgmtBus {
+        let devices: DeviceTable = Arc::new(Mutex::new(vec![
+            Device::new(MacAddr::station(0), Tei::station(0)),
+            Device::new(MacAddr::station(1), Tei::station(1)),
+        ]));
+        MgmtBus::new(devices, MacAddr([0x02, 0xB0, 0x57, 0, 0, 1]))
+    }
+
+    #[test]
+    fn routes_by_destination_mac() {
+        let bus = setup();
+        let req = AmpStatReq {
+            control: StatsControl::Read,
+            direction: Direction::Tx,
+            priority: Priority::CA1,
+            peer: MacAddr::station(9),
+        };
+        for target in [MacAddr::station(0), MacAddr::station(1)] {
+            let raw = req.encode(&MmeHeader::request(target, bus.host_mac(), MMTYPE_STATS));
+            let reply = bus.send(&raw).unwrap();
+            let h = MmeHeader::decode(&reply).unwrap();
+            assert_eq!(h.osa, target, "confirm comes from the queried device");
+            assert_eq!(h.oda, bus.host_mac());
+        }
+    }
+
+    #[test]
+    fn unknown_device_errors() {
+        let bus = setup();
+        let req = AmpStatReq {
+            control: StatsControl::Read,
+            direction: Direction::Tx,
+            priority: Priority::CA1,
+            peer: MacAddr::station(9),
+        };
+        let raw = req.encode(&MmeHeader::request(MacAddr::station(77), bus.host_mac(), MMTYPE_STATS));
+        assert!(bus.send(&raw).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let bus = setup();
+        assert!(bus.send(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let bus = setup();
+        let bus2 = bus.clone();
+        assert_eq!(bus.device_macs(), bus2.device_macs());
+        assert_eq!(bus.device_macs().len(), 2);
+    }
+
+    #[test]
+    fn with_device_reads_state() {
+        let bus = setup();
+        let tei = bus.with_device(MacAddr::station(1), |d| d.tei()).unwrap();
+        assert_eq!(tei, Tei::station(1));
+        assert!(bus.with_device(MacAddr::station(9), |_| ()).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Sniffer-capture post-processing (§3.3 of the report).
+//!
+//! faifa only yields SoF delimiter fields; everything the paper derives
+//! from captures is computed here:
+//!
+//! * **burst grouping** — "To identify the end of a burst we use the
+//!   MPDUCnt field of the SoF … When this number is equal to 0, the
+//!   corresponding MPDU is the last one in the burst";
+//! * **MME overhead** — "computed by dividing the number of bursts
+//!   corresponding to MMEs by the number of bursts corresponding to data
+//!   frames", bursts (not MPDUs) because bursts are what contend for the
+//!   medium; data and MMEs are told apart by the LinkID priority (UDP at
+//!   CA1, MMEs at CA2/CA3);
+//! * **source traces** — the per-burst sequence of transmitting TEIs used
+//!   for the fairness study of the paper's prior work \[4\].
+
+use plc_core::addr::Tei;
+use plc_core::mme::SnifferInd;
+use plc_core::priority::Priority;
+use plc_stats::hist::Histogram;
+
+/// One reconstructed burst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstRecord {
+    /// Transmitting station.
+    pub src: Tei,
+    /// Priority of the burst's MPDUs (LinkID field).
+    pub priority: Priority,
+    /// Number of MPDUs observed in the burst.
+    pub mpdus: usize,
+    /// Capture timestamp of the burst's first MPDU.
+    pub start_us: f64,
+}
+
+impl BurstRecord {
+    /// True for best-effort (CA0/CA1) bursts — UDP data in the paper's
+    /// tests.
+    pub fn is_data(&self) -> bool {
+        !self.priority.is_delay_sensitive()
+    }
+}
+
+/// Group captured delimiters into bursts.
+///
+/// A burst ends at the MPDU whose `MPDUCnt` is 0. Captures are
+/// demultiplexed by source and priority: a collision leaves the delimiters
+/// of several stations' bursts interleaved in the capture (their robust
+/// preambles are all decodable), and each source's burst must be
+/// reassembled independently. Completed bursts are returned ordered by
+/// their first delimiter's timestamp; bursts still open when the capture
+/// ends are flushed as observed.
+pub fn group_bursts(captures: &[SnifferInd]) -> Vec<BurstRecord> {
+    let mut out: Vec<BurstRecord> = Vec::new();
+    // Open bursts per (src, priority); linear scan is fine — a contention
+    // domain holds at most 254 stations and usually far fewer are mid-burst.
+    let mut open: Vec<BurstRecord> = Vec::new();
+    for ind in captures {
+        let key = (ind.sof.src, ind.sof.priority);
+        let slot = open.iter_mut().find(|b| (b.src, b.priority) == key);
+        match slot {
+            Some(b) => b.mpdus += 1,
+            None => open.push(BurstRecord {
+                src: ind.sof.src,
+                priority: ind.sof.priority,
+                mpdus: 1,
+                start_us: ind.timestamp_us,
+            }),
+        }
+        if ind.sof.is_last_of_burst() {
+            let pos = open
+                .iter()
+                .position(|b| (b.src, b.priority) == key)
+                .expect("burst in progress");
+            out.push(open.remove(pos));
+        }
+    }
+    out.extend(open);
+    out.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).expect("finite timestamps"));
+    out
+}
+
+/// The §3.3 management overhead: MME bursts / data bursts. `NaN` when no
+/// data bursts were captured.
+pub fn mme_overhead(bursts: &[BurstRecord]) -> f64 {
+    let data = bursts.iter().filter(|b| b.is_data()).count();
+    let mme = bursts.iter().filter(|b| !b.is_data()).count();
+    if data == 0 {
+        f64::NAN
+    } else {
+        mme as f64 / data as f64
+    }
+}
+
+/// Per-burst source trace, optionally restricted to data bursts (the
+/// fairness methodology considers "again bursts and not individual
+/// MPDUs").
+pub fn source_trace(bursts: &[BurstRecord], data_only: bool) -> Vec<Tei> {
+    bursts
+        .iter()
+        .filter(|b| !data_only || b.is_data())
+        .map(|b| b.src)
+        .collect()
+}
+
+/// Burst-size frequency histogram (§3.1: "we measured the frequency of
+/// all the possible burst sizes").
+pub fn burst_size_histogram(bursts: &[BurstRecord]) -> Histogram {
+    let mut h = Histogram::new();
+    for b in bursts {
+        h.record(b.mpdus);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plc_core::frame::SofDelimiter;
+
+    fn ind(src: u8, priority: Priority, mpdu_cnt: u8, t: f64) -> SnifferInd {
+        SnifferInd {
+            timestamp_us: t,
+            sof: SofDelimiter {
+                src: Tei(src),
+                dst: Tei(9),
+                priority,
+                mpdu_cnt,
+                num_pbs: 4,
+                fl_units: 1602,
+            },
+        }
+    }
+
+    #[test]
+    fn groups_two_mpdu_bursts() {
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(1, Priority::CA1, 0, 2500.0),
+            ind(2, Priority::CA1, 1, 6000.0),
+            ind(2, Priority::CA1, 0, 8500.0),
+        ];
+        let bursts = group_bursts(&caps);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].src, Tei(1));
+        assert_eq!(bursts[0].mpdus, 2);
+        assert_eq!(bursts[0].start_us, 0.0);
+        assert_eq!(bursts[1].src, Tei(2));
+    }
+
+    #[test]
+    fn single_mpdu_bursts() {
+        let caps = vec![ind(1, Priority::CA2, 0, 0.0), ind(2, Priority::CA1, 0, 1.0)];
+        let bursts = group_bursts(&caps);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].mpdus, 1);
+        assert!(!bursts[0].is_data());
+        assert!(bursts[1].is_data());
+    }
+
+    #[test]
+    fn interleaved_collision_bursts_are_demultiplexed() {
+        // Two stations collide: their 2-MPDU bursts interleave in the
+        // capture. Each must still be reassembled as one 2-MPDU burst.
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(2, Priority::CA1, 1, 0.0),
+            ind(1, Priority::CA1, 0, 2500.0),
+            ind(2, Priority::CA1, 0, 2500.0),
+        ];
+        let bursts = group_bursts(&caps);
+        assert_eq!(bursts.len(), 2);
+        assert!(bursts.iter().all(|b| b.mpdus == 2));
+        assert!(bursts.iter().any(|b| b.src == Tei(1)));
+        assert!(bursts.iter().any(|b| b.src == Tei(2)));
+    }
+
+    #[test]
+    fn truncated_burst_is_flushed_at_end() {
+        // Station 1's burst is cut off (lost final delimiter); station 2
+        // completes one. Both appear, ordered by start time.
+        let caps = vec![
+            ind(1, Priority::CA1, 3, 0.0),
+            ind(1, Priority::CA1, 2, 1.0),
+            ind(2, Priority::CA1, 0, 2.0),
+        ];
+        let bursts = group_bursts(&caps);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].src, Tei(1));
+        assert_eq!(bursts[0].mpdus, 2);
+        assert_eq!(bursts[1].src, Tei(2));
+    }
+
+    #[test]
+    fn trailing_open_burst_is_kept() {
+        let caps = vec![ind(1, Priority::CA1, 1, 0.0)];
+        let bursts = group_bursts(&caps);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].mpdus, 1);
+    }
+
+    #[test]
+    fn empty_capture() {
+        assert!(group_bursts(&[]).is_empty());
+        assert!(mme_overhead(&[]).is_nan());
+    }
+
+    #[test]
+    fn overhead_counts_bursts_not_mpdus() {
+        // One 4-MPDU data burst vs two 1-MPDU MME bursts: overhead must be
+        // 2/1, not 2/4.
+        let caps = vec![
+            ind(1, Priority::CA1, 3, 0.0),
+            ind(1, Priority::CA1, 2, 1.0),
+            ind(1, Priority::CA1, 1, 2.0),
+            ind(1, Priority::CA1, 0, 3.0),
+            ind(2, Priority::CA2, 0, 4.0),
+            ind(3, Priority::CA3, 0, 5.0),
+        ];
+        let bursts = group_bursts(&caps);
+        assert_eq!(mme_overhead(&bursts), 2.0);
+    }
+
+    #[test]
+    fn source_trace_filters_data() {
+        let caps = vec![
+            ind(1, Priority::CA1, 0, 0.0),
+            ind(9, Priority::CA2, 0, 1.0),
+            ind(2, Priority::CA1, 0, 2.0),
+        ];
+        let bursts = group_bursts(&caps);
+        assert_eq!(source_trace(&bursts, true), vec![Tei(1), Tei(2)]);
+        assert_eq!(source_trace(&bursts, false), vec![Tei(1), Tei(9), Tei(2)]);
+    }
+
+    #[test]
+    fn burst_histogram() {
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(1, Priority::CA1, 0, 1.0),
+            ind(2, Priority::CA1, 1, 2.0),
+            ind(2, Priority::CA1, 0, 3.0),
+            ind(3, Priority::CA1, 0, 4.0),
+        ];
+        let h = burst_size_histogram(&group_bursts(&caps));
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.mode(), Some(2));
+    }
+}

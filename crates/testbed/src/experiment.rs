@@ -1,0 +1,206 @@
+//! The §3.2 measurement methodology, automated.
+//!
+//! "To measure collision probability, we reset the statistics of the
+//! frames transmitted at all the stations at the beginning of each test.
+//! Then, at the end of the test we request the number of collided and
+//! acknowledged frames transmitted from all the stations given the MAC
+//! address of the destination station D. … To evaluate the collision
+//! probability in the network, we compute ΣCᵢ / ΣAᵢ."
+//!
+//! [`CollisionExperiment`] runs exactly that loop against the emulated
+//! power strip and returns the raw per-station counters (Table 2's rows)
+//! and the derived probability (Figure 2's measurement series). The whole
+//! path — reset MMEs, test traffic, query MMEs, reply-byte parsing — is
+//! the same one a hardware test would take.
+
+use crate::powerstrip::{PowerStrip, TestbedConfig};
+use crate::tools::AmpStat;
+use plc_core::error::Result;
+use plc_core::mme::{AmpStatCnf, Direction};
+use plc_core::priority::Priority;
+use plc_core::units::Microseconds;
+use plc_sim::bursting::BurstPolicy;
+use serde::{Deserialize, Serialize};
+
+/// One collision-probability test (paper defaults: 240 s, CA1 data,
+/// 2-MPDU bursts, light MME background).
+///
+/// # Examples
+///
+/// ```
+/// use plc_testbed::CollisionExperiment;
+///
+/// // The §3.2 methodology, shortened: reset → run → query → ΣCi/ΣAi.
+/// let outcome = CollisionExperiment::quick(3, 7).run().unwrap();
+/// assert_eq!(outcome.per_station.len(), 3);
+/// assert!(outcome.collision_probability > 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollisionExperiment {
+    /// Number of transmitting stations.
+    pub n: usize,
+    /// Test duration.
+    pub duration: Microseconds,
+    /// Seed of this test.
+    pub seed: u64,
+    /// Burst policy.
+    pub burst: BurstPolicy,
+    /// Management-message background rate per device (frames/µs).
+    pub mme_rate_per_us: f64,
+}
+
+impl CollisionExperiment {
+    /// Paper-style test: `n` stations for 240 s.
+    pub fn paper(n: usize, seed: u64) -> Self {
+        CollisionExperiment {
+            n,
+            duration: Microseconds::from_secs(240.0),
+            seed,
+            burst: BurstPolicy::INT6300,
+            mme_rate_per_us: 2e-6,
+        }
+    }
+
+    /// Shorter test for CI-speed runs.
+    pub fn quick(n: usize, seed: u64) -> Self {
+        CollisionExperiment { duration: Microseconds::from_secs(10.0), ..Self::paper(n, seed) }
+    }
+
+    /// Run one test: reset → traffic → query → `ΣCᵢ / ΣAᵢ`.
+    pub fn run(&self) -> Result<ExperimentOutcome> {
+        let cfg = TestbedConfig {
+            n_stations: self.n,
+            duration: self.duration,
+            seed: self.seed,
+            burst: self.burst,
+            mme_rate_per_us: self.mme_rate_per_us,
+            ..Default::default()
+        };
+        let mut strip = PowerStrip::new(cfg);
+        let tool = AmpStat::new(strip.bus());
+        let dst = strip.destination_mac();
+
+        // Reset the transmit statistics of all stations.
+        for i in 0..self.n {
+            tool.reset(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)?;
+        }
+
+        // Run the traffic for the test duration.
+        strip.run_test();
+
+        // Query the counters.
+        let mut per_station = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            per_station.push(tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)?);
+        }
+        Ok(ExperimentOutcome::from_counters(per_station))
+    }
+
+    /// Run `repeats` tests with derived seeds (Figure 2 averages 10) and
+    /// return each outcome.
+    pub fn run_repeated(&self, repeats: u64) -> Result<Vec<ExperimentOutcome>> {
+        (0..repeats)
+            .map(|k| CollisionExperiment { seed: self.seed.wrapping_add(k * 7919), ..self.clone() }.run())
+            .collect()
+    }
+}
+
+/// The measured counters and derived probability of one test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Per-station `(Aᵢ, Cᵢ)` counters, as read via ampstat.
+    pub per_station: Vec<AmpStatCnf>,
+    /// `ΣCᵢ`.
+    pub sum_collided: u64,
+    /// `ΣAᵢ` (includes collided frames — the selective-ACK behaviour the
+    /// paper verifies).
+    pub sum_acked: u64,
+    /// `ΣCᵢ / ΣAᵢ`.
+    pub collision_probability: f64,
+}
+
+impl ExperimentOutcome {
+    /// Derive the sums and probability from per-station counters.
+    pub fn from_counters(per_station: Vec<AmpStatCnf>) -> Self {
+        let sum_collided: u64 = per_station.iter().map(|s| s.collided).sum();
+        let sum_acked: u64 = per_station.iter().map(|s| s.acked).sum();
+        ExperimentOutcome {
+            per_station,
+            sum_collided,
+            sum_acked,
+            collision_probability: if sum_acked == 0 {
+                0.0
+            } else {
+                sum_collided as f64 / sum_acked as f64
+            },
+        }
+    }
+}
+
+/// Mean collision probability over outcomes (the Figure 2 point).
+pub fn mean_collision_probability(outcomes: &[ExperimentOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    outcomes.iter().map(|o| o.collision_probability).sum::<f64>() / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_rarely_collides() {
+        let out = CollisionExperiment::quick(1, 1).run().unwrap();
+        assert!(out.sum_acked > 0);
+        assert!(
+            out.collision_probability < 0.01,
+            "one CA1 station should almost never collide: {}",
+            out.collision_probability
+        );
+    }
+
+    #[test]
+    fn two_stations_near_paper_value() {
+        let outs = CollisionExperiment::quick(2, 2).run_repeated(3).unwrap();
+        let p = mean_collision_probability(&outs);
+        assert!(
+            (p - 0.074).abs() < 0.035,
+            "N=2 measurement should sit near the paper's ≈0.074, got {p}"
+        );
+    }
+
+    #[test]
+    fn acked_grows_with_n() {
+        // The paper's §3.2 verification: ΣAᵢ increases with N because
+        // collided frames are still acknowledged.
+        let a2 = CollisionExperiment::quick(2, 3).run().unwrap().sum_acked;
+        let a5 = CollisionExperiment::quick(5, 3).run().unwrap().sum_acked;
+        assert!(a5 > a2, "ΣAᵢ must grow with N: {a2} vs {a5}");
+    }
+
+    #[test]
+    fn probability_monotone_in_n() {
+        let p = |n| CollisionExperiment::quick(n, 4).run().unwrap().collision_probability;
+        let (p1, p3, p6) = (p(1), p(3), p(6));
+        assert!(p1 < p3 && p3 < p6, "{p1} {p3} {p6}");
+    }
+
+    #[test]
+    fn outcome_arithmetic() {
+        let out = ExperimentOutcome::from_counters(vec![
+            AmpStatCnf { acked: 100, collided: 10 },
+            AmpStatCnf { acked: 50, collided: 5 },
+        ]);
+        assert_eq!(out.sum_acked, 150);
+        assert_eq!(out.sum_collided, 15);
+        assert!((out.collision_probability - 0.1).abs() < 1e-12);
+        assert_eq!(ExperimentOutcome::from_counters(vec![]).collision_probability, 0.0);
+    }
+
+    #[test]
+    fn repeats_use_different_seeds() {
+        let outs = CollisionExperiment::quick(2, 5).run_repeated(2).unwrap();
+        assert_ne!(outs[0], outs[1]);
+    }
+}

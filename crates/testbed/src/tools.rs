@@ -1,0 +1,216 @@
+//! Re-implementations of the two measurement tools.
+//!
+//! * [`AmpStat`] mirrors the `ampstat` workflow of the Atheros Open PLC
+//!   Toolkit: "we can reset to 0 or retrieve the number of acknowledged
+//!   and collided PLC frames (MPDUs) given the destination MAC address,
+//!   the priority, and the direction … of a specific link", via MMType
+//!   `0xA030`, reading the counters from reply bytes 25–32 / 33–40.
+//! * [`Faifa`] mirrors `faifa`: it "activates the 'sniffer' mode of the
+//!   devices (using the option 0xA034 for the MMType of the MME)", then
+//!   collects and prints the captured SoF delimiter fields.
+//!
+//! Both speak raw wire-format MMEs over the [`MgmtBus`]; nothing here
+//! peeks inside the device structs.
+
+use crate::bus::MgmtBus;
+use plc_core::addr::MacAddr;
+use plc_core::error::Result;
+use plc_core::mme::{
+    AmpStatCnf, AmpStatReq, Direction, MmeHeader, SnifferInd, SnifferReq, StatsControl,
+    MMTYPE_SNIFFER, MMTYPE_STATS,
+};
+use plc_core::priority::Priority;
+
+/// The statistics tool.
+pub struct AmpStat {
+    bus: MgmtBus,
+}
+
+impl AmpStat {
+    /// Tool over a bus.
+    pub fn new(bus: MgmtBus) -> Self {
+        AmpStat { bus }
+    }
+
+    fn request(
+        &self,
+        device: MacAddr,
+        control: StatsControl,
+        peer: MacAddr,
+        priority: Priority,
+        direction: Direction,
+    ) -> Result<AmpStatCnf> {
+        let req = AmpStatReq { control, direction, priority, peer };
+        let raw = req.encode(&MmeHeader::request(device, self.bus.host_mac(), MMTYPE_STATS));
+        let reply = self.bus.send(&raw)?;
+        AmpStatCnf::decode(&reply)
+    }
+
+    /// Reset the counters of a link (the start-of-test step of §3.2).
+    pub fn reset(
+        &self,
+        device: MacAddr,
+        peer: MacAddr,
+        priority: Priority,
+        direction: Direction,
+    ) -> Result<()> {
+        self.request(device, StatsControl::Reset, peer, priority, direction)?;
+        Ok(())
+    }
+
+    /// Read the counters of a link (the end-of-test step of §3.2).
+    pub fn get(
+        &self,
+        device: MacAddr,
+        peer: MacAddr,
+        priority: Priority,
+        direction: Direction,
+    ) -> Result<AmpStatCnf> {
+        self.request(device, StatsControl::Read, peer, priority, direction)
+    }
+}
+
+/// The sniffer tool.
+pub struct Faifa {
+    bus: MgmtBus,
+}
+
+impl Faifa {
+    /// Tool over a bus.
+    pub fn new(bus: MgmtBus) -> Self {
+        Faifa { bus }
+    }
+
+    /// Enable or disable the sniffer mode of `device`; returns the state
+    /// the device confirms.
+    pub fn set_sniffer(&self, device: MacAddr, enable: bool) -> Result<bool> {
+        let raw = SnifferReq { enable }
+            .encode(&MmeHeader::request(device, self.bus.host_mac(), MMTYPE_SNIFFER));
+        let reply = self.bus.send(&raw)?;
+        Ok(SnifferReq::decode(&reply)?.enable)
+    }
+
+    /// Collect (and drain) the delimiters captured by `device`, decoding
+    /// each indication MME.
+    pub fn collect(&self, device: MacAddr) -> Result<Vec<SnifferInd>> {
+        let frames = self.bus.collect_indications(device)?;
+        frames.iter().map(|f| SnifferInd::decode(f)).collect()
+    }
+
+    /// Render one captured delimiter the way faifa prints SoF fields.
+    pub fn format_sof(ind: &SnifferInd) -> String {
+        format!(
+            "t={:>12.2}us SoF src={} dst={} LinkID={} MPDUCnt={} PBs={} FL={}",
+            ind.timestamp_us,
+            ind.sof.src,
+            ind.sof.dst,
+            ind.sof.priority,
+            ind.sof.mpdu_cnt,
+            ind.sof.num_pbs,
+            ind.sof.fl_units,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::DeviceTable;
+    use crate::device::Device;
+    use parking_lot::Mutex;
+    use plc_core::addr::Tei;
+    use plc_core::frame::SofDelimiter;
+    use std::sync::Arc;
+
+    fn setup() -> (MgmtBus, DeviceTable) {
+        let devices: DeviceTable = Arc::new(Mutex::new(vec![
+            Device::new(MacAddr::station(0), Tei::station(0)),
+            Device::new(MacAddr::station(1), Tei::station(1)),
+        ]));
+        (MgmtBus::new(devices.clone(), MacAddr([0x02, 0xB0, 0x57, 0, 0, 1])), devices)
+    }
+
+    #[test]
+    fn ampstat_reset_then_get() {
+        let (bus, devices) = setup();
+        let tool = AmpStat::new(bus);
+        let dev = MacAddr::station(0);
+        let peer = MacAddr::station(1);
+        // Simulate firmware activity.
+        devices.lock()[0].record_tx_ack(peer, Priority::CA1, true);
+        devices.lock()[0].record_tx_ack(peer, Priority::CA1, false);
+        let s = tool.get(dev, peer, Priority::CA1, Direction::Tx).unwrap();
+        assert_eq!(s.acked, 2);
+        assert_eq!(s.collided, 1);
+        tool.reset(dev, peer, Priority::CA1, Direction::Tx).unwrap();
+        let s2 = tool.get(dev, peer, Priority::CA1, Direction::Tx).unwrap();
+        assert_eq!(s2, AmpStatCnf::default());
+    }
+
+    #[test]
+    fn ampstat_distinguishes_priorities() {
+        let (bus, devices) = setup();
+        let tool = AmpStat::new(bus);
+        let dev = MacAddr::station(0);
+        let peer = MacAddr::station(1);
+        devices.lock()[0].record_tx_ack(peer, Priority::CA1, false);
+        devices.lock()[0].record_tx_ack(peer, Priority::CA2, false);
+        assert_eq!(tool.get(dev, peer, Priority::CA1, Direction::Tx).unwrap().acked, 1);
+        assert_eq!(tool.get(dev, peer, Priority::CA2, Direction::Tx).unwrap().acked, 1);
+        assert_eq!(tool.get(dev, peer, Priority::CA3, Direction::Tx).unwrap().acked, 0);
+    }
+
+    #[test]
+    fn faifa_sniffer_cycle() {
+        let (bus, devices) = setup();
+        let tool = Faifa::new(bus);
+        let dev = MacAddr::station(0);
+        assert!(tool.set_sniffer(dev, true).unwrap());
+        devices.lock()[0].sense_sof(
+            42.0,
+            SofDelimiter {
+                src: Tei(2),
+                dst: Tei(1),
+                priority: Priority::CA1,
+                mpdu_cnt: 1,
+                num_pbs: 4,
+                fl_units: 1602,
+            },
+        );
+        let caps = tool.collect(dev).unwrap();
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].sof.src, Tei(2));
+        // Drained: second collect is empty.
+        assert!(tool.collect(dev).unwrap().is_empty());
+        assert!(!tool.set_sniffer(dev, false).unwrap());
+    }
+
+    #[test]
+    fn faifa_print_format_has_all_fields() {
+        let ind = SnifferInd {
+            timestamp_us: 1.5,
+            sof: SofDelimiter {
+                src: Tei(3),
+                dst: Tei(8),
+                priority: Priority::CA2,
+                mpdu_cnt: 0,
+                num_pbs: 4,
+                fl_units: 1602,
+            },
+        };
+        let line = Faifa::format_sof(&ind);
+        for needle in ["TEI#3", "TEI#8", "CA2", "MPDUCnt=0", "PBs=4", "FL=1602"] {
+            assert!(line.contains(needle), "missing {needle} in: {line}");
+        }
+    }
+
+    #[test]
+    fn tools_error_on_unknown_device() {
+        let (bus, _) = setup();
+        let amp = AmpStat::new(bus.clone());
+        let faifa = Faifa::new(bus);
+        let ghost = MacAddr::station(42);
+        assert!(amp.get(ghost, ghost, Priority::CA1, Direction::Tx).is_err());
+        assert!(faifa.set_sniffer(ghost, true).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 1: the time evolution of the 1901 backoff process with two
+//! saturated stations.
+//!
+//! The paper's Figure 1 walks through CW/DC/BC of stations A and B across
+//! three transmissions, showing (a) the deferral-counter jump — "Observe
+//! the change in CWi when a station senses the medium busy and has
+//! DC = 0" — and (b) the short-term unfairness: the winner restarts at
+//! stage 0 with CW = 8 while the loser climbs to larger windows.
+//!
+//! This example reproduces that table from a live simulation: it steps the
+//! modular engine with snapshot tracing enabled and prints one row per
+//! contention event.
+//!
+//! Run with: `cargo run --example backoff_trace`
+
+use parking_lot::Mutex;
+use plc::prelude::*;
+use plc_sim::engine::{EngineConfig, SlottedEngine, StationSpec};
+use plc_sim::trace::VecTraceSink;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(1901);
+    let stations = vec![
+        StationSpec::saturated(Backoff1901::default_ca1(&mut rng)),
+        StationSpec::saturated(Backoff1901::default_ca1(&mut rng)),
+    ];
+    let mut cfg = EngineConfig::paper_default();
+    cfg.emit_snapshots = true;
+    let mut engine = SlottedEngine::new(cfg, stations, 1901);
+    let sink = Arc::new(Mutex::new(VecTraceSink::new()));
+    engine.add_sink(sink.clone());
+
+    println!("IEEE 1901 backoff trace, 2 saturated stations (CA1 table)\n");
+    println!(
+        "{:>10}  {:<28}  {:^20}  {:^20}",
+        "time", "event", "Station A (CW DC BC)", "Station B (CW DC BC)"
+    );
+    println!("{}", "-".repeat(86));
+
+    let mut events_shown = 0;
+    while events_shown < 28 {
+        let t = engine.time();
+        let outcome = engine.step();
+        let (a, b) = (engine.snapshot(0), engine.snapshot(1));
+        let label = match outcome {
+            StepOutcome::Idle => "idle slot".to_string(),
+            StepOutcome::Success { station, .. } => {
+                format!("TRANSMISSION by {}", if station == 0 { "A" } else { "B" })
+            }
+            StepOutcome::Collision { .. } => "COLLISION (A+B)".to_string(),
+        };
+        let fmt = |s: plc_mac::process::BackoffSnapshot| {
+            format!(
+                "{:>3} {:>3} {:>3}",
+                s.cw,
+                s.dc.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+                s.bc
+            )
+        };
+        println!(
+            "{:>8.0}us  {:<28}  {:^20}  {:^20}",
+            t.as_micros(),
+            label,
+            fmt(a),
+            fmt(b)
+        );
+        events_shown += 1;
+    }
+
+    // Summarize what Figure 1's caption points out.
+    let events = &sink.lock().events;
+    let jumps = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Snapshot { snap, .. } if snap.stage > 0))
+        .count();
+    println!(
+        "\n{jumps} snapshot rows show a station above stage 0 — losers climb stages\n\
+         (often *without* transmitting, via DC = 0 jumps) while each winner drops\n\
+         back to CW = 8. That asymmetry is the short-term unfairness the paper's\n\
+         Figure 1 illustrates."
+    );
+}

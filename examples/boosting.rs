@@ -1,0 +1,69 @@
+//! Boosting: searching the (CW, DC) space for throughput-optimal tables.
+//!
+//! The report positions its simulator to "evaluate the performance of
+//! different MAC configurations"; the CoNEXT paper's headline is that the
+//! default 1901 table — tuned for small homes — leaves throughput on the
+//! table at larger N. This example:
+//!
+//! 1. uses the analytical model to rank candidate tables per N (cheap:
+//!    one fixed-point solve each),
+//! 2. validates the winner against the default table *by simulation*,
+//! 3. prints the boosted-vs-default comparison.
+//!
+//! Run with: `cargo run --release --example boosting`
+
+use plc::prelude::*;
+use plc_analysis::boost::{boost_search, BoostOptions};
+use plc_stats::table::{fmt_prob, Table};
+
+fn main() {
+    let timing = MacTiming::paper_default();
+    let mut table = Table::new(vec![
+        "N",
+        "default S (sim)",
+        "boosted S (sim)",
+        "gain",
+        "boosted cw",
+        "boosted dc",
+    ]);
+
+    for n in [2usize, 5, 10, 20] {
+        let best = boost_search(n, &timing, &BoostOptions::default())
+            .into_iter()
+            .next()
+            .expect("candidates");
+
+        let horizon = 2.0e7;
+        let default_sim = Simulation::ieee1901(n).horizon_us(horizon).seed(9).run();
+        let boosted_sim = Simulation::ieee1901(n)
+            .config(best.config.clone())
+            .horizon_us(horizon)
+            .seed(9)
+            .run();
+
+        let gain = boosted_sim.norm_throughput / default_sim.norm_throughput - 1.0;
+        table.row(vec![
+            n.to_string(),
+            fmt_prob(default_sim.norm_throughput),
+            fmt_prob(boosted_sim.norm_throughput),
+            format!("{:+.1}%", 100.0 * gain),
+            format!("{:?}", best.config.cw_vector()),
+            format!(
+                "{:?}",
+                best.config
+                    .dc_vector()
+                    .iter()
+                    .map(|&d| if d == DC_DISABLED { "-".to_string() } else { d.to_string() })
+                    .collect::<Vec<_>>()
+            ),
+        ]);
+    }
+
+    println!("Boosting — model-guided search, simulation-validated (CA1 timing)\n");
+    println!("{}", table.render());
+    println!(
+        "The default table (cw 8/16/32/64, dc 0/1/3/15) is near-optimal at N = 2\n\
+         but increasingly beatable as N grows — larger or faster-growing windows\n\
+         trade a little backoff idling for far fewer collisions."
+    );
+}

@@ -1,0 +1,116 @@
+//! The synthetic PHY: from channel to tone map to MAC timing to goodput.
+//!
+//! §4.1 of the report explains why the paper's simulator excludes the PHY
+//! (unpublished bit loading, no validated channel model) — and exactly
+//! which mechanisms a fuller model would add. This example walks the
+//! synthetic substitute end to end:
+//!
+//! 1. three channels (power strip / in-room / cross-home) → per-carrier
+//!    SNR → tone maps → PHY rates;
+//! 2. the mains-cycle variation of the channel (PLC links breathe at
+//!    2× the mains frequency);
+//! 3. channel-derived MAC timing feeding the simulator;
+//! 4. per-PB channel errors with selective retransmission, and their
+//!    goodput cost vs the closed form.
+//!
+//! Run with: `cargo run --release --example channel_model`
+
+use plc::prelude::*;
+use plc_phy::channel::ChannelModel;
+use plc_phy::error::{expected_rounds_for, PbErrorModel};
+use plc_phy::rate::PhyRate;
+use plc_stats::table::Table;
+
+fn main() {
+    // ---- 1. Channels → rates ----------------------------------------
+    let channels = [
+        ("power strip (paper's setup)", ChannelModel::power_strip()),
+        ("in-room link", ChannelModel::short_link()),
+        ("cross-home link", ChannelModel::long_link()),
+    ];
+    let payload = 36 * 1024; // one large aggregated PLC frame
+
+    let mut t = Table::new(vec![
+        "channel",
+        "mean SNR (dB)",
+        "bits/symbol",
+        "PHY rate (Mb/s)",
+        "frame airtime (µs)",
+    ]);
+    for (name, ch) in &channels {
+        let tm = ch.tone_map(0.0);
+        let rate = PhyRate::from_tone_map(&tm);
+        let airtime = rate.airtime(payload);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", ch.mean_snr_db()),
+            tm.bits_per_symbol().to_string(),
+            format!("{:.1}", rate.mbps()),
+            airtime
+                .map(|a| format!("{:.0}", a.as_micros()))
+                .unwrap_or_else(|| "∞".into()),
+        ]);
+    }
+    println!("Synthetic PLC channels → bit loading → rate\n\n{}", t.render());
+
+    // ---- 2. Mains-cycle breathing ------------------------------------
+    let ch = ChannelModel::long_link();
+    print!("cross-home bits/symbol across one 50 Hz mains cycle: ");
+    for k in 0..8 {
+        let t_us = k as f64 * 2_500.0; // 20 ms cycle in 2.5 ms steps
+        print!("{} ", ch.tone_map(t_us).bits_per_symbol());
+    }
+    println!("\n(the channel 'breathes' twice per mains cycle)\n");
+
+    // ---- 3. Channel-derived MAC timing into the simulator -------------
+    let mut t = Table::new(vec!["channel", "collision p", "absolute throughput (Mb/s)"]);
+    for (name, ch) in &channels {
+        let rate = PhyRate::from_tone_map(&ch.tone_map(0.0));
+        let timing = rate.mac_timing(payload).expect("live channel");
+        let r = Simulation::ieee1901(3).timing(timing).horizon_us(2.0e7).seed(5).run();
+        let mbps =
+            r.norm_throughput * (payload as f64 * 8.0) / timing.frame_length.as_micros();
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", r.collision_probability),
+            format!("{:.1}", mbps),
+        ]);
+    }
+    println!("3 saturated stations on each channel:\n\n{}", t.render());
+    println!(
+        "Contention (collision probability) is rate-independent; the channel\n\
+         sets how much each won transmission carries.\n"
+    );
+
+    // ---- 4. Channel errors & selective retransmission -----------------
+    let mut t = Table::new(vec![
+        "SNR margin (dB)",
+        "PB error prob",
+        "goodput (sim)",
+        "1/E[rounds] × clean",
+    ]);
+    let clean = Simulation::ieee1901(2).horizon_us(2.0e7).seed(6).run().metrics.goodput();
+    for margin in [3.0, 1.5, 0.75] {
+        let p = PbErrorModel::with_margin(margin).pb_error_prob();
+        let r = Simulation::ieee1901(2)
+            .pb_error_prob(p)
+            .horizon_us(2.0e7)
+            .seed(6)
+            .run();
+        t.row(vec![
+            format!("{margin:.2}"),
+            format!("{p:.4}"),
+            format!("{:.4}", r.metrics.goodput()),
+            format!("{:.4}", clean / expected_rounds_for(p, 4)),
+        ]);
+    }
+    println!(
+        "Channel errors (§4.1's unmodelled mechanism, exercised):\n\n{}",
+        t.render()
+    );
+    println!(
+        "Errored PBs are flagged in the selective ACK and retransmitted alone;\n\
+         each retransmission round costs one contention win, so goodput falls\n\
+         as 1/E[max of 4 geometrics] — the last column's closed form."
+    );
+}

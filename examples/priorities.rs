@@ -1,0 +1,116 @@
+//! Priority classes CA0–CA3 and the two-slot priority resolution.
+//!
+//! The 1901 standard "specifies that only the stations belonging to the
+//! highest contending priority class run the backoff process", decided by
+//! busy tones in two priority-resolution slots. The paper leans on this
+//! for its methodology: UDP data goes at CA1 while MMEs use CA2/CA3,
+//! which is how the sniffer separates them.
+//!
+//! This example demonstrates both faces of the mechanism with the
+//! multi-class engine:
+//!
+//! 1. strict precedence — a saturated CA2 station starves saturated CA1
+//!    stations completely;
+//! 2. sharing under light high-priority load — a low-rate CA2 source
+//!    (like the MME background) barely dents CA1 throughput, but its own
+//!    frames see priority service.
+//!
+//! Run with: `cargo run --release --example priorities`
+
+use plc::prelude::*;
+use plc_sim::multiclass::{ClassStationSpec, MultiClassConfig, MultiClassEngine};
+use plc_stats::table::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn engine(
+    specs: Vec<ClassStationSpec<Backoff1901>>,
+    horizon_us: f64,
+    seed: u64,
+) -> MultiClassEngine<Backoff1901> {
+    let cfg = MultiClassConfig {
+        horizon: Microseconds::new(horizon_us),
+        ..Default::default()
+    };
+    MultiClassEngine::new(cfg, specs, seed)
+}
+
+fn spec(
+    priority: Priority,
+    traffic: TrafficModel,
+    rng: &mut SmallRng,
+) -> ClassStationSpec<Backoff1901> {
+    ClassStationSpec::new(
+        Backoff1901::new(CsmaConfig::ieee1901_for(priority), rng),
+        priority,
+        traffic,
+    )
+}
+
+fn main() {
+    let horizon = 2.0e7;
+
+    // ---- Scenario 1: saturated CA2 vs saturated CA1 -------------------
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut e1 = engine(
+        vec![
+            spec(Priority::CA1, TrafficModel::Saturated, &mut rng),
+            spec(Priority::CA1, TrafficModel::Saturated, &mut rng),
+            spec(Priority::CA2, TrafficModel::Saturated, &mut rng),
+        ],
+        horizon,
+        1,
+    );
+    e1.run();
+    let by_class1 = e1.successes_by_class();
+
+    // ---- Scenario 2: light CA2 over saturated CA1 ---------------------
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut e2 = engine(
+        vec![
+            spec(Priority::CA1, TrafficModel::Saturated, &mut rng),
+            spec(Priority::CA1, TrafficModel::Saturated, &mut rng),
+            spec(
+                Priority::CA2,
+                TrafficModel::Poisson { rate_per_us: 1e-4, queue_cap: 32 },
+                &mut rng,
+            ),
+        ],
+        horizon,
+        2,
+    );
+    e2.run();
+    let by_class2 = e2.successes_by_class();
+
+    let mut table = Table::new(vec!["scenario", "CA1 successes", "CA2 successes"]);
+    table.row(vec![
+        "CA2 saturated".to_string(),
+        by_class1[1].to_string(),
+        by_class1[2].to_string(),
+    ]);
+    table.row(vec![
+        "CA2 light (Poisson)".to_string(),
+        by_class2[1].to_string(),
+        by_class2[2].to_string(),
+    ]);
+
+    println!("Priority resolution with 2×CA1 + 1×CA2 stations, {:.0} s\n", horizon / 1e6);
+    println!("{}", table.render());
+    println!(
+        "Saturated CA2 wins every priority-resolution phase: CA1 gets zero.\n\
+         Under light CA2 load the CA1 stations keep almost all the airtime —\n\
+         which is why the paper's CA2 management messages only mildly perturb\n\
+         the CA1 data measurements.\n"
+    );
+
+    // PRS accounting: the resolution slots are real airtime.
+    let m = e2.metrics();
+    let (idle, succ, coll, prs) = m.airtime_shares();
+    println!(
+        "airtime shares (scenario 2): idle {:.1}%, success {:.1}%, collision {:.1}%, PRS {:.1}%",
+        idle * 100.0,
+        succ * 100.0,
+        coll * 100.0,
+        prs * 100.0
+    );
+}

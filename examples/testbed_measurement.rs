@@ -1,0 +1,84 @@
+//! Table 2 and the §3.3 sniffer methodology on the emulated testbed.
+//!
+//! Reproduces the paper's measurement workflow end to end:
+//!
+//! 1. plug N stations + destination D into the power strip;
+//! 2. `ampstat` reset of all transmit counters (vendor MME 0xA030);
+//! 3. run saturated CA1 UDP traffic (2-MPDU bursts, as measured on the
+//!    INT6300 devices) with light CA2 management traffic;
+//! 4. `ampstat` query → Table 2's `ΣCᵢ`, `ΣAᵢ` columns;
+//! 5. `faifa` sniffer capture at D → burst-size frequencies (§3.1) and
+//!    MME overhead over bursts (§3.3).
+//!
+//! Run with: `cargo run --release --example testbed_measurement`
+
+use plc::prelude::*;
+use plc_core::mme::Direction;
+use plc_stats::table::{fmt_prob, fmt_sci, Table};
+use plc_testbed::tools::{AmpStat, Faifa};
+use plc_testbed::{group_bursts, mme_overhead};
+
+fn main() {
+    // ---- Table 2: ΣCi, ΣAi for N = 1..7 ------------------------------
+    let duration_s = 20.0; // paper: 240 s; shortened for example speed
+    let mut t2 = Table::new(vec!["N", "ΣCi", "ΣAi", "ΣCi/ΣAi"]);
+    for n in 1..=7usize {
+        let out = CollisionExperiment {
+            duration: Microseconds::from_secs(duration_s),
+            ..CollisionExperiment::paper(n, 1_000 + n as u64)
+        }
+        .run()
+        .expect("testbed run");
+        t2.row(vec![
+            n.to_string(),
+            fmt_sci(out.sum_collided as f64),
+            fmt_sci(out.sum_acked as f64),
+            fmt_prob(out.collision_probability),
+        ]);
+    }
+    println!("Table 2 — measured statistics, one {duration_s:.0} s test per N\n");
+    println!("{}", t2.render());
+
+    // ---- §3.1 + §3.3: sniffer capture at the destination -------------
+    let mut strip = PowerStrip::new(TestbedConfig {
+        n_stations: 3,
+        duration: Microseconds::from_secs(10.0),
+        seed: 7,
+        ..Default::default()
+    });
+    let faifa = Faifa::new(strip.bus());
+    let ampstat = AmpStat::new(strip.bus());
+    let d = strip.destination_mac();
+    faifa.set_sniffer(d, true).expect("sniffer on");
+
+    for i in 0..3 {
+        ampstat
+            .reset(strip.station_mac(i), d, Priority::CA1, Direction::Tx)
+            .expect("reset");
+    }
+    strip.run_test();
+
+    let captures = faifa.collect(d).expect("captures");
+    println!("sniffer captured {} SoF delimiters at D; first five:", captures.len());
+    for ind in captures.iter().take(5) {
+        println!("  {}", Faifa::format_sof(ind));
+    }
+
+    let bursts = group_bursts(&captures);
+    let hist = plc_testbed::capture::burst_size_histogram(&bursts);
+    println!("\nburst-size frequencies (§3.1; devices measured bursts of 2):");
+    for (size, count) in hist.iter() {
+        println!(
+            "  {size} MPDU{}: {:>6} bursts ({:.1}%)",
+            if size == 1 { " " } else { "s" },
+            count,
+            100.0 * hist.frequency(size)
+        );
+    }
+
+    let overhead = mme_overhead(&bursts);
+    println!(
+        "\nMME overhead (§3.3): {:.4} management bursts per data burst",
+        overhead
+    );
+}

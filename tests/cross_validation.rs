@@ -1,0 +1,111 @@
+//! Cross-crate validation: the three independent implementations of the
+//! 1901 MAC — reference simulator port, modular engine, analytical model —
+//! and the emulated testbed must all tell the same story.
+
+use plc::prelude::*;
+
+/// All four methods agree on the collision probability for N = 2…5.
+#[test]
+fn four_way_agreement_on_collision_probability() {
+    let model = CoupledModel::default_ca1();
+    for n in [2usize, 3, 5] {
+        let reference = PaperSim::with_n_and_time(n, 2.0e7)
+            .run(11)
+            .expect("valid inputs")
+            .collision_pr;
+        let engine = Simulation::ieee1901(n)
+            .horizon_us(2.0e7)
+            .seed(11)
+            .run()
+            .collision_probability;
+        let analysis = model.solve(n).collision_probability;
+        let testbed = CollisionExperiment::quick(n, 11)
+            .run()
+            .expect("testbed run")
+            .collision_probability;
+
+        let spread = [reference, engine, analysis, testbed];
+        let lo = spread.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = spread.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            hi - lo < 0.025,
+            "N={n}: methods disagree — reference {reference:.4}, engine {engine:.4}, \
+             analysis {analysis:.4}, testbed {testbed:.4}"
+        );
+    }
+}
+
+/// The engine under paper-default knobs matches the reference simulator's
+/// throughput too, not just its collision probability.
+#[test]
+fn engine_and_reference_agree_on_throughput() {
+    for n in [1usize, 4] {
+        let reference = PaperSim::with_n_and_time(n, 2.0e7).run(3).expect("valid");
+        let engine = Simulation::ieee1901(n).horizon_us(2.0e7).seed(3).run();
+        assert!(
+            (engine.norm_throughput - reference.norm_throughput).abs() < 0.02,
+            "N={n}: engine {} vs reference {}",
+            engine.norm_throughput,
+            reference.norm_throughput
+        );
+    }
+}
+
+/// The paper's headline mechanism effect, shown end to end: with matched
+/// windows, enabling the deferral counter lowers the collision probability
+/// in the simulator AND the analytical model predicts the same gap.
+#[test]
+fn deferral_counter_effect_is_consistent() {
+    let n = 5;
+    let horizon = 2.0e7;
+    let dcf_cfg = CsmaConfig::dcf_like(8, 4).unwrap();
+
+    let sim_with = Simulation::ieee1901(n).horizon_us(horizon).seed(2).run();
+    let sim_without = Simulation::dcf(n)
+        .config(dcf_cfg.clone())
+        .horizon_us(horizon)
+        .seed(2)
+        .run();
+    let sim_gap = sim_without.collision_probability - sim_with.collision_probability;
+    assert!(sim_gap > 0.02, "simulated deferral benefit: {sim_gap}");
+
+    let model_with = CoupledModel::default_ca1().solve(n).collision_probability;
+    let model_without = BianchiModel::with_1901_windows().solve(n).collision_probability;
+    let model_gap = model_without - model_with;
+    assert!(model_gap > 0.02, "modelled deferral benefit: {model_gap}");
+
+    assert!(
+        (sim_gap - model_gap).abs() < 0.05,
+        "simulation gap {sim_gap:.3} and model gap {model_gap:.3} should agree"
+    );
+}
+
+/// Determinism across the whole stack: same seeds → identical outputs,
+/// different seeds → different outputs.
+#[test]
+fn end_to_end_determinism() {
+    let run = |seed: u64| {
+        let r = Simulation::ieee1901(3).horizon_us(5.0e6).seed(seed).run();
+        let t = CollisionExperiment::quick(3, seed).run().unwrap();
+        (r, t)
+    };
+    let (r1, t1) = run(77);
+    let (r2, t2) = run(77);
+    assert_eq!(r1, r2);
+    assert_eq!(t1, t2);
+    let (r3, t3) = run(78);
+    assert_ne!(r1, r3);
+    assert_ne!(t1, t3);
+}
+
+/// Table 2's qualitative signature on the emulated testbed: ΣAᵢ includes
+/// collided frames, so it *grows* with N rather than collapsing.
+#[test]
+fn acked_counter_includes_collisions_like_the_paper() {
+    let a: Vec<u64> = [1usize, 4, 7]
+        .iter()
+        .map(|&n| CollisionExperiment::quick(n, 5).run().unwrap().sum_acked)
+        .collect();
+    assert!(a[1] > a[0], "ΣAᵢ(4) = {} must exceed ΣAᵢ(1) = {}", a[1], a[0]);
+    assert!(a[2] > a[1], "ΣAᵢ(7) = {} must exceed ΣAᵢ(4) = {}", a[2], a[1]);
+}

@@ -1,0 +1,123 @@
+//! Cross-validation of the synthetic PHY against the MAC engine: the
+//! engine's selective-retransmission dynamics must reproduce the PHY
+//! model's closed forms, and channel-derived timing must flow end to end.
+
+use plc::prelude::*;
+use plc_phy::channel::ChannelModel;
+use plc_phy::error::PbErrorModel;
+use plc_phy::rate::PhyRate;
+
+/// A lone station with per-PB error rate `p` needs, per frame,
+/// `E[max of k geometrics]` transmissions — the engine's measured
+/// attempts-per-completed-frame must match the closed form.
+#[test]
+fn engine_retransmissions_match_phy_closed_form() {
+    for margin_db in [1.0f64, 2.0] {
+        let model = PbErrorModel::with_margin(margin_db);
+        let p = model.pb_error_prob();
+        let report = Simulation::ieee1901(1)
+            .pb_error_prob(p)
+            .horizon_us(5.0e7)
+            .seed(margin_db as u64)
+            .run();
+        let m = &report.metrics;
+        assert!(m.frames_completed > 1_000, "enough frames to average");
+        let measured_rounds = m.successes as f64 / m.frames_completed as f64;
+        let expected = model.expected_rounds(4); // engine default: 4 PBs/MPDU
+        assert!(
+            (measured_rounds - expected).abs() / expected < 0.05,
+            "margin {margin_db} dB (p = {p:.3}): measured {measured_rounds:.3} \
+             rounds/frame vs closed form {expected:.3}"
+        );
+    }
+}
+
+/// Goodput degrades monotonically with the PB error rate, and the
+/// degradation factor at low error rates is ≈ the delivered-PB fraction.
+#[test]
+fn goodput_tracks_error_rate() {
+    let run = |p: f64| {
+        Simulation::ieee1901(2)
+            .pb_error_prob(p)
+            .horizon_us(2.0e7)
+            .seed(9)
+            .run()
+            .metrics
+            .goodput()
+    };
+    let g0 = run(0.0);
+    let g1 = run(0.05);
+    let g2 = run(0.2);
+    let g3 = run(0.5);
+    assert!(g0 > g1 && g1 > g2 && g2 > g3, "goodput must fall: {g0} {g1} {g2} {g3}");
+    // Closed form: every retransmission round costs a full transmission
+    // opportunity while the slot structure is unchanged, so
+    // g(p)/g(0) = 1 / E[rounds per frame] = 1 / E[max of 4 geometrics].
+    for (p, g) in [(0.05, g1), (0.2, g2)] {
+        let expected = 1.0 / plc_phy::error::expected_rounds_for(p, 4);
+        assert!(
+            (g / g0 - expected).abs() < 0.02,
+            "p = {p}: goodput ratio {} vs closed form {expected}",
+            g / g0
+        );
+    }
+}
+
+/// Channel errors do not masquerade as collisions: the measured collision
+/// probability is unchanged by the PB error rate (the SACK tells them
+/// apart — the paper's §3.2 point about selective acknowledgments).
+#[test]
+fn errors_do_not_inflate_collision_probability() {
+    let p_clean = Simulation::ieee1901(3).horizon_us(2.0e7).seed(4).run().collision_probability;
+    let p_noisy = Simulation::ieee1901(3)
+        .pb_error_prob(0.3)
+        .horizon_us(2.0e7)
+        .seed(4)
+        .run()
+        .collision_probability;
+    // Clean and noisy runs consume different RNG streams, so they are
+    // independent samples; allow two standard errors.
+    assert!(
+        (p_clean - p_noisy).abs() < 0.03,
+        "collision probability must not depend on channel errors: {p_clean} vs {p_noisy}"
+    );
+}
+
+/// End-to-end: synthetic channel → tone map → PHY rate → MAC timing →
+/// simulation. Worse channels yield lower absolute throughput at equal
+/// payload size, while the contention behaviour (collision probability)
+/// stays put.
+#[test]
+fn channel_derived_timing_flows_into_the_mac() {
+    let payload = 36 * 1024; // bytes per aggregated frame
+    let run = |ch: &ChannelModel| {
+        let rate = PhyRate::from_tone_map(&ch.tone_map(0.0));
+        let timing = rate.mac_timing(payload).expect("live channel");
+        let report = Simulation::ieee1901(3).timing(timing).horizon_us(3.0e7).seed(5).run();
+        // Absolute rate = normalized share × payload bits / airtime.
+        let mbps = report.norm_throughput * (payload as f64 * 8.0)
+            / timing.frame_length.as_micros();
+        (report.collision_probability, mbps)
+    };
+    let (p_short, mbps_short) = run(&ChannelModel::power_strip());
+    let (p_long, mbps_long) = run(&ChannelModel::long_link());
+    assert!(
+        mbps_long < mbps_short * 0.8,
+        "the attenuated link must be materially slower: {mbps_long:.1} vs {mbps_short:.1} Mb/s"
+    );
+    assert!(mbps_short > 20.0, "strip link should be tens of Mb/s: {mbps_short:.1}");
+    // Contention sees only slot counts, not payload rate: with timing
+    // scaled, collision probability stays in the same band.
+    assert!((p_short - p_long).abs() < 0.05, "{p_short} vs {p_long}");
+}
+
+/// The PHY's ROBO reasoning underpins the testbed's selective-ACK quirk:
+/// at power-strip SNR, delimiters survive collisions.
+#[test]
+fn robo_delimiters_survive_on_the_strip() {
+    use plc_phy::robo::RoboMode;
+    let ch = ChannelModel::power_strip();
+    let snr = ch.mean_snr_db();
+    assert!(RoboMode::Mini.delimiter_decodable(snr, true));
+    assert!(RoboMode::HighSpeed.delimiter_decodable(snr, true));
+}
