@@ -95,7 +95,11 @@ impl BianchiModel {
             })
         };
         let p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
-        BianchiFixedPoint { n, tau, collision_probability: p }
+        BianchiFixedPoint {
+            n,
+            tau,
+            collision_probability: p,
+        }
     }
 
     /// Normalized throughput for `n` stations under `timing`.

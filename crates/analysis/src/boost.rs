@@ -47,8 +47,12 @@ pub fn optimize_constant_window(n: usize, timing: &MacTiming) -> Candidate {
         let model = Model1901::new(cfg.clone());
         let s = model.throughput(n, timing);
         let fp = model.solve(n);
-        let cand = Candidate { config: cfg, throughput: s, collision_probability: fp.collision_probability };
-        if best.as_ref().map_or(true, |b| cand.throughput > b.throughput) {
+        let cand = Candidate {
+            config: cfg,
+            throughput: s,
+            collision_probability: fp.collision_probability,
+        };
+        if best.as_ref().is_none_or(|b| cand.throughput > b.throughput) {
             best = Some(cand);
         }
         w *= 2;
@@ -78,7 +82,11 @@ pub struct BoostOptions {
 
 impl Default for BoostOptions {
     fn default() -> Self {
-        BoostOptions { stages: 4, max_window_spread: f64::INFINITY, top_k: 5 }
+        BoostOptions {
+            stages: 4,
+            max_window_spread: f64::INFINITY,
+            top_k: 5,
+        }
     }
 }
 
@@ -189,13 +197,21 @@ mod tests {
         let timing = MacTiming::paper_default();
         let default_s = Model1901::default_ca1().throughput(2, &timing);
         let best = &boost_search(2, &timing, &BoostOptions::default())[0];
-        assert!(best.throughput - default_s < 0.06, "gap {}", best.throughput - default_s);
+        assert!(
+            best.throughput - default_s < 0.06,
+            "gap {}",
+            best.throughput - default_s
+        );
     }
 
     #[test]
     fn fairness_guard_restricts_spread() {
         let timing = MacTiming::paper_default();
-        let opts = BoostOptions { max_window_spread: 8.0, top_k: 50, ..Default::default() };
+        let opts = BoostOptions {
+            max_window_spread: 8.0,
+            top_k: 50,
+            ..Default::default()
+        };
         let cands = boost_search(10, &timing, &opts);
         assert!(!cands.is_empty());
         for c in &cands {
@@ -207,7 +223,10 @@ mod tests {
     #[test]
     fn top_k_is_sorted_and_bounded() {
         let timing = MacTiming::paper_default();
-        let opts = BoostOptions { top_k: 3, ..Default::default() };
+        let opts = BoostOptions {
+            top_k: 3,
+            ..Default::default()
+        };
         let cands = boost_search(5, &timing, &opts);
         assert_eq!(cands.len(), 3);
         assert!(cands[0].throughput >= cands[1].throughput);
@@ -217,7 +236,11 @@ mod tests {
     #[test]
     fn single_stage_search_space() {
         let timing = MacTiming::paper_default();
-        let opts = BoostOptions { stages: 1, top_k: 100, ..Default::default() };
+        let opts = BoostOptions {
+            stages: 1,
+            top_k: 100,
+            ..Default::default()
+        };
         let cands = boost_search(5, &timing, &opts);
         assert!(!cands.is_empty());
         for c in &cands {

@@ -106,18 +106,31 @@ impl CoupledModel {
         let mut base = Vec::new();
         for i in 0..config.num_stages() {
             let sp = config.stage(i);
-            let tracked = if sp.dc == DC_DISABLED { 0 } else { sp.dc.min(MAX_TRACKED_CREDITS) };
+            let tracked = if sp.dc == DC_DISABLED {
+                0
+            } else {
+                sp.dc.min(MAX_TRACKED_CREDITS)
+            };
             let mut per_stage = Vec::new();
             for k in 0..=tracked {
                 per_stage.push(states.len());
                 for bc in 0..sp.cw {
-                    states.push(FullState { stage: i, credits_used: k, bc });
+                    states.push(FullState {
+                        stage: i,
+                        credits_used: k,
+                        bc,
+                    });
                 }
             }
             base.push(per_stage);
         }
         let wmax = config.cw_max() as usize;
-        CoupledModel { config, states, base, wmax }
+        CoupledModel {
+            config,
+            states,
+            base,
+            wmax,
+        }
     }
 
     /// Model with the paper's default CA1 table.
@@ -371,7 +384,6 @@ impl CoupledModel {
             }
         }
         let totw: f64 = next_w.iter().sum();
-        let mut next_w = next_w;
         if totw > 0.0 {
             for x in &mut next_w {
                 *x /= totw;
@@ -393,7 +405,7 @@ impl CoupledModel {
         for v in 0..self.wmax {
             let ge_l = gl[v] + lb[v]; // P(loser bc ≥ v)
             let ge_w = gw[v] + wb[v]; // P(champion bc ≥ v)
-            // Exactly one at the global min v: champion alone, or one loser.
+                                      // Exactly one at the global min v: champion alone, or one loser.
             p_succ += wb[v] * gl[v].powi((n - 1) as i32)
                 + (n - 1) as f64 * lb[v] * gw[v] * gl[v].powi((n - 2) as i32);
             // E[# stations at v that are at the global min]: each needs all
@@ -507,7 +519,10 @@ mod tests {
         let timing = MacTiming::paper_default();
         for n in [1usize, 2, 5] {
             let s_model = model.throughput(n, &timing);
-            let s_sim = PaperSim::with_n_and_time(n, 2e7).run(5).unwrap().norm_throughput;
+            let s_sim = PaperSim::with_n_and_time(n, 2e7)
+                .run(5)
+                .unwrap()
+                .norm_throughput;
             assert!(
                 (s_model - s_sim).abs() < 0.02,
                 "N={n}: model S={s_model:.4} vs sim S={s_sim:.4}"
@@ -549,7 +564,10 @@ mod tests {
         // the fresh-draw round model against the simulator at N = 2 and 7.
         use plc_sim::paper::PaperSim;
         for n in [2usize, 7] {
-            let sim = PaperSim::with_n_and_time(n, 2e7).run(5).unwrap().collision_pr;
+            let sim = PaperSim::with_n_and_time(n, 2e7)
+                .run(5)
+                .unwrap()
+                .collision_pr;
             let coupled = CoupledModel::default_ca1().solve(n).collision_probability;
             let decoupled = crate::model1901::Model1901::default_ca1()
                 .solve(n)

@@ -30,16 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod bianchi;
-pub mod coupled;
 pub mod boost;
+pub mod coupled;
 pub mod math;
 pub mod model1901;
 pub mod round_model;
 pub mod throughput;
 
 pub use bianchi::{BianchiFixedPoint, BianchiModel};
-pub use coupled::{CoupledFixedPoint, CoupledModel};
 pub use boost::{boost_search, optimize_constant_window, BoostOptions, Candidate};
+pub use coupled::{CoupledFixedPoint, CoupledModel};
 pub use model1901::{FixedPoint, Model1901};
 pub use round_model::{RoundFixedPoint, RoundModel};
 pub use throughput::{normalized_throughput, SlotProbabilities};

@@ -32,7 +32,12 @@ impl BinomialCdfTracker {
         assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
         let mut pmf = vec![0.0; d as usize + 1];
         pmf[0] = 1.0;
-        BinomialCdfTracker { p, pmf, cdf: 1.0, b: 0 }
+        BinomialCdfTracker {
+            p,
+            pmf,
+            cdf: 1.0,
+            b: 0,
+        }
     }
 
     /// Current `b`.

@@ -62,11 +62,17 @@ pub struct StageQuantities {
 /// Compute `x_i` and `s_i` for one stage. O(W · d).
 pub fn stage_quantities(w: u32, d: u32, p: f64) -> StageQuantities {
     assert!(w >= 1);
-    assert!((0.0..=1.0).contains(&p), "busy probability out of range: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "busy probability out of range: {p}"
+    );
     if d == DC_DISABLED || p == 0.0 {
         // No deferral (or never busy): always attempts, mean backoff
         // (W−1)/2.
-        return StageQuantities { attempt_prob: 1.0, backoff_slots: (w as f64 - 1.0) / 2.0 };
+        return StageQuantities {
+            attempt_prob: 1.0,
+            backoff_slots: (w as f64 - 1.0) / 2.0,
+        };
     }
     // x = (1/W) Σ_{b=0}^{W-1} C(b),   C(b) = P(Bin(b,p) ≤ d)
     // s = (1/W) Σ_{b=0}^{W-1} Σ_{t=0}^{b-1} C(t)
@@ -83,7 +89,10 @@ pub fn stage_quantities(w: u32, d: u32, p: f64) -> StageQuantities {
         }
         tracker.step();
     }
-    StageQuantities { attempt_prob: x_sum / wf, backoff_slots: s_sum / wf }
+    StageQuantities {
+        attempt_prob: x_sum / wf,
+        backoff_slots: s_sum / wf,
+    }
 }
 
 /// The solved fixed point for a configuration and station count.
@@ -158,7 +167,11 @@ impl Model1901 {
         let q: Vec<f64> = stages.iter().map(|s| s.attempt_prob * (1.0 - p)).collect();
         let mut visits = vec![0.0; m];
         if m == 1 {
-            visits[0] = if q[0] > 0.0 { 1.0 / q[0] } else { f64::INFINITY };
+            visits[0] = if q[0] > 0.0 {
+                1.0 / q[0]
+            } else {
+                f64::INFINITY
+            };
             return visits;
         }
         visits[0] = 1.0;
@@ -167,7 +180,11 @@ impl Model1901 {
         }
         // Last stage self-loops: entries · expected residencies per entry.
         let entries = visits[m - 2] * (1.0 - q[m - 2]);
-        visits[m - 1] = if q[m - 1] > 0.0 { entries / q[m - 1] } else { f64::INFINITY };
+        visits[m - 1] = if q[m - 1] > 0.0 {
+            entries / q[m - 1]
+        } else {
+            f64::INFINITY
+        };
         visits
     }
 
@@ -323,8 +340,7 @@ mod tests {
             let r = Simulation::ieee1901(n).horizon_us(2e7).seed(7).run();
             let m = &r.metrics;
             let decision_slots = m.idle_slots + m.successes + m.collision_events;
-            let tau_sim =
-                (m.successes + m.collided_tx) as f64 / (decision_slots as f64 * n as f64);
+            let tau_sim = (m.successes + m.collided_tx) as f64 / (decision_slots as f64 * n as f64);
             let fp = model.solve(n);
             assert!(
                 (fp.tau - tau_sim).abs() < 0.012,
@@ -343,7 +359,10 @@ mod tests {
         let timing = MacTiming::paper_default();
         for n in [1usize, 3, 5] {
             let s_model = model.throughput(n, &timing);
-            let s_sim = PaperSim::with_n_and_time(n, 2e7).run(5).unwrap().norm_throughput;
+            let s_sim = PaperSim::with_n_and_time(n, 2e7)
+                .run(5)
+                .unwrap()
+                .norm_throughput;
             assert!(
                 (s_model - s_sim).abs() < 0.05,
                 "N={n}: model S={s_model:.4} vs sim S={s_sim:.4}"
@@ -366,7 +385,10 @@ mod tests {
     fn stage_visits_sane() {
         let fp = Model1901::default_ca1().solve(5);
         assert_eq!(fp.stage_visits.len(), 4);
-        assert!((fp.stage_visits[0] - 1.0).abs() < 1e-12, "stage 0 visited once per cycle");
+        assert!(
+            (fp.stage_visits[0] - 1.0).abs() < 1e-12,
+            "stage 0 visited once per cycle"
+        );
         for v in &fp.stage_visits {
             assert!(v.is_finite() && *v >= 0.0);
         }

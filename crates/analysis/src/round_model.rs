@@ -89,9 +89,16 @@ impl RoundModel {
         let mut classes = Vec::new();
         for i in 0..config.num_stages() {
             let d = config.stage(i).dc;
-            let tracked = if d == DC_DISABLED { 0 } else { d.min(MAX_TRACKED_CREDITS) };
+            let tracked = if d == DC_DISABLED {
+                0
+            } else {
+                d.min(MAX_TRACKED_CREDITS)
+            };
             for k in 0..=tracked {
-                classes.push(StationClass { stage: i, credits_used: k });
+                classes.push(StationClass {
+                    stage: i,
+                    credits_used: k,
+                });
             }
         }
         RoundModel { config, classes }
@@ -133,8 +140,8 @@ impl RoundModel {
         for (i, &pi) in stage_marginal.iter().enumerate() {
             let w = self.config.stage(i).cw as usize;
             let per = pi / w as f64;
-            for v in 0..w {
-                pmf[v] += per;
+            for slot in pmf.iter_mut().take(w) {
+                *slot += per;
             }
         }
         let mut surv = vec![0.0; wmax + 1];
@@ -287,7 +294,12 @@ impl RoundModel {
             round_success_probability: p_succ_round,
             idle_slots_per_round: idle_slots,
             transmitters_per_round: transmitters,
-            class_distribution: self.classes.iter().copied().zip(pi.iter().copied()).collect(),
+            class_distribution: self
+                .classes
+                .iter()
+                .copied()
+                .zip(pi.iter().copied())
+                .collect(),
             stage_marginal,
         }
     }
@@ -317,7 +329,13 @@ mod tests {
         let m = RoundModel::default_ca1();
         // 1 + 2 + 4 + 16 classes for d = [0, 1, 3, 15].
         assert_eq!(m.classes().len(), 23);
-        assert_eq!(m.classes()[0], StationClass { stage: 0, credits_used: 0 });
+        assert_eq!(
+            m.classes()[0],
+            StationClass {
+                stage: 0,
+                credits_used: 0
+            }
+        );
     }
 
     #[test]
@@ -355,12 +373,18 @@ mod tests {
         // At N = 2 the naive decoupled model overshoots harder than the
         // round model does.
         use plc_sim::paper::PaperSim;
-        let sim = PaperSim::with_n_and_time(2, 2e7).run(5).unwrap().collision_pr;
+        let sim = PaperSim::with_n_and_time(2, 2e7)
+            .run(5)
+            .unwrap()
+            .collision_pr;
         let round = RoundModel::default_ca1().solve(2).collision_probability;
         let decoupled = crate::model1901::Model1901::default_ca1()
             .solve(2)
             .collision_probability;
-        assert!((round - sim).abs() < (decoupled - sim).abs(), "round {round:.4}, decoupled {decoupled:.4}, sim {sim:.4}");
+        assert!(
+            (round - sim).abs() < (decoupled - sim).abs(),
+            "round {round:.4}, decoupled {decoupled:.4}, sim {sim:.4}"
+        );
     }
 
     #[test]
@@ -370,7 +394,10 @@ mod tests {
         let timing = MacTiming::paper_default();
         for n in [1usize, 2, 5] {
             let s_model = model.throughput(n, &timing);
-            let s_sim = PaperSim::with_n_and_time(n, 2e7).run(5).unwrap().norm_throughput;
+            let s_sim = PaperSim::with_n_and_time(n, 2e7)
+                .run(5)
+                .unwrap()
+                .norm_throughput;
             assert!(
                 (s_model - s_sim).abs() < 0.05,
                 "N={n}: model S={s_model:.4} vs sim S={s_sim:.4}"

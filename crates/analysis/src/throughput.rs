@@ -24,13 +24,20 @@ pub struct SlotProbabilities {
 impl SlotProbabilities {
     /// Compute from the decoupled attempt rate.
     pub fn from_tau(tau: f64, n: usize) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "τ must be a probability, got {tau}");
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "τ must be a probability, got {tau}"
+        );
         assert!(n >= 1);
         let nf = n as f64;
         let idle = (1.0 - tau).powi(n as i32);
         let success = nf * tau * (1.0 - tau).powi(n as i32 - 1);
         let collision = (1.0 - idle - success).max(0.0);
-        SlotProbabilities { idle, success, collision }
+        SlotProbabilities {
+            idle,
+            success,
+            collision,
+        }
     }
 }
 

@@ -54,7 +54,14 @@ fn bench_figure2(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure2");
     g.sample_size(10);
     g.bench_function("simulation_n5_5s", |b| {
-        b.iter(|| black_box(PaperSim::with_n_and_time(5, 5.0e6).run(1).unwrap().collision_pr))
+        b.iter(|| {
+            black_box(
+                PaperSim::with_n_and_time(5, 5.0e6)
+                    .run(1)
+                    .unwrap()
+                    .collision_pr,
+            )
+        })
     });
     g.bench_function("analysis_coupled_n5", |b| {
         let model = CoupledModel::default_ca1();

@@ -52,6 +52,9 @@ fn main() {
         let started = std::time::Instant::now();
         let output = runner(&opts);
         println!("{output}");
-        println!("[{name} finished in {:.1} s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[{name} finished in {:.1} s]\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -18,9 +18,16 @@ pub fn run(opts: &RunOpts) -> String {
         "frozen final PB err",
     ]);
     for &drift in &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
-        let base = AdaptationConfig { drift_db_per_s: drift, duration, ..Default::default() };
+        let base = AdaptationConfig {
+            drift_db_per_s: drift,
+            duration,
+            ..Default::default()
+        };
         let adapt = run_adaptation(&base);
-        let frozen = run_adaptation(&AdaptationConfig { adapt: false, ..base });
+        let frozen = run_adaptation(&AdaptationConfig {
+            adapt: false,
+            ..base
+        });
         t.row(vec![
             format!("{drift:.2}"),
             format!("{:.2}", adapt.update_rate_per_s),
@@ -52,12 +59,18 @@ mod tests {
             .lines()
             .filter(|l| {
                 let t = l.trim_start();
-                t.starts_with("0.") || t.starts_with("1.") || t.starts_with("2.") || t.starts_with("4.")
+                t.starts_with("0.")
+                    || t.starts_with("1.")
+                    || t.starts_with("2.")
+                    || t.starts_with("4.")
             })
             .filter_map(|l| l.split_whitespace().nth(1).and_then(|x| x.parse().ok()))
             .collect();
         assert!(rates.len() >= 4, "parsed {rates:?} from:\n{s}");
-        assert!(rates.windows(2).all(|w| w[1] >= w[0] - 0.1), "rates {rates:?}");
+        assert!(
+            rates.windows(2).all(|w| w[1] >= w[0] - 0.1),
+            "rates {rates:?}"
+        );
         assert_eq!(rates[0], 0.0, "no drift → no updates");
     }
 }

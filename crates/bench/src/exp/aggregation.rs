@@ -30,7 +30,10 @@ pub struct AggregationPoint {
 
 /// Run one configuration over `horizon_us` of Poisson arrivals.
 pub fn measure(frames_per_s: f64, timeout_us: f64, horizon_us: f64, seed: u64) -> AggregationPoint {
-    let cfg = AggregationConfig { timeout_us, ..AggregationConfig::default_hpav() };
+    let cfg = AggregationConfig {
+        timeout_us,
+        ..AggregationConfig::default_hpav()
+    };
     let mut q = AggregationQueue::new(cfg);
     let mut rng = SmallRng::seed_from_u64(seed);
     let rate_per_us = frames_per_s / 1e6;
@@ -41,7 +44,10 @@ pub fn measure(frames_per_s: f64, timeout_us: f64, horizon_us: f64, seed: u64) -
         if t > horizon_us {
             break;
         }
-        q.push(EthernetFrame { arrival_us: t, bytes: 1500 });
+        q.push(EthernetFrame {
+            arrival_us: t,
+            bytes: 1500,
+        });
     }
     q.drain(horizon_us + timeout_us);
     let closed = q.take_closed();
@@ -98,7 +104,11 @@ mod tests {
         let heavy = measure(50_000.0, 2_000.0, 5e6, 1);
         // Light: mostly 1–2 frames, wait ≈ the timeout.
         assert!(light.mean_frames_per_mpdu < 3.0);
-        assert!((light.mean_wait_us - 2_000.0).abs() < 300.0, "{}", light.mean_wait_us);
+        assert!(
+            (light.mean_wait_us - 2_000.0).abs() < 300.0,
+            "{}",
+            light.mean_wait_us
+        );
         // Heavy: the 72-PB budget (24 × 3 PBs) fills well before timeout.
         assert!(heavy.mean_frames_per_mpdu > 20.0);
         assert!(heavy.mean_wait_us < 700.0);

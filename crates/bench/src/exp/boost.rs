@@ -5,6 +5,7 @@ use crate::RunOpts;
 use plc_analysis::boost::{boost_search, BoostOptions};
 use plc_core::config::{CsmaConfig, DC_DISABLED};
 use plc_core::timing::MacTiming;
+use plc_sim::sweep;
 use plc_sim::Simulation;
 use plc_stats::table::{fmt_prob, Table};
 
@@ -21,36 +22,29 @@ pub struct BoostResult {
     pub config: CsmaConfig,
 }
 
-/// Search and validate at each N.
+/// Search and validate at each N, on the deterministic
+/// [`plc_sim::sweep`] pool.
 pub fn results(opts: &RunOpts, ns: &[usize]) -> Vec<BoostResult> {
     let timing = MacTiming::paper_default();
     let horizon = opts.horizon_us();
-    let mut out: Vec<Option<BoostResult>> = vec![None; ns.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, &n) in out.iter_mut().zip(ns) {
-            let timing = &timing;
-            scope.spawn(move |_| {
-                let best = boost_search(n, timing, &BoostOptions::default())
-                    .into_iter()
-                    .next()
-                    .expect("candidates");
-                let default_sim = Simulation::ieee1901(n).horizon_us(horizon).seed(13).run();
-                let boosted_sim = Simulation::ieee1901(n)
-                    .config(best.config.clone())
-                    .horizon_us(horizon)
-                    .seed(13)
-                    .run();
-                *slot = Some(BoostResult {
-                    n,
-                    default_throughput: default_sim.norm_throughput,
-                    boosted_throughput: boosted_sim.norm_throughput,
-                    config: best.config,
-                });
-            });
+    sweep::parallel_map(sweep::default_workers(), ns.to_vec(), |_, n| {
+        let best = boost_search(n, &timing, &BoostOptions::default())
+            .into_iter()
+            .next()
+            .expect("candidates");
+        let default_sim = Simulation::ieee1901(n).horizon_us(horizon).seed(13).run();
+        let boosted_sim = Simulation::ieee1901(n)
+            .config(best.config.clone())
+            .horizon_us(horizon)
+            .seed(13)
+            .run();
+        BoostResult {
+            n,
+            default_throughput: default_sim.norm_throughput,
+            boosted_throughput: boosted_sim.norm_throughput,
+            config: best.config,
         }
     })
-    .expect("sweep threads");
-    out.into_iter().map(|r| r.expect("computed")).collect()
 }
 
 fn dc_label(cfg: &CsmaConfig) -> String {
@@ -58,7 +52,11 @@ fn dc_label(cfg: &CsmaConfig) -> String {
         "{:?}",
         cfg.dc_vector()
             .iter()
-            .map(|&d| if d == DC_DISABLED { "-".into() } else { d.to_string() })
+            .map(|&d| if d == DC_DISABLED {
+                "-".into()
+            } else {
+                d.to_string()
+            })
             .collect::<Vec<_>>()
     )
 }
@@ -66,14 +64,7 @@ fn dc_label(cfg: &CsmaConfig) -> String {
 /// Render the experiment.
 pub fn run(opts: &RunOpts) -> String {
     let rs = results(opts, &[2, 5, 10, 20]);
-    let mut t = Table::new(vec![
-        "N",
-        "default S",
-        "boosted S",
-        "gain",
-        "cw",
-        "dc",
-    ]);
+    let mut t = Table::new(vec!["N", "default S", "boosted S", "gain", "cw", "dc"]);
     for r in &rs {
         t.row(vec![
             r.n.to_string(),

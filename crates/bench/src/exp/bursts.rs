@@ -38,14 +38,12 @@ pub fn run(opts: &RunOpts) -> String {
     let int6300 = measure(opts, BurstPolicy::INT6300, 42);
     let adaptive = measure(
         opts,
-        BurstPolicy::Random { weights: [0.1, 0.5, 0.25, 0.15] },
+        BurstPolicy::Random {
+            weights: [0.1, 0.5, 0.25, 0.15],
+        },
         42,
     );
-    let mut t = Table::new(vec![
-        "burst size",
-        "INT6300 freq.",
-        "adaptive freq.",
-    ]);
+    let mut t = Table::new(vec!["burst size", "INT6300 freq.", "adaptive freq."]);
     for size in 1..=4usize {
         t.row(vec![
             size.to_string(),
@@ -86,7 +84,9 @@ mod tests {
     fn random_policy_spreads_sizes() {
         let h = measure(
             &RunOpts { quick: true },
-            BurstPolicy::Random { weights: [1.0, 1.0, 1.0, 1.0] },
+            BurstPolicy::Random {
+                weights: [1.0, 1.0, 1.0, 1.0],
+            },
             2,
         );
         for size in 1..=4 {

@@ -51,7 +51,10 @@ pub fn run_mix(
         )));
     }
     for _ in 0..n_boosted {
-        stations.push(StationSpec::saturated(Backoff1901::new(boosted.clone(), &mut rng)));
+        stations.push(StationSpec::saturated(Backoff1901::new(
+            boosted.clone(),
+            &mut rng,
+        )));
     }
     let cfg = EngineConfig::with_horizon(Microseconds(opts.horizon_us()));
     let mut engine = SlottedEngine::new(cfg, stations, seed);
@@ -61,7 +64,11 @@ pub fn run_mix(
             return f64::NAN;
         }
         let len = range.len() as f64;
-        m.per_station[range].iter().map(|s| s.successes as f64).sum::<f64>() / len
+        m.per_station[range]
+            .iter()
+            .map(|s| s.successes as f64)
+            .sum::<f64>()
+            / len
     };
     MixOutcome {
         n_default,
@@ -87,13 +94,23 @@ pub fn run(opts: &RunOpts) -> String {
     for n_boosted in [0usize, 3, 5, 7, 10] {
         let o = run_mix(opts, n - n_boosted, n_boosted, &boosted, 21);
         let ratio = o.default_share / o.boosted_share;
-        let fmt_share = |x: f64| if x.is_nan() { "-".to_string() } else { format!("{x:.0}") };
+        let fmt_share = |x: f64| {
+            if x.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{x:.0}")
+            }
+        };
         t.row(vec![
             format!("{}/{}", o.n_default, o.n_boosted),
             fmt_prob(o.total_throughput),
             fmt_share(o.default_share),
             fmt_share(o.boosted_share),
-            if ratio.is_finite() { format!("{ratio:.2}") } else { "-".into() },
+            if ratio.is_finite() {
+                format!("{ratio:.2}")
+            } else {
+                "-".into()
+            },
         ]);
     }
     format!(

@@ -68,7 +68,11 @@ pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<DelayPoint> {
                 n,
                 sim_ms: per_station.mean() / 1e3,
                 model_ms: model_intersuccess_us(&model, n, &timing) / 1e3,
-                spread_ms: if n > 1 { per_station.std_dev() / 1e3 } else { 0.0 },
+                spread_ms: if n > 1 {
+                    per_station.std_dev() / 1e3
+                } else {
+                    0.0
+                },
                 p95_ms: p95 / 1e3,
             }
         })
@@ -78,7 +82,13 @@ pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<DelayPoint> {
 /// Render the experiment.
 pub fn run(opts: &RunOpts) -> String {
     let pts = points(opts, &[1, 2, 3, 5, 7, 10, 15]);
-    let mut t = Table::new(vec!["N", "sim (ms)", "model (ms)", "spread (ms)", "p95 (ms)"]);
+    let mut t = Table::new(vec![
+        "N",
+        "sim (ms)",
+        "model (ms)",
+        "spread (ms)",
+        "p95 (ms)",
+    ]);
     for p in &pts {
         t.row(vec![
             p.n.to_string(),

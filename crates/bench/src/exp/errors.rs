@@ -65,7 +65,11 @@ pub fn run(opts: &RunOpts) -> String {
     ]);
     for p in &pts {
         t.row(vec![
-            if p.margin_db.is_infinite() { "∞".into() } else { format!("{:.1}", p.margin_db) },
+            if p.margin_db.is_infinite() {
+                "∞".into()
+            } else {
+                format!("{:.1}", p.margin_db)
+            },
             fmt_prob(p.pb_error_prob),
             fmt_prob(p.goodput),
             fmt_prob(p.predicted),

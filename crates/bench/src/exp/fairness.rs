@@ -18,11 +18,7 @@ pub fn success_trace(sim: &Simulation) -> Vec<usize> {
 }
 
 /// Windowed Jain fairness of both protocols at the given window sizes.
-pub fn jain_comparison(
-    opts: &RunOpts,
-    n: usize,
-    windows: &[usize],
-) -> Vec<(usize, f64, f64)> {
+pub fn jain_comparison(opts: &RunOpts, n: usize, windows: &[usize]) -> Vec<(usize, f64, f64)> {
     let horizon = opts.horizon_us();
     let t1901 = success_trace(&Simulation::ieee1901(n).horizon_us(horizon).seed(14));
     let tdcf = success_trace(&Simulation::dcf(n).horizon_us(horizon).seed(14));
@@ -38,7 +34,11 @@ pub fn run(opts: &RunOpts) -> String {
     let rows = jain_comparison(opts, n, &[4, 8, 16, 32, 64, 256]);
     let mut t = Table::new(vec!["window", "Jain 1901", "Jain 802.11"]);
     for (w, j1901, jdcf) in &rows {
-        t.row(vec![w.to_string(), format!("{j1901:.4}"), format!("{jdcf:.4}")]);
+        t.row(vec![
+            w.to_string(),
+            format!("{j1901:.4}"),
+            format!("{jdcf:.4}"),
+        ]);
     }
 
     let horizon = opts.horizon_us();

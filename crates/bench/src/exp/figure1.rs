@@ -45,7 +45,12 @@ pub fn trace(rows: usize, seed: u64) -> Vec<TraceRow> {
             }
             StepOutcome::Collision { .. } => "collision".to_string(),
         };
-        out.push(TraceRow { t_us: t, event, a: engine.snapshot(0), b: engine.snapshot(1) });
+        out.push(TraceRow {
+            t_us: t,
+            event,
+            a: engine.snapshot(0),
+            b: engine.snapshot(1),
+        });
     }
     out
 }
@@ -53,9 +58,7 @@ pub fn trace(rows: usize, seed: u64) -> Vec<TraceRow> {
 /// Render the figure as a table.
 pub fn run(_opts: &RunOpts) -> String {
     let rows = trace(30, 1901);
-    let mut s = String::from(
-        "Figure 1 — backoff evolution, 2 saturated stations (CA1 table)\n\n",
-    );
+    let mut s = String::from("Figure 1 — backoff evolution, 2 saturated stations (CA1 table)\n\n");
     s.push_str(&format!(
         "{:>10}  {:<10}  {:>12}  {:>12}\n{}\n",
         "time (µs)",
@@ -100,7 +103,10 @@ mod tests {
     fn trace_shows_figure1_dynamics() {
         // Long enough to contain a transmission and a deferral jump.
         let rows = trace(200, 1901);
-        assert!(rows.iter().any(|r| r.event.starts_with("tx")), "some transmission");
+        assert!(
+            rows.iter().any(|r| r.event.starts_with("tx")),
+            "some transmission"
+        );
         // After any tx by A, A is back at CW = 8 (stage 0).
         for w in rows.windows(2) {
             if w[0].event == "tx A" {

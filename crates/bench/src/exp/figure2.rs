@@ -3,12 +3,14 @@
 //!
 //! The paper overlays the three series for N = 1…7 under the default CA1
 //! configuration and finds "an excellent fit". The same three series are
-//! regenerated here; the parallel sweep over N uses crossbeam scoped
-//! threads (each point is an independent simulation).
+//! regenerated here; the sweep over N runs on the deterministic
+//! [`plc_sim::sweep`] worker pool (each point is an independent
+//! simulation, so results are identical for any worker count).
 
 use crate::RunOpts;
 use plc_analysis::CoupledModel;
 use plc_core::units::Microseconds;
+use plc_sim::sweep;
 use plc_sim::PaperSim;
 use plc_stats::summary::Welford;
 use plc_stats::table::{fmt_prob, Table};
@@ -33,7 +35,9 @@ pub struct Point {
 }
 
 /// The paper's curve, `ΣCᵢ/ΣAᵢ` from Table 2.
-pub const PAPER: [f64; 7] = [0.000154, 0.07414, 0.13387, 0.17789, 0.21761, 0.24427, 0.26686];
+pub const PAPER: [f64; 7] = [
+    0.000154, 0.07414, 0.13387, 0.17789, 0.21761, 0.24427, 0.26686,
+];
 
 /// Compute all seven points. The sweep over N runs in parallel.
 pub fn points(opts: &RunOpts) -> Vec<Point> {
@@ -42,40 +46,32 @@ pub fn points(opts: &RunOpts) -> Vec<Point> {
     let secs = opts.test_secs().min(60.0);
     let repeats = opts.repeats();
 
-    let mut out: Vec<Option<Point>> = vec![None; 7];
-    crossbeam::thread::scope(|scope| {
-        for (slot, n) in out.iter_mut().zip(1..=7usize) {
-            let model = &model;
-            scope.spawn(move |_| {
-                let simulation = PaperSim::with_n_and_time(n, horizon)
-                    .run(40 + n as u64)
-                    .expect("valid inputs")
-                    .collision_pr;
-                let analysis = model.solve(n).collision_probability;
-                let outcomes = CollisionExperiment {
-                    duration: Microseconds::from_secs(secs),
-                    ..CollisionExperiment::paper(n, 500 + n as u64)
-                }
-                .run_repeated(repeats)
-                .expect("testbed runs");
-                let measured = mean_collision_probability(&outcomes);
-                let mut w = Welford::new();
-                for o in &outcomes {
-                    w.push(o.collision_probability);
-                }
-                *slot = Some(Point {
-                    n,
-                    paper: PAPER[n - 1],
-                    simulation,
-                    analysis,
-                    measured,
-                    measured_ci95: w.ci_half_width(0.95),
-                });
-            });
+    sweep::parallel_map(sweep::default_workers(), (1..=7usize).collect(), |_, n| {
+        let simulation = PaperSim::with_n_and_time(n, horizon)
+            .run(40 + n as u64)
+            .expect("valid inputs")
+            .collision_pr;
+        let analysis = model.solve(n).collision_probability;
+        let outcomes = CollisionExperiment {
+            duration: Microseconds::from_secs(secs),
+            ..CollisionExperiment::paper(n, 500 + n as u64)
+        }
+        .run_repeated(repeats)
+        .expect("testbed runs");
+        let measured = mean_collision_probability(&outcomes);
+        let mut w = Welford::new();
+        for o in &outcomes {
+            w.push(o.collision_probability);
+        }
+        Point {
+            n,
+            paper: PAPER[n - 1],
+            simulation,
+            analysis,
+            measured,
+            measured_ci95: w.ci_half_width(0.95),
         }
     })
-    .expect("sweep threads");
-    out.into_iter().map(|p| p.expect("computed")).collect()
 }
 
 /// Render the figure as a table.

@@ -36,7 +36,10 @@ pub fn sweep(opts: &RunOpts, n: usize, offered: &[f64]) -> Vec<LoadPoint> {
         .map(|&f| {
             let rate = f / (n as f64 * frame_us);
             let report = Simulation::ieee1901(n)
-                .traffic(TrafficModel::Poisson { rate_per_us: rate, queue_cap: 50 })
+                .traffic(TrafficModel::Poisson {
+                    rate_per_us: rate,
+                    queue_cap: 50,
+                })
                 .horizon_us(opts.horizon_us())
                 .seed(33)
                 .run();
@@ -59,12 +62,7 @@ pub fn run(opts: &RunOpts) -> String {
     let n = 5;
     let offered = [0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 2.0];
     let pts = sweep(opts, n, &offered);
-    let mut t = Table::new(vec![
-        "offered load",
-        "carried",
-        "collision p",
-        "shortfall",
-    ]);
+    let mut t = Table::new(vec!["offered load", "carried", "collision p", "shortfall"]);
     for p in &pts {
         t.row(vec![
             format!("{:.2}", p.offered),
@@ -97,10 +95,17 @@ mod tests {
         let opts = RunOpts { quick: true };
         let pts = sweep(&opts, 5, &[0.2, 0.5, 2.0]);
         // Light load: carried ≈ offered, few collisions.
-        assert!((pts[0].carried - 0.2).abs() < 0.03, "carried {}", pts[0].carried);
+        assert!(
+            (pts[0].carried - 0.2).abs() < 0.03,
+            "carried {}",
+            pts[0].carried
+        );
         assert!(pts[0].collision_probability < 0.08);
         // Heavy load: pinned at the saturated ceiling.
-        let sat = Simulation::ieee1901(5).horizon_us(opts.horizon_us()).seed(33).run();
+        let sat = Simulation::ieee1901(5)
+            .horizon_us(opts.horizon_us())
+            .seed(33)
+            .run();
         assert!(
             (pts[2].carried - sat.norm_throughput).abs() < 0.04,
             "overloaded carried {} vs saturated {}",

@@ -43,7 +43,13 @@ pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> OverheadPo
     let bursts = group_bursts(&captures);
     let data = bursts.iter().filter(|b| b.is_data()).count();
     let mme = bursts.iter().filter(|b| !b.is_data()).count();
-    OverheadPoint { n, mme_rate, data_bursts: data, mme_bursts: mme, overhead: mme_overhead(&bursts) }
+    OverheadPoint {
+        n,
+        mme_rate,
+        data_bursts: data,
+        mme_bursts: mme,
+        overhead: mme_overhead(&bursts),
+    }
 }
 
 /// Render the experiment.

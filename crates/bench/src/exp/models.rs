@@ -21,7 +21,10 @@ use plc_sim::PaperSim;
 use plc_stats::table::{fmt_prob, Table};
 
 /// One comparison row: `(n, sim, decoupled, round, coupled)`.
-pub fn rows(opts: &RunOpts) -> Vec<(usize, f64, f64, f64, f64)> {
+pub type Row = (usize, f64, f64, f64, f64);
+
+/// All comparison rows for the swept N values.
+pub fn rows(opts: &RunOpts) -> Vec<Row> {
     let decoupled = Model1901::default_ca1();
     let round = RoundModel::default_ca1();
     let coupled = CoupledModel::default_ca1();
@@ -88,9 +91,8 @@ mod tests {
         // model's bias flips sign near N = 4); the right comparison is the
         // worst case over the sweep.
         let data = rows(&RunOpts { quick: true });
-        let max_err = |f: &dyn Fn(&(usize, f64, f64, f64, f64)) -> f64| {
-            data.iter().map(|row| f(row).abs()).fold(0.0f64, f64::max)
-        };
+        let max_err =
+            |f: &dyn Fn(&Row) -> f64| data.iter().map(|row| f(row).abs()).fold(0.0f64, f64::max);
         let ed = max_err(&|&(_, sim, d, _, _)| d - sim);
         let er = max_err(&|&(_, sim, _, r, _)| r - sim);
         let ec = max_err(&|&(_, sim, _, _, c)| c - sim);

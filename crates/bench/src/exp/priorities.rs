@@ -60,13 +60,7 @@ pub fn class_collision_curves(opts: &RunOpts) -> Vec<(usize, f64, f64, f64, f64)
 
 /// Render the experiment.
 pub fn run(opts: &RunOpts) -> String {
-    let mut t = Table::new(vec![
-        "N",
-        "CA1 sim",
-        "CA1 model",
-        "CA3 sim",
-        "CA3 model",
-    ]);
+    let mut t = Table::new(vec!["N", "CA1 sim", "CA1 model", "CA3 sim", "CA3 model"]);
     for (n, s01, m01, s23, m23) in class_collision_curves(opts) {
         t.row(vec![
             n.to_string(),
@@ -93,7 +87,10 @@ pub fn run(opts: &RunOpts) -> String {
         ClassStationSpec::new(
             Backoff1901::new(CsmaConfig::ieee1901_ca23(), &mut rng),
             Priority::CA2,
-            TrafficModel::Poisson { rate_per_us: 1e-4, queue_cap: 32 },
+            TrafficModel::Poisson {
+                rate_per_us: 1e-4,
+                queue_cap: 32,
+            },
         ),
     ];
     let cfg = MultiClassConfig {
@@ -132,8 +129,14 @@ mod tests {
             assert!(s23 > s01, "N={n}: CA3 sim {s23} vs CA1 sim {s01}");
             assert!(m23 > m01, "N={n}: CA3 model {m23} vs CA1 model {m01}");
             // Model tracks the PRS-engine simulation per class.
-            assert!((s01 - m01).abs() < 0.035, "N={n}: CA1 sim {s01} vs model {m01}");
-            assert!((s23 - m23).abs() < 0.035, "N={n}: CA3 sim {s23} vs model {m23}");
+            assert!(
+                (s01 - m01).abs() < 0.035,
+                "N={n}: CA1 sim {s01} vs model {m01}"
+            );
+            assert!(
+                (s23 - m23).abs() < 0.035,
+                "N={n}: CA3 sim {s23} vs model {m23}"
+            );
         }
     }
 }

@@ -6,8 +6,11 @@ use crate::RunOpts;
 use plc_core::config::CsmaConfig;
 use plc_stats::table::Table;
 
+/// One Table 1 row: `(stage, bpc_label, (cw, dc) for CA0/1, (cw, dc) for CA2/3)`.
+pub type Row = (usize, &'static str, (u32, u32), (u32, u32));
+
 /// The four rows of Table 1 as `(stage, bpc_label, ca01, ca23)`.
-pub fn rows() -> Vec<(usize, &'static str, (u32, u32), (u32, u32))> {
+pub fn rows() -> Vec<Row> {
     let ca01 = CsmaConfig::ieee1901_ca01();
     let ca23 = CsmaConfig::ieee1901_ca23();
     let bpc_labels = ["0", "1", "2", "≥ 3"];

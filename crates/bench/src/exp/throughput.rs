@@ -14,6 +14,7 @@ use crate::RunOpts;
 use plc_analysis::CoupledModel;
 use plc_core::config::CsmaConfig;
 use plc_core::timing::MacTiming;
+use plc_sim::sweep;
 use plc_sim::Simulation;
 use plc_stats::table::{fmt_prob, Table};
 
@@ -32,36 +33,27 @@ pub struct Point {
     pub dcf_matched: f64,
 }
 
-/// The sweep over N (parallelized).
+/// The sweep over N, run on the deterministic [`plc_sim::sweep`] pool.
 pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<Point> {
     let horizon = opts.horizon_us();
     let model = CoupledModel::default_ca1();
     let timing = MacTiming::paper_default();
-    let mut out: Vec<Option<Point>> = vec![None; ns.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, &n) in out.iter_mut().zip(ns) {
-            let model = &model;
-            let timing = &timing;
-            scope.spawn(move |_| {
-                let s1901 = Simulation::ieee1901(n).horizon_us(horizon).seed(7).run();
-                let dcf = Simulation::dcf(n).horizon_us(horizon).seed(7).run();
-                let dcf_matched = Simulation::dcf(n)
-                    .config(CsmaConfig::dcf_like(8, 4).expect("valid"))
-                    .horizon_us(horizon)
-                    .seed(7)
-                    .run();
-                *slot = Some(Point {
-                    n,
-                    s1901: s1901.norm_throughput,
-                    s1901_model: model.throughput(n, timing),
-                    dcf: dcf.norm_throughput,
-                    dcf_matched: dcf_matched.norm_throughput,
-                });
-            });
+    sweep::parallel_map(sweep::default_workers(), ns.to_vec(), |_, n| {
+        let s1901 = Simulation::ieee1901(n).horizon_us(horizon).seed(7).run();
+        let dcf = Simulation::dcf(n).horizon_us(horizon).seed(7).run();
+        let dcf_matched = Simulation::dcf(n)
+            .config(CsmaConfig::dcf_like(8, 4).expect("valid"))
+            .horizon_us(horizon)
+            .seed(7)
+            .run();
+        Point {
+            n,
+            s1901: s1901.norm_throughput,
+            s1901_model: model.throughput(n, &timing),
+            dcf: dcf.norm_throughput,
+            dcf_matched: dcf_matched.norm_throughput,
         }
     })
-    .expect("sweep threads");
-    out.into_iter().map(|p| p.expect("computed")).collect()
 }
 
 /// Render the comparison.

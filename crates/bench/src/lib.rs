@@ -74,10 +74,13 @@ impl Default for RunOpts {
     }
 }
 
+/// An experiment entry point: options in, rendered table out.
+pub type Experiment = fn(&RunOpts) -> String;
+
 /// Every experiment's name and runner, in presentation order.
-pub fn registry() -> Vec<(&'static str, fn(&RunOpts) -> String)> {
+pub fn registry() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("table1", exp::table1::run as fn(&RunOpts) -> String),
+        ("table1", exp::table1::run as Experiment),
         ("figure1", exp::figure1::run),
         ("table2", exp::table2::run),
         ("figure2", exp::figure2::run),

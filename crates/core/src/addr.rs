@@ -63,7 +63,10 @@ pub struct ParseMacError(());
 
 impl fmt::Display for ParseMacError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expected colon-separated MAC address like 02:19:01:00:00:01")
+        write!(
+            f,
+            "expected colon-separated MAC address like 02:19:01:00:00:01"
+        )
     }
 }
 

@@ -91,15 +91,13 @@ impl CsmaConfig {
     /// The standard 1901 table for best-effort priorities CA0/CA1
     /// (Table 1, left column): `cw = [8, 16, 32, 64]`, `dc = [0, 1, 3, 15]`.
     pub fn ieee1901_ca01() -> Self {
-        CsmaConfig::from_vectors(&[8, 16, 32, 64], &[0, 1, 3, 15])
-            .expect("standard table is valid")
+        CsmaConfig::from_vectors(&[8, 16, 32, 64], &[0, 1, 3, 15]).expect("standard table is valid")
     }
 
     /// The standard 1901 table for delay-sensitive priorities CA2/CA3
     /// (Table 1, right column): `cw = [8, 16, 16, 32]`, `dc = [0, 1, 3, 15]`.
     pub fn ieee1901_ca23() -> Self {
-        CsmaConfig::from_vectors(&[8, 16, 16, 32], &[0, 1, 3, 15])
-            .expect("standard table is valid")
+        CsmaConfig::from_vectors(&[8, 16, 16, 32], &[0, 1, 3, 15]).expect("standard table is valid")
     }
 
     /// The standard table for a given priority class (selects the Table 1
@@ -124,10 +122,13 @@ impl CsmaConfig {
         }
         let mut v = Vec::with_capacity(stages);
         for i in 0..stages {
-            let cw = cw_min.checked_shl(i as u32).ok_or_else(|| {
-                Error::invalid_config(format!("cw overflow at stage {i}"))
-            })?;
-            v.push(StageParams { cw, dc: DC_DISABLED });
+            let cw = cw_min
+                .checked_shl(i as u32)
+                .ok_or_else(|| Error::invalid_config(format!("cw overflow at stage {i}")))?;
+            v.push(StageParams {
+                cw,
+                dc: DC_DISABLED,
+            });
         }
         CsmaConfig::new(v)
     }
@@ -135,7 +136,10 @@ impl CsmaConfig {
     /// A single-stage constant-window configuration (useful for boosting
     /// experiments and for degenerate analytical cases).
     pub fn constant_window(cw: u32) -> Result<Self> {
-        CsmaConfig::new(vec![StageParams { cw, dc: DC_DISABLED }])
+        CsmaConfig::new(vec![StageParams {
+            cw,
+            dc: DC_DISABLED,
+        }])
     }
 
     /// Number of backoff stages `m`.
@@ -245,10 +249,22 @@ mod tests {
 
     #[test]
     fn priority_selects_column() {
-        assert_eq!(CsmaConfig::ieee1901_for(Priority::CA0), CsmaConfig::ieee1901_ca01());
-        assert_eq!(CsmaConfig::ieee1901_for(Priority::CA1), CsmaConfig::ieee1901_ca01());
-        assert_eq!(CsmaConfig::ieee1901_for(Priority::CA2), CsmaConfig::ieee1901_ca23());
-        assert_eq!(CsmaConfig::ieee1901_for(Priority::CA3), CsmaConfig::ieee1901_ca23());
+        assert_eq!(
+            CsmaConfig::ieee1901_for(Priority::CA0),
+            CsmaConfig::ieee1901_ca01()
+        );
+        assert_eq!(
+            CsmaConfig::ieee1901_for(Priority::CA1),
+            CsmaConfig::ieee1901_ca01()
+        );
+        assert_eq!(
+            CsmaConfig::ieee1901_for(Priority::CA2),
+            CsmaConfig::ieee1901_ca23()
+        );
+        assert_eq!(
+            CsmaConfig::ieee1901_for(Priority::CA3),
+            CsmaConfig::ieee1901_ca23()
+        );
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub enum Error {
 impl Error {
     /// Shorthand used by config validation.
     pub fn invalid_config(reason: impl Into<String>) -> Self {
-        Error::InvalidConfig { reason: reason.into() }
+        Error::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -63,7 +65,10 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidConfig { reason } => write!(f, "invalid CSMA/CA configuration: {reason}"),
             Error::Truncated { what, needed, got } => {
-                write!(f, "truncated {what}: need at least {needed} bytes, got {got}")
+                write!(
+                    f,
+                    "truncated {what}: need at least {needed} bytes, got {got}"
+                )
             }
             Error::FieldRange { field, value, max } => {
                 write!(f, "field {field} out of range: {value} > {max}")
@@ -71,7 +76,10 @@ impl fmt::Display for Error {
             Error::UnknownMmtype(t) => write!(f, "unknown MMType 0x{t:04X}"),
             Error::UnknownDelimiter(d) => write!(f, "unknown delimiter type 0x{d:02X}"),
             Error::BadChecksum { expected, computed } => {
-                write!(f, "bad checksum: frame carries 0x{expected:08X}, computed 0x{computed:08X}")
+                write!(
+                    f,
+                    "bad checksum: frame carries 0x{expected:08X}, computed 0x{computed:08X}"
+                )
             }
         }
     }
@@ -85,7 +93,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = Error::Truncated { what: "MME header", needed: 19, got: 4 };
+        let e = Error::Truncated {
+            what: "MME header",
+            needed: 19,
+            got: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("MME header"));
         assert!(s.contains("19"));
@@ -94,19 +106,31 @@ mod tests {
 
     #[test]
     fn display_unknown_mmtype_is_hex() {
-        assert_eq!(Error::UnknownMmtype(0xA030).to_string(), "unknown MMType 0xA030");
+        assert_eq!(
+            Error::UnknownMmtype(0xA030).to_string(),
+            "unknown MMType 0xA030"
+        );
     }
 
     #[test]
     fn display_field_range() {
-        let e = Error::FieldRange { field: "MPDUCnt", value: 9, max: 3 };
+        let e = Error::FieldRange {
+            field: "MPDUCnt",
+            value: 9,
+            max: 3,
+        };
         assert!(e.to_string().contains("MPDUCnt"));
     }
 
     #[test]
     fn invalid_config_helper() {
         let e = Error::invalid_config("cw empty");
-        assert_eq!(e, Error::InvalidConfig { reason: "cw empty".into() });
+        assert_eq!(
+            e,
+            Error::InvalidConfig {
+                reason: "cw empty".into()
+            }
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub struct PhysicalBlock {
 impl PhysicalBlock {
     /// A zero-filled block (MAC-layer experiments never look inside).
     pub fn zeroed() -> Self {
-        PhysicalBlock { payload: vec![0u8; PB_SIZE] }
+        PhysicalBlock {
+            payload: vec![0u8; PB_SIZE],
+        }
     }
 
     /// Build a block from up to 512 bytes of data, zero-padding the rest.
@@ -167,7 +169,11 @@ impl SofDelimiter {
     /// Parse the wire format, checking type, field ranges and CRC.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         if buf.len() < SOF_WIRE_LEN {
-            return Err(Error::Truncated { what: "SoF delimiter", needed: SOF_WIRE_LEN, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "SoF delimiter",
+                needed: SOF_WIRE_LEN,
+                got: buf.len(),
+            });
         }
         let ty = DelimiterType::from_byte(buf[0])?;
         if ty != DelimiterType::Sof {
@@ -176,7 +182,10 @@ impl SofDelimiter {
         let carried = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
         let computed = crc32(&buf[..12]);
         if carried != computed {
-            return Err(Error::BadChecksum { expected: carried, computed });
+            return Err(Error::BadChecksum {
+                expected: carried,
+                computed,
+            });
         }
         let priority = Priority::from_bits(buf[3] & 0b11).expect("2-bit value");
         let mpdu_cnt = buf[4];
@@ -253,13 +262,19 @@ pub struct SelectiveAck {
 impl SelectiveAck {
     /// ACK for a cleanly received MPDU: all PBs good.
     pub fn all_good(to: Tei, num_pbs: u16) -> Self {
-        SelectiveAck { to, pb_ok: vec![true; num_pbs as usize] }
+        SelectiveAck {
+            to,
+            pb_ok: vec![true; num_pbs as usize],
+        }
     }
 
     /// ACK for a collided MPDU whose delimiter was decoded: every PB is
     /// flagged errored.
     pub fn all_errored(to: Tei, num_pbs: u16) -> Self {
-        SelectiveAck { to, pb_ok: vec![false; num_pbs as usize] }
+        SelectiveAck {
+            to,
+            pb_ok: vec![false; num_pbs as usize],
+        }
     }
 
     /// True when every PB was received ("the transmission succeeded").
@@ -340,7 +355,10 @@ mod tests {
     fn sof_rejects_corruption() {
         let mut wire = sample_sof().encode();
         wire[1] ^= 0xFF; // flip the src TEI
-        assert!(matches!(SofDelimiter::decode(&wire), Err(Error::BadChecksum { .. })));
+        assert!(matches!(
+            SofDelimiter::decode(&wire),
+            Err(Error::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -361,13 +379,21 @@ mod tests {
         wire[12..16].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(
             SofDelimiter::decode(&wire),
-            Err(Error::FieldRange { field: "MPDUCnt", .. })
+            Err(Error::FieldRange {
+                field: "MPDUCnt",
+                ..
+            })
         ));
     }
 
     #[test]
     fn delimiter_type_round_trip() {
-        for ty in [DelimiterType::Beacon, DelimiterType::Sof, DelimiterType::Sack, DelimiterType::RtsCts] {
+        for ty in [
+            DelimiterType::Beacon,
+            DelimiterType::Sof,
+            DelimiterType::Sack,
+            DelimiterType::RtsCts,
+        ] {
             assert_eq!(DelimiterType::from_byte(ty.to_byte()).unwrap(), ty);
         }
         assert!(DelimiterType::from_byte(9).is_err());
@@ -415,7 +441,10 @@ mod tests {
 
     #[test]
     fn sack_partial_is_neither() {
-        let mixed = SelectiveAck { to: Tei(3), pb_ok: vec![true, false, true] };
+        let mixed = SelectiveAck {
+            to: Tei(3),
+            pb_ok: vec![true, false, true],
+        };
         assert!(!mixed.is_success());
         assert!(!mixed.indicates_collision());
         assert_eq!(mixed.num_failed(), 1);
@@ -423,7 +452,10 @@ mod tests {
 
     #[test]
     fn empty_sack_is_degenerate() {
-        let empty = SelectiveAck { to: Tei(3), pb_ok: vec![] };
+        let empty = SelectiveAck {
+            to: Tei(3),
+            pb_ok: vec![],
+        };
         assert!(!empty.is_success());
         assert!(!empty.indicates_collision());
     }

@@ -108,7 +108,13 @@ pub struct MmeHeader {
 impl MmeHeader {
     /// Header for a vendor request.
     pub fn request(oda: MacAddr, osa: MacAddr, base: u16) -> Self {
-        MmeHeader { oda, osa, mmv: 1, mmtype: mmtype(base, MmVariant::Req), fmi: 0 }
+        MmeHeader {
+            oda,
+            osa,
+            mmv: 1,
+            mmtype: mmtype(base, MmVariant::Req),
+            fmi: 0,
+        }
     }
 
     /// Header for the confirm answering `req` (swaps addresses, bumps the
@@ -149,7 +155,11 @@ impl MmeHeader {
     /// Parse the wire format.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         if buf.len() < MME_HEADER_LEN {
-            return Err(Error::Truncated { what: "MME header", needed: MME_HEADER_LEN, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "MME header",
+                needed: MME_HEADER_LEN,
+                got: buf.len(),
+            });
         }
         let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
         if ethertype != ETHERTYPE_HOMEPLUG_AV {
@@ -196,7 +206,11 @@ impl Direction {
         match b {
             0 => Ok(Direction::Tx),
             1 => Ok(Direction::Rx),
-            other => Err(Error::FieldRange { field: "direction", value: other as u64, max: 1 }),
+            other => Err(Error::FieldRange {
+                field: "direction",
+                value: other as u64,
+                max: 1,
+            }),
         }
     }
 }
@@ -249,14 +263,22 @@ impl AmpStatReq {
     pub fn decode(buf: &[u8]) -> Result<Self> {
         let need = VENDOR_PAYLOAD_OFFSET + Self::PAYLOAD_LEN;
         if buf.len() < need {
-            return Err(Error::Truncated { what: "ampstat request", needed: need, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "ampstat request",
+                needed: need,
+                got: buf.len(),
+            });
         }
         let p = &buf[VENDOR_PAYLOAD_OFFSET..];
         let control = match p[0] {
             0 => StatsControl::Read,
             1 => StatsControl::Reset,
             other => {
-                return Err(Error::FieldRange { field: "stats control", value: other as u64, max: 1 })
+                return Err(Error::FieldRange {
+                    field: "stats control",
+                    value: other as u64,
+                    max: 1,
+                })
             }
         };
         let direction = Direction::from_byte(p[1])?;
@@ -267,7 +289,12 @@ impl AmpStatReq {
         })?;
         let mut peer = [0u8; 6];
         peer.copy_from_slice(&p[3..9]);
-        Ok(AmpStatReq { control, direction, priority, peer: MacAddr(peer) })
+        Ok(AmpStatReq {
+            control,
+            direction,
+            priority,
+            peer: MacAddr(peer),
+        })
     }
 }
 
@@ -309,7 +336,11 @@ impl AmpStatCnf {
     /// Decode a reply buffer.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         if buf.len() < Self::WIRE_LEN {
-            return Err(Error::Truncated { what: "ampstat reply", needed: Self::WIRE_LEN, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "ampstat reply",
+                needed: Self::WIRE_LEN,
+                got: buf.len(),
+            });
         }
         let mut acked = [0u8; 8];
         acked.copy_from_slice(&buf[AMPSTAT_ACKED_RANGE]);
@@ -344,12 +375,20 @@ impl SnifferReq {
     pub fn decode(buf: &[u8]) -> Result<Self> {
         let need = VENDOR_PAYLOAD_OFFSET + 1;
         if buf.len() < need {
-            return Err(Error::Truncated { what: "sniffer request", needed: need, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "sniffer request",
+                needed: need,
+                got: buf.len(),
+            });
         }
         match buf[VENDOR_PAYLOAD_OFFSET] {
             0 => Ok(SnifferReq { enable: false }),
             1 => Ok(SnifferReq { enable: true }),
-            other => Err(Error::FieldRange { field: "sniffer enable", value: other as u64, max: 1 }),
+            other => Err(Error::FieldRange {
+                field: "sniffer enable",
+                value: other as u64,
+                max: 1,
+            }),
         }
     }
 }
@@ -383,13 +422,20 @@ impl SnifferInd {
     /// Decode a full indication buffer.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         if buf.len() < Self::WIRE_LEN {
-            return Err(Error::Truncated { what: "sniffer indication", needed: Self::WIRE_LEN, got: buf.len() });
+            return Err(Error::Truncated {
+                what: "sniffer indication",
+                needed: Self::WIRE_LEN,
+                got: buf.len(),
+            });
         }
         let p = &buf[VENDOR_PAYLOAD_OFFSET..];
         let mut ts = [0u8; 8];
         ts.copy_from_slice(&p[..8]);
         let sof = SofDelimiter::decode(&p[8..8 + SOF_WIRE_LEN])?;
-        Ok(SnifferInd { timestamp_us: f64::from_le_bytes(ts), sof })
+        Ok(SnifferInd {
+            timestamp_us: f64::from_le_bytes(ts),
+            sof,
+        })
     }
 }
 
@@ -484,7 +530,10 @@ mod tests {
         // The report: "the bytes 25-32 of this reply represent the number of
         // acknowledged frames and the bytes 33-40 represent the number of
         // collided frames". Verify against the raw buffer, 1-indexed.
-        let cnf = AmpStatCnf { acked: 0x0102_0304_0506_0708, collided: 42 };
+        let cnf = AmpStatCnf {
+            acked: 0x0102_0304_0506_0708,
+            collided: 42,
+        };
         let wire = cnf.encode(&MmeHeader::confirm_to(&hdr(MMTYPE_STATS)));
         assert_eq!(wire.len(), 40);
         // 1-indexed byte 25 is wire[24].
@@ -496,7 +545,10 @@ mod tests {
 
     #[test]
     fn ampstat_reply_rejects_truncation() {
-        let cnf = AmpStatCnf { acked: 1, collided: 2 };
+        let cnf = AmpStatCnf {
+            acked: 1,
+            collided: 2,
+        };
         let wire = cnf.encode(&MmeHeader::confirm_to(&hdr(MMTYPE_STATS)));
         assert!(AmpStatCnf::decode(&wire[..39]).is_err());
     }

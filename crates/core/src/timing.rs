@@ -121,7 +121,12 @@ impl MacTiming {
         let common = PRS_SLOT * 2.0 + PREAMBLE + payload + CIFS;
         let ts = common + RIFS + SACK;
         let tc = common + RIFS + SACK + Microseconds(378.0);
-        MacTiming { slot: SLOT, ts, tc, frame_length: payload }
+        MacTiming {
+            slot: SLOT,
+            ts,
+            tc,
+            frame_length: payload,
+        }
     }
 
     /// Validity check used by simulator constructors: all durations finite
@@ -141,7 +146,7 @@ impl MacTiming {
     /// MPDUs, each separated by RIFS+SACK (1901 bursts are individually
     /// acknowledged when SACK is in use).
     pub fn burst_duration(&self, n: usize) -> Microseconds {
-        assert!(n >= 1 && n <= MAX_BURST, "burst size must be in 1..=4");
+        assert!((1..=MAX_BURST).contains(&n), "burst size must be in 1..=4");
         // The first MPDU carries the full Ts overhead; each further MPDU
         // adds payload + RIFS + SACK.
         self.ts + (self.frame_length + RIFS + SACK) * ((n - 1) as u64)
@@ -183,8 +188,16 @@ mod tests {
         // land near the paper's Ts/Tc (they were computed from the same
         // standard constants).
         let t = MacTiming::from_payload(DEFAULT_FRAME_LENGTH);
-        assert!((t.ts.as_micros() - DEFAULT_TS.as_micros()).abs() < 60.0, "Ts = {}", t.ts);
-        assert!((t.tc.as_micros() - DEFAULT_TC.as_micros()).abs() < 60.0, "Tc = {}", t.tc);
+        assert!(
+            (t.ts.as_micros() - DEFAULT_TS.as_micros()).abs() < 60.0,
+            "Ts = {}",
+            t.ts
+        );
+        assert!(
+            (t.tc.as_micros() - DEFAULT_TC.as_micros()).abs() < 60.0,
+            "Tc = {}",
+            t.tc
+        );
         assert!(t.tc > t.ts);
     }
 

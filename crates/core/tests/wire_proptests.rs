@@ -21,16 +21,24 @@ fn arb_mac() -> impl Strategy<Value = MacAddr> {
 }
 
 fn arb_sof() -> impl Strategy<Value = SofDelimiter> {
-    (any::<u8>(), any::<u8>(), arb_priority(), 0u8..4, any::<u16>(), any::<u16>()).prop_map(
-        |(src, dst, priority, mpdu_cnt, num_pbs, fl_units)| SofDelimiter {
-            src: Tei(src),
-            dst: Tei(dst),
-            priority,
-            mpdu_cnt,
-            num_pbs,
-            fl_units,
-        },
+    (
+        any::<u8>(),
+        any::<u8>(),
+        arb_priority(),
+        0u8..4,
+        any::<u16>(),
+        any::<u16>(),
     )
+        .prop_map(
+            |(src, dst, priority, mpdu_cnt, num_pbs, fl_units)| SofDelimiter {
+                src: Tei(src),
+                dst: Tei(dst),
+                priority,
+                mpdu_cnt,
+                num_pbs,
+                fl_units,
+            },
+        )
 }
 
 proptest! {

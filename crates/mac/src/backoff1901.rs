@@ -66,7 +66,13 @@ impl Backoff1901 {
     /// Create a station entering backoff stage 0 with a fresh packet,
     /// drawing the initial BC from `{0, …, CW₀ − 1}`.
     pub fn new(cfg: CsmaConfig, rng: &mut dyn RngCore) -> Self {
-        let mut s = Backoff1901 { cfg, bpc: 0, bc: 0, dc: 0, cw: 0 };
+        let mut s = Backoff1901 {
+            cfg,
+            bpc: 0,
+            bc: 0,
+            dc: 0,
+            cw: 0,
+        };
         s.redraw(rng);
         s
     }
@@ -126,7 +132,10 @@ impl BackoffProcess for Backoff1901 {
     }
 
     fn on_busy(&mut self, rng: &mut dyn RngCore) {
-        debug_assert!(self.bc > 0, "station with BC == 0 transmitted; on_busy is for deferring stations");
+        debug_assert!(
+            self.bc > 0,
+            "station with BC == 0 transmitted; on_busy is for deferring stations"
+        );
         if self.dc == 0 {
             // Sensed busy while DC = 0: jump to the next backoff stage
             // without attempting a transmission.

@@ -38,7 +38,13 @@ impl BackoffDcf {
     /// Any [`CsmaConfig`] works; the deferral-counter column is ignored.
     /// Use [`CsmaConfig::dcf_like`] for the classic doubling table.
     pub fn new(cfg: CsmaConfig, rng: &mut dyn RngCore) -> Self {
-        let mut s = BackoffDcf { cfg, stage: 0, retries: 0, bc: 0, cw: 0 };
+        let mut s = BackoffDcf {
+            cfg,
+            stage: 0,
+            retries: 0,
+            bc: 0,
+            cw: 0,
+        };
         s.enter_stage(0, rng);
         s
     }

@@ -113,7 +113,13 @@ mod tests {
 
     #[test]
     fn snapshot_is_plain_data() {
-        let s = BackoffSnapshot { stage: 1, cw: 16, bc: 5, dc: Some(1), bpc: 2 };
+        let s = BackoffSnapshot {
+            stage: 1,
+            cw: 16,
+            bc: 5,
+            dc: Some(1),
+            bpc: 2,
+        };
         let t = s;
         assert_eq!(s, t);
     }

@@ -131,7 +131,10 @@ mod tests {
         assert!(long.mean_snr_db() < short.mean_snr_db());
         let bs = short.tone_map(0.0).bits_per_symbol();
         let bl = long.tone_map(0.0).bits_per_symbol();
-        assert!(bl < bs, "long link must carry fewer bits/symbol: {bl} vs {bs}");
+        assert!(
+            bl < bs,
+            "long link must carry fewer bits/symbol: {bl} vs {bs}"
+        );
         assert!(bs > 0);
     }
 
@@ -139,7 +142,10 @@ mod tests {
     fn profile_is_deterministic() {
         let ch = ChannelModel::short_link();
         assert_eq!(ch.snr_profile_db(123.0), ch.snr_profile_db(123.0));
-        let ch2 = ChannelModel { seed: 99, ..ch.clone() };
+        let ch2 = ChannelModel {
+            seed: 99,
+            ..ch.clone()
+        };
         assert_ne!(ch.snr_profile_db(0.0), ch2.snr_profile_db(0.0));
     }
 

@@ -33,7 +33,10 @@ pub struct PbErrorModel {
 impl PbErrorModel {
     /// Model at a given margin with the default waterfall.
     pub fn with_margin(margin_db: f64) -> Self {
-        PbErrorModel { margin_db, steepness_db: 1.5 }
+        PbErrorModel {
+            margin_db,
+            steepness_db: 1.5,
+        }
     }
 
     /// Error-free limit (infinite margin).

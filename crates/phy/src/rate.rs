@@ -32,7 +32,9 @@ pub struct PhyRate {
 impl PhyRate {
     /// Rate achieved by a tone map.
     pub fn from_tone_map(tm: &ToneMap) -> Self {
-        PhyRate { bits_per_symbol: tm.bits_per_symbol() }
+        PhyRate {
+            bits_per_symbol: tm.bits_per_symbol(),
+        }
     }
 
     /// Information bit rate in Mb/s (after coding).
@@ -101,7 +103,10 @@ mod tests {
         let r = PhyRate::from_tone_map(&ToneMap::flat(35.0));
         let t1 = r.airtime(1).unwrap();
         let sym = SYMBOL_US + GUARD_US;
-        assert!((t1.as_micros() - sym).abs() < 1e-9, "one byte still costs one symbol");
+        assert!(
+            (t1.as_micros() - sym).abs() < 1e-9,
+            "one byte still costs one symbol"
+        );
         let t0 = r.airtime(0).unwrap();
         assert_eq!(t0.as_micros(), 0.0);
     }

@@ -112,12 +112,16 @@ impl ToneMap {
     /// [`NUM_CARRIERS`] entries (use [`ToneMap::flat`] for a scalar SNR).
     pub fn from_snrs(snr_db: &[f64]) -> Self {
         assert_eq!(snr_db.len(), NUM_CARRIERS, "one SNR per carrier");
-        ToneMap { carriers: snr_db.iter().map(|&s| Modulation::for_snr(s)).collect() }
+        ToneMap {
+            carriers: snr_db.iter().map(|&s| Modulation::for_snr(s)).collect(),
+        }
     }
 
     /// A flat tone map: the same SNR on all carriers.
     pub fn flat(snr_db: f64) -> Self {
-        ToneMap { carriers: vec![Modulation::for_snr(snr_db); NUM_CARRIERS] }
+        ToneMap {
+            carriers: vec![Modulation::for_snr(snr_db); NUM_CARRIERS],
+        }
     }
 
     /// The per-carrier modulations.
@@ -132,7 +136,10 @@ impl ToneMap {
 
     /// Number of active (non-`Off`) carriers.
     pub fn active_carriers(&self) -> usize {
-        self.carriers.iter().filter(|&&m| m != Modulation::Off).count()
+        self.carriers
+            .iter()
+            .filter(|&&m| m != Modulation::Off)
+            .count()
     }
 
     /// Average bits per active carrier (`NaN` if none).

@@ -35,7 +35,10 @@ impl AggregationConfig {
     /// A plausible HomePlug AV-like default: 72 PBs (≈ 36 kB, about
     /// 2050 µs of airtime at strip rates) and a 2 ms timeout.
     pub fn default_hpav() -> Self {
-        AggregationConfig { timeout_us: 2_000.0, max_pbs: 72 }
+        AggregationConfig {
+            timeout_us: 2_000.0,
+            max_pbs: 72,
+        }
     }
 }
 
@@ -117,7 +120,11 @@ impl AggregationQueue {
     pub fn new(cfg: AggregationConfig) -> Self {
         assert!(cfg.timeout_us > 0.0, "timeout must be positive");
         assert!(cfg.max_pbs >= 1, "need at least one PB per MPDU");
-        AggregationQueue { cfg, open: None, closed: Vec::new() }
+        AggregationQueue {
+            cfg,
+            open: None,
+            closed: Vec::new(),
+        }
     }
 
     /// The policy in effect.
@@ -211,15 +218,24 @@ mod tests {
     use super::*;
 
     fn eth(t: f64, bytes: usize) -> EthernetFrame {
-        EthernetFrame { arrival_us: t, bytes }
+        EthernetFrame {
+            arrival_us: t,
+            bytes,
+        }
     }
 
     #[test]
     fn timeout_closes_a_lonely_frame() {
-        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 8 });
+        let mut q = AggregationQueue::new(AggregationConfig {
+            timeout_us: 100.0,
+            max_pbs: 8,
+        });
         q.push(eth(0.0, 1500));
         q.advance_to(99.0);
-        assert!(q.take_closed().is_empty(), "before the timeout nothing closes");
+        assert!(
+            q.take_closed().is_empty(),
+            "before the timeout nothing closes"
+        );
         q.advance_to(100.0);
         let closed = q.take_closed();
         assert_eq!(closed.len(), 1);
@@ -233,7 +249,10 @@ mod tests {
     #[test]
     fn budget_closes_eagerly() {
         // max 6 PBs; each 1500 B frame takes 3: the 2nd fills the MPDU.
-        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 1e9, max_pbs: 6 });
+        let mut q = AggregationQueue::new(AggregationConfig {
+            timeout_us: 1e9,
+            max_pbs: 6,
+        });
         q.push(eth(0.0, 1500));
         q.push(eth(10.0, 1500));
         let closed = q.take_closed();
@@ -247,7 +266,10 @@ mod tests {
     #[test]
     fn oversized_next_frame_splits_mpdus() {
         // 4-PB budget: a 1500 B frame (3 PBs) then another cannot share.
-        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 1e9, max_pbs: 4 });
+        let mut q = AggregationQueue::new(AggregationConfig {
+            timeout_us: 1e9,
+            max_pbs: 4,
+        });
         q.push(eth(0.0, 1500));
         q.push(eth(5.0, 1500));
         let closed = q.take_closed();
@@ -276,14 +298,20 @@ mod tests {
     #[test]
     fn timeout_anchored_to_first_frame() {
         // Later arrivals do NOT extend the deadline.
-        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 72 });
+        let mut q = AggregationQueue::new(AggregationConfig {
+            timeout_us: 100.0,
+            max_pbs: 72,
+        });
         q.push(eth(0.0, 500));
         q.push(eth(90.0, 500));
         q.push(eth(120.0, 500)); // arrives after the deadline → new MPDU
         let closed = q.take_closed();
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].frames, 2);
-        assert_eq!(closed[0].closed_at_us, 100.0, "closed at the deadline, not at the arrival");
+        assert_eq!(
+            closed[0].closed_at_us, 100.0,
+            "closed at the deadline, not at the arrival"
+        );
         assert_eq!(q.pending_frames(), 1);
     }
 
@@ -292,8 +320,10 @@ mod tests {
         // Deterministic arrivals at two rates: the faster stream packs
         // more frames per MPDU before the timeout.
         let run = |gap_us: f64| {
-            let mut q =
-                AggregationQueue::new(AggregationConfig { timeout_us: 500.0, max_pbs: 72 });
+            let mut q = AggregationQueue::new(AggregationConfig {
+                timeout_us: 500.0,
+                max_pbs: 72,
+            });
             for k in 0..200 {
                 q.push(eth(k as f64 * gap_us, 1500));
             }
@@ -309,13 +339,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot exceed the MPDU budget")]
     fn oversized_single_frame_rejected() {
-        let mut q = AggregationQueue::new(AggregationConfig { timeout_us: 100.0, max_pbs: 2 });
+        let mut q = AggregationQueue::new(AggregationConfig {
+            timeout_us: 100.0,
+            max_pbs: 2,
+        });
         q.push(eth(0.0, 2000)); // needs 4 PBs
     }
 
     #[test]
     #[should_panic(expected = "timeout must be positive")]
     fn zero_timeout_rejected() {
-        AggregationQueue::new(AggregationConfig { timeout_us: 0.0, max_pbs: 4 });
+        AggregationQueue::new(AggregationConfig {
+            timeout_us: 0.0,
+            max_pbs: 4,
+        });
     }
 }

@@ -44,11 +44,17 @@ impl BurstPolicy {
     /// Draw the burst size for one contention win, clamped by how many
     /// frames the station has queued (`available ≥ 1`).
     pub fn draw(&self, rng: &mut dyn RngCore, available: usize) -> usize {
-        debug_assert!(available >= 1, "a transmitting station has at least one frame");
+        debug_assert!(
+            available >= 1,
+            "a transmitting station has at least one frame"
+        );
         let want = match *self {
             BurstPolicy::Single => 1,
             BurstPolicy::Fixed(n) => {
-                assert!((1..=MAX_BURST).contains(&n), "fixed burst size must be 1..=4");
+                assert!(
+                    (1..=MAX_BURST).contains(&n),
+                    "fixed burst size must be 1..=4"
+                );
                 n
             }
             BurstPolicy::Random { weights } => {
@@ -122,7 +128,9 @@ mod tests {
     #[test]
     fn random_matches_weights_roughly() {
         let mut r = rng();
-        let p = BurstPolicy::Random { weights: [0.0, 1.0, 0.0, 1.0] };
+        let p = BurstPolicy::Random {
+            weights: [0.0, 1.0, 0.0, 1.0],
+        };
         let mut counts = [0u32; 5];
         for _ in 0..4000 {
             counts[p.draw(&mut r, 10)] += 1;
@@ -137,7 +145,9 @@ mod tests {
     fn random_degenerate_weight_goes_last() {
         // All weight on size 1.
         let mut r = rng();
-        let p = BurstPolicy::Random { weights: [1.0, 0.0, 0.0, 0.0] };
+        let p = BurstPolicy::Random {
+            weights: [1.0, 0.0, 0.0, 0.0],
+        };
         for _ in 0..100 {
             assert_eq!(p.draw(&mut r, 4), 1);
         }

@@ -106,7 +106,10 @@ impl EngineConfig {
 
     /// Same defaults with a custom horizon.
     pub fn with_horizon(horizon: Microseconds) -> Self {
-        EngineConfig { horizon, ..Self::paper_default() }
+        EngineConfig {
+            horizon,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -222,7 +225,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 retx: std::collections::VecDeque::new(),
             })
             .collect();
-        let next_beacon = cfg.beacons.map(|b| b.period).unwrap_or(Microseconds(f64::INFINITY));
+        let next_beacon = cfg
+            .beacons
+            .map(|b| b.period)
+            .unwrap_or(Microseconds(f64::INFINITY));
         SlottedEngine {
             cfg,
             stations,
@@ -282,7 +288,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     /// hook tone-map adaptation harnesses use to model channel drift and
     /// re-estimation.
     pub fn set_station_pb_error(&mut self, station: StationId, p: f64) {
-        assert!((0.0..1.0).contains(&p), "PB error probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "PB error probability must be in [0, 1)"
+        );
         self.stations[station].pb_error_prob = Some(p);
     }
 
@@ -413,7 +422,11 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                         let sof_t = t0 + mpdu_stride * (k as u64);
                         let mut sof = self.sof_for(w, burst - 1 - k);
                         sof.num_pbs = pbs;
-                        self.emit(TraceEvent::Sof { t: sof_t, station: w, sof });
+                        self.emit(TraceEvent::Sof {
+                            t: sof_t,
+                            station: w,
+                            sof,
+                        });
                         let ack_t = sof_t + PREAMBLE + self.cfg.timing.frame_length + RIFS;
                         let mut ack = SelectiveAck::all_good(Tei::station(w as u32), pbs);
                         for slot in ack.pb_ok.iter_mut().take(errored as usize) {
@@ -429,7 +442,9 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                         self.stations[i].process.on_tx_success(&mut self.rng);
                         self.stations[i].retry = RetryState::new();
                         self.stations[i].traffic.consume(fresh_consumed);
-                    } else if self.stations[i].traffic.has_frame() || !self.stations[i].retx.is_empty() {
+                    } else if self.stations[i].traffic.has_frame()
+                        || !self.stations[i].retx.is_empty()
+                    {
                         self.stations[i].process.on_busy(&mut self.rng);
                     }
                 }
@@ -437,7 +452,11 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 self.t += dur;
                 self.metrics.record_success(w, t0, clean_mpdus);
                 self.metrics.time_success += dur;
-                self.emit(TraceEvent::Success { t: t0, station: w, burst });
+                self.emit(TraceEvent::Success {
+                    t: t0,
+                    station: w,
+                    burst,
+                });
                 StepOutcome::Success { station: w, burst }
             }
             _ => {
@@ -452,8 +471,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     .map(|&i| {
                         let available = (self.stations[i].retx.len()
                             + self.stations[i].traffic.backlog().min(MAX_BURST))
-                        .min(MAX_BURST)
-                        .max(1);
+                        .clamp(1, MAX_BURST);
                         (i, self.cfg.burst.draw(&mut self.rng, available))
                     })
                     .collect();
@@ -471,7 +489,11 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                         for &(i, burst) in bursts.iter().filter(|&&(_, b)| b > k) {
                             let sof_t = t0 + mpdu_stride * (k as u64);
                             let sof = self.sof_for(i, burst - 1 - k);
-                            self.emit(TraceEvent::Sof { t: sof_t, station: i, sof });
+                            self.emit(TraceEvent::Sof {
+                                t: sof_t,
+                                station: i,
+                                sof,
+                            });
                         }
                         // The destination decodes the robust delimiters and
                         // acknowledges with every PB flagged errored.
@@ -506,7 +528,9 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                         } else {
                             self.stations[i].process.on_tx_failure(&mut self.rng);
                         }
-                    } else if self.stations[i].traffic.has_frame() || !self.stations[i].retx.is_empty() {
+                    } else if self.stations[i].traffic.has_frame()
+                        || !self.stations[i].retx.is_empty()
+                    {
                         self.stations[i].process.on_busy(&mut self.rng);
                     }
                 }
@@ -514,15 +538,24 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 self.t += dur;
                 self.metrics.record_collision(&bursts);
                 self.metrics.time_collision += dur;
-                self.emit(TraceEvent::Collision { t: t0, stations: tx.clone() });
-                StepOutcome::Collision { stations: tx.clone() }
+                self.emit(TraceEvent::Collision {
+                    t: t0,
+                    stations: tx.clone(),
+                });
+                StepOutcome::Collision {
+                    stations: tx.clone(),
+                }
             }
         };
 
         if self.cfg.emit_snapshots {
             for i in 0..self.stations.len() {
                 let snap = self.stations[i].process.snapshot();
-                self.emit(TraceEvent::Snapshot { t: self.t, station: i, snap });
+                self.emit(TraceEvent::Snapshot {
+                    t: self.t,
+                    station: i,
+                    snap,
+                });
             }
         }
 
@@ -587,7 +620,10 @@ mod tests {
         assert!(m.successes > 0);
         assert!(m.collision_events > 0);
         let p = m.collision_probability();
-        assert!(p > 0.02 && p < 0.2, "N=2 collision probability ≈ 0.074, got {p}");
+        assert!(
+            p > 0.02 && p < 0.2,
+            "N=2 collision probability ≈ 0.074, got {p}"
+        );
     }
 
     #[test]
@@ -596,7 +632,9 @@ mod tests {
         let horizon = 2e7;
         let mut e = SlottedEngine::new(quick_cfg(horizon), stations_1901(3, 3), 3);
         let em = e.run().clone();
-        let pr = crate::paper::PaperSim::with_n_and_time(3, horizon).run(3).unwrap();
+        let pr = crate::paper::PaperSim::with_n_and_time(3, horizon)
+            .run(3)
+            .unwrap();
         assert!(
             (em.collision_probability() - pr.collision_pr).abs() < 0.01,
             "engine {} vs reference {}",
@@ -678,8 +716,14 @@ mod tests {
         let mut e = SlottedEngine::new(cfg, stations_1901(6, 7), 7);
         let m = e.run().clone();
         let drops: u64 = m.per_station.iter().map(|s| s.dropped).sum();
-        assert!(drops > 0, "with a 1-attempt limit every collision drops a frame");
-        assert_eq!(drops, m.collided_tx, "every collision participation is a drop");
+        assert!(
+            drops > 0,
+            "with a 1-attempt limit every collision drops a frame"
+        );
+        assert_eq!(
+            drops, m.collided_tx,
+            "every collision participation is a drop"
+        );
     }
 
     #[test]
@@ -689,7 +733,10 @@ mod tests {
         let specs = vec![
             StationSpec::saturated(Backoff1901::default_ca1(&mut rng)),
             StationSpec {
-                traffic: TrafficModel::Poisson { rate_per_us: 1e-6, queue_cap: 64 },
+                traffic: TrafficModel::Poisson {
+                    rate_per_us: 1e-6,
+                    queue_cap: 64,
+                },
                 ..StationSpec::saturated(Backoff1901::default_ca1(&mut rng))
             },
         ];
@@ -724,20 +771,24 @@ mod tests {
     fn step_outcomes_advance_time_correctly() {
         let mut e = SlottedEngine::new(quick_cfg(1e6), stations_1901(2, 11), 11);
         let timing = MacTiming::paper_default();
+        // Time is accumulated in f64, so `(t + Δ) − t` is only Δ up to
+        // one ulp of the running clock; compare with a tolerance instead
+        // of bitwise equality.
+        let close = |a: Microseconds, b: Microseconds| (a.as_micros() - b.as_micros()).abs() < 1e-9;
         loop {
             let before = e.time();
             match e.step() {
                 StepOutcome::Idle => {
-                    assert_eq!((e.time() - before).as_micros(), timing.slot.as_micros());
+                    assert!(close(e.time() - before, timing.slot));
                 }
                 StepOutcome::Success { burst, .. } => {
                     assert_eq!(burst, 1);
-                    assert_eq!((e.time() - before).as_micros(), timing.ts.as_micros());
+                    assert!(close(e.time() - before, timing.ts));
                     break;
                 }
                 StepOutcome::Collision { stations } => {
                     assert!(stations.len() >= 2);
-                    assert_eq!((e.time() - before).as_micros(), timing.tc.as_micros());
+                    assert!(close(e.time() - before, timing.tc));
                 }
             }
         }
@@ -756,12 +807,17 @@ mod tests {
         let mut e = SlottedEngine::new(cfg, stations_1901(2, 31), 31);
         let m = e.run().clone();
         // One beacon per 40 ms, starting at t = 40 ms: 1 s → 25 beacons.
-        assert!((24..=26).contains(&(m.beacons as i32)), "{} beacons", m.beacons);
+        assert!(
+            (24..=26).contains(&(m.beacons as i32)),
+            "{} beacons",
+            m.beacons
+        );
         assert!((m.time_beacon.as_micros() - m.beacons as f64 * 110.48).abs() < 1e-6);
         // Contention still works around the beacons.
         assert!(m.successes > 100);
         // Time decomposition now includes beacon airtime.
-        let accounted = m.time_idle + m.time_success + m.time_collision + m.time_prs + m.time_beacon;
+        let accounted =
+            m.time_idle + m.time_success + m.time_collision + m.time_prs + m.time_beacon;
         assert!((accounted.as_micros() - m.elapsed.as_micros()).abs() < 1e-6);
     }
 
@@ -779,7 +835,11 @@ mod tests {
         };
         // 110.48 µs per 40 ms ≈ 0.28% overhead.
         assert!(with < without);
-        assert!(without - with < 0.02, "beacon cost {} too high", without - with);
+        assert!(
+            without - with < 0.02,
+            "beacon cost {} too high",
+            without - with
+        );
     }
 
     #[test]
@@ -816,7 +876,10 @@ mod tests {
         let s = &m.per_station[0];
         assert!(s.pbs_errored > 0, "a 20% PB error rate must produce errors");
         assert!(s.mpdus_partial > 0, "partial MPDUs must occur");
-        assert!(m.frames_completed > 0, "frames still complete via retransmission");
+        assert!(
+            m.frames_completed > 0,
+            "frames still complete via retransmission"
+        );
         // Retransmitting only errored PBs still delivers everything
         // eventually: delivered PBs exceed errored ones by far at p = 0.2.
         assert!(s.pbs_delivered > s.pbs_errored);
@@ -825,7 +888,11 @@ mod tests {
             let mut e2 = SlottedEngine::new(quick_cfg(5e6), stations_1901(2, 22), 22);
             e2.run().goodput()
         };
-        assert!(m.goodput() < clean, "errors must cost goodput: {} vs {clean}", m.goodput());
+        assert!(
+            m.goodput() < clean,
+            "errors must cost goodput: {} vs {clean}",
+            m.goodput()
+        );
     }
 
     #[test]
@@ -846,8 +913,6 @@ mod tests {
         assert!(s.pbs_delivered >= 4 * m.frames_completed);
         // And the per-frame payload credit is consistent with goodput.
         assert!(m.payload_delivered_us > 0.0);
-        assert!(
-            (m.payload_delivered_us - 2050.0 * s.pbs_delivered as f64 / 4.0).abs() < 1e-6
-        );
+        assert!((m.payload_delivered_us - 2050.0 * s.pbs_delivered as f64 / 4.0).abs() < 1e-6);
     }
 }

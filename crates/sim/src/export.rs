@@ -24,7 +24,11 @@ pub struct JsonLinesSink<W: Write> {
 impl<W: Write> JsonLinesSink<W> {
     /// Wrap a writer.
     pub fn new(writer: W) -> Self {
-        JsonLinesSink { writer, events_written: 0, error: None }
+        JsonLinesSink {
+            writer,
+            events_written: 0,
+            error: None,
+        }
     }
 
     /// Events successfully written so far.
@@ -60,6 +64,25 @@ impl<W: Write> TraceSink for JsonLinesSink<W> {
             Err(e) => self.error = Some(e),
         }
     }
+}
+
+/// Serialize finished sweep results to one compact JSON document.
+///
+/// The rendering is fully deterministic (struct fields in declaration
+/// order, points in `point_index` order), so two runs of the same grid
+/// with the same master seed compare byte-identical regardless of worker
+/// count.
+pub fn sweep_results_json(results: &crate::sweep::SweepResults) -> String {
+    serde_json::to_string(results).expect("sweep results serialize infallibly")
+}
+
+/// Write sweep results as JSON to any writer (a file, a pipe, a buffer).
+pub fn write_sweep_results<W: Write>(
+    results: &crate::sweep::SweepResults,
+    mut w: W,
+) -> io::Result<()> {
+    w.write_all(sweep_results_json(results).as_bytes())?;
+    writeln!(w)
 }
 
 /// Read a JSON-lines trace back into events (replay / post-processing).
@@ -123,7 +146,9 @@ mod tests {
             .map(|e| e.time().as_micros())
             .collect();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1] + 1e-9));
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::Success { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Success { .. })));
     }
 
     #[test]
@@ -132,7 +157,9 @@ mod tests {
         use plc_core::frame::SofDelimiter;
         use plc_core::priority::Priority;
         let original = vec![
-            TraceEvent::IdleSlot { t: Microseconds(35.84) },
+            TraceEvent::IdleSlot {
+                t: Microseconds(35.84),
+            },
             TraceEvent::Sof {
                 t: Microseconds(71.68),
                 station: 1,
@@ -145,7 +172,10 @@ mod tests {
                     fl_units: 1602,
                 },
             },
-            TraceEvent::Collision { t: Microseconds(100.0), stations: vec![0, 1] },
+            TraceEvent::Collision {
+                t: Microseconds(100.0),
+                stations: vec![0, 1],
+            },
         ];
         let mut sink = JsonLinesSink::new(Vec::<u8>::new());
         for ev in &original {
@@ -161,7 +191,9 @@ mod tests {
         let garbage = "this is not json\n";
         assert!(read_json_lines(io::Cursor::new(garbage.as_bytes())).is_err());
         // Empty input is fine.
-        assert!(read_json_lines(io::Cursor::new(&b""[..])).unwrap().is_empty());
+        assert!(read_json_lines(io::Cursor::new(&b""[..]))
+            .unwrap()
+            .is_empty());
     }
 
     impl Default for JsonLinesSink<Vec<u8>> {

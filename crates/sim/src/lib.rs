@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod multiclass;
 pub mod paper;
 pub mod runner;
+pub mod sweep;
 pub mod trace;
 pub mod traffic;
 
@@ -48,5 +49,6 @@ pub use export::JsonLinesSink;
 pub use metrics::{Metrics, StationMetrics};
 pub use paper::{PaperSim, PaperSimResult};
 pub use runner::{ReplicationSummary, SimReport, Simulation};
+pub use sweep::{EarlyStop, Quantity, SweepGrid, SweepPointResult, SweepResults};
 pub use trace::{StationId, SuccessTrace, TraceEvent, TraceSink, VecTraceSink};
 pub use traffic::TrafficModel;

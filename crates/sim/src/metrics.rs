@@ -102,7 +102,10 @@ pub struct Metrics {
 impl Metrics {
     /// Fresh metrics for `n` stations.
     pub fn new(n: usize) -> Self {
-        Metrics { per_station: vec![StationMetrics::default(); n], ..Default::default() }
+        Metrics {
+            per_station: vec![StationMetrics::default(); n],
+            ..Default::default()
+        }
     }
 
     /// Number of stations.
@@ -161,7 +164,11 @@ impl Metrics {
 
     /// Jain's fairness index over per-station success counts.
     pub fn jain_fairness(&self) -> f64 {
-        let alloc: Vec<f64> = self.per_station.iter().map(|s| s.successes as f64).collect();
+        let alloc: Vec<f64> = self
+            .per_station
+            .iter()
+            .map(|s| s.successes as f64)
+            .collect();
         jain_index(&alloc)
     }
 
@@ -287,7 +294,10 @@ mod tests {
         for _ in 0..10 {
             m.record_success(0, Microseconds(1.0), 1);
         }
-        assert!((m.jain_fairness() - 0.5).abs() < 1e-12, "one station hogging → 1/n");
+        assert!(
+            (m.jain_fairness() - 0.5).abs() < 1e-12,
+            "one station hogging → 1/n"
+        );
         for _ in 0..10 {
             m.record_success(1, Microseconds(1.0), 1);
         }

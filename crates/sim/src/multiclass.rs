@@ -60,7 +60,14 @@ pub struct ClassStationSpec<P> {
 impl<P> ClassStationSpec<P> {
     /// A saturated station of the given class with default wire identity.
     pub fn new(process: P, priority: Priority, traffic: TrafficModel) -> Self {
-        ClassStationSpec { process, priority, traffic, num_pbs: 4, tei: None, dst: None }
+        ClassStationSpec {
+            process,
+            priority,
+            traffic,
+            num_pbs: 4,
+            tei: None,
+            dst: None,
+        }
     }
 }
 
@@ -206,7 +213,10 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
         let t_prs = self.t;
         self.t += PRS_SLOT * 2.0;
         self.metrics.time_prs += PRS_SLOT * 2.0;
-        self.emit(TraceEvent::PriorityResolution { t: t_prs, winner: res.winner });
+        self.emit(TraceEvent::PriorityResolution {
+            t: t_prs,
+            winner: res.winner,
+        });
 
         // The winning class contends with slotted backoff until a
         // transmission occurs.
@@ -245,10 +255,16 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                         for k in 0..burst {
                             let sof_t = t0 + mpdu_stride * (k as u64);
                             let sof = self.sof_for(w, burst - 1 - k);
-                            self.emit(TraceEvent::Sof { t: sof_t, station: w, sof });
+                            self.emit(TraceEvent::Sof {
+                                t: sof_t,
+                                station: w,
+                                sof,
+                            });
                             let ack_t = sof_t + PREAMBLE + self.cfg.timing.frame_length + RIFS;
-                            let ack =
-                                SelectiveAck::all_good(self.stations[w].tei, self.stations[w].num_pbs);
+                            let ack = SelectiveAck::all_good(
+                                self.stations[w].tei,
+                                self.stations[w].num_pbs,
+                            );
                             self.emit(TraceEvent::Sack { t: ack_t, ack });
                         }
                     }
@@ -266,7 +282,11 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                     self.t += dur;
                     self.metrics.record_success(w, t0, burst);
                     self.metrics.time_success += dur;
-                    self.emit(TraceEvent::Success { t: t0, station: w, burst });
+                    self.emit(TraceEvent::Success {
+                        t: t0,
+                        station: w,
+                        burst,
+                    });
                     break;
                 }
                 _ => {
@@ -291,7 +311,11 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                             let sof_t = t0 + mpdu_stride * (k as u64);
                             for &(i, burst) in bursts.iter().filter(|&&(_, b)| b > k) {
                                 let sof = self.sof_for(i, burst - 1 - k);
-                                self.emit(TraceEvent::Sof { t: sof_t, station: i, sof });
+                                self.emit(TraceEvent::Sof {
+                                    t: sof_t,
+                                    station: i,
+                                    sof,
+                                });
                             }
                             let ack_t = sof_t + PREAMBLE + self.cfg.timing.frame_length + RIFS;
                             for &(i, _) in bursts.iter().filter(|&&(_, b)| b > k) {
@@ -315,7 +339,10 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                     self.t += dur;
                     self.metrics.record_collision(&bursts);
                     self.metrics.time_collision += dur;
-                    self.emit(TraceEvent::Collision { t: t0, stations: winners });
+                    self.emit(TraceEvent::Collision {
+                        t: t0,
+                        stations: winners,
+                    });
                     break;
                 }
             }
@@ -357,7 +384,10 @@ mod tests {
     }
 
     fn cfg(horizon_us: f64) -> MultiClassConfig {
-        MultiClassConfig { horizon: Microseconds(horizon_us), ..Default::default() }
+        MultiClassConfig {
+            horizon: Microseconds(horizon_us),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -387,7 +417,10 @@ mod tests {
         assert!(m.successes > 0);
         assert!(m.collision_events > 0);
         let p = m.collision_probability();
-        assert!(p > 0.02 && p < 0.2, "two CA1 stations collide like the paper's N=2: {p}");
+        assert!(
+            p > 0.02 && p < 0.2,
+            "two CA1 stations collide like the paper's N=2: {p}"
+        );
         assert!(m.time_prs.as_micros() > 0.0);
     }
 
@@ -405,7 +438,10 @@ mod tests {
             ClassStationSpec::new(
                 Backoff1901::new(CsmaConfig::ieee1901_ca23(), &mut rng),
                 Priority::CA3,
-                TrafficModel::Poisson { rate_per_us: 5e-5, queue_cap: 64 },
+                TrafficModel::Poisson {
+                    rate_per_us: 5e-5,
+                    queue_cap: 64,
+                },
             ),
         ];
         let mut e = MultiClassEngine::new(cfg(1e7), stations, 3);

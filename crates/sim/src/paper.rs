@@ -111,12 +111,19 @@ impl PaperSim {
 
     /// Same defaults with a different station count.
     pub fn with_n(n: usize) -> Self {
-        PaperSim { n, ..Self::paper_example() }
+        PaperSim {
+            n,
+            ..Self::paper_example()
+        }
     }
 
     /// Same defaults with a shorter horizon (µs) — for quick tests.
     pub fn with_n_and_time(n: usize, sim_time: f64) -> Self {
-        PaperSim { n, sim_time, ..Self::paper_example() }
+        PaperSim {
+            n,
+            sim_time,
+            ..Self::paper_example()
+        }
     }
 
     /// Validate the inputs the way the MATLAB listing does (it returns
@@ -136,7 +143,7 @@ impl PaperSim {
         if self.cw.is_empty() {
             return Err(PaperSimError("need at least one backoff stage".into()));
         }
-        if self.cw.iter().any(|&w| w == 0) {
+        if self.cw.contains(&0) {
             return Err(PaperSimError("contention windows must be ≥ 1".into()));
         }
         for (name, v) in [
@@ -248,7 +255,11 @@ impl PaperSim {
 
     /// Run `repeats` independent replications (seeds `seed0..seed0+repeats`)
     /// and return the per-replication results.
-    pub fn run_repeated(&self, seed0: u64, repeats: u64) -> Result<Vec<PaperSimResult>, PaperSimError> {
+    pub fn run_repeated(
+        &self,
+        seed0: u64,
+        repeats: u64,
+    ) -> Result<Vec<PaperSimResult>, PaperSimError> {
         (0..repeats).map(|k| self.run(seed0 + k)).collect()
     }
 }
@@ -265,18 +276,43 @@ mod tests {
 
     #[test]
     fn validates_inputs() {
-        assert!(PaperSim { n: 0, ..PaperSim::paper_example() }.validate().is_err());
-        assert!(PaperSim { cw: vec![8], ..PaperSim::paper_example() }.validate().is_err());
-        assert!(PaperSim { cw: vec![], dc: vec![], ..PaperSim::paper_example() }
-            .validate()
-            .is_err());
-        assert!(PaperSim { tc: -1.0, ..PaperSim::paper_example() }.validate().is_err());
-        assert!(PaperSim { sim_time: f64::NAN, ..PaperSim::paper_example() }
-            .validate()
-            .is_err());
-        assert!(PaperSim { cw: vec![8, 0, 32, 64], ..PaperSim::paper_example() }
-            .validate()
-            .is_err());
+        assert!(PaperSim {
+            n: 0,
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
+        assert!(PaperSim {
+            cw: vec![8],
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
+        assert!(PaperSim {
+            cw: vec![],
+            dc: vec![],
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
+        assert!(PaperSim {
+            tc: -1.0,
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
+        assert!(PaperSim {
+            sim_time: f64::NAN,
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
+        assert!(PaperSim {
+            cw: vec![8, 0, 32, 64],
+            ..PaperSim::paper_example()
+        }
+        .validate()
+        .is_err());
         assert!(PaperSim::paper_example().validate().is_ok());
     }
 
@@ -339,8 +375,14 @@ mod tests {
         };
         let p2 = avg(2);
         let p7 = avg(7);
-        assert!((p2 - 0.074).abs() < 0.02, "N=2 collision probability {p2}, paper ≈ 0.074");
-        assert!((p7 - 0.267).abs() < 0.03, "N=7 collision probability {p7}, paper ≈ 0.267");
+        assert!(
+            (p2 - 0.074).abs() < 0.02,
+            "N=2 collision probability {p2}, paper ≈ 0.074"
+        );
+        assert!(
+            (p7 - 0.267).abs() < 0.03,
+            "N=7 collision probability {p7}, paper ≈ 0.267"
+        );
     }
 
     #[test]

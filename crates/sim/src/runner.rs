@@ -28,7 +28,7 @@ use plc_mac::retry::RetryPolicy;
 use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf};
 use plc_stats::summary::{Summary, Welford};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Builder for single-contention-domain simulations.
@@ -78,6 +78,13 @@ impl Simulation {
     /// Use a custom CSMA parameter table.
     pub fn config(mut self, config: CsmaConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Override the station count (used by sweeps to stamp one template
+    /// onto every grid point).
+    pub fn num_stations(mut self, n: usize) -> Self {
+        self.n = n;
         self
     }
 
@@ -136,14 +143,25 @@ impl Simulation {
     /// Build the engine (for callers that want to attach sinks or step
     /// manually).
     pub fn build(&self) -> SlottedEngine<AnyBackoff> {
-        let mut proc_rng = SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mut proc_rng = SmallRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1),
+        );
         let stations: Vec<StationSpec<AnyBackoff>> = (0..self.n)
             .map(|_| {
                 let process: AnyBackoff = match self.protocol {
-                    Protocol::Ieee1901 => Backoff1901::new(self.config.clone(), &mut proc_rng).into(),
-                    Protocol::Dcf80211 => BackoffDcf::new(self.config.clone(), &mut proc_rng).into(),
+                    Protocol::Ieee1901 => {
+                        Backoff1901::new(self.config.clone(), &mut proc_rng).into()
+                    }
+                    Protocol::Dcf80211 => {
+                        BackoffDcf::new(self.config.clone(), &mut proc_rng).into()
+                    }
                 };
-                StationSpec { traffic: self.traffic, ..StationSpec::saturated(process) }
+                StationSpec {
+                    traffic: self.traffic,
+                    ..StationSpec::saturated(process)
+                }
             })
             .collect();
         let cfg = EngineConfig {
@@ -178,13 +196,17 @@ impl Simulation {
 
     /// Run `repeats` replications with distinct derived seeds and return
     /// each report (the paper averages 10 testbed runs per point).
+    ///
+    /// Replication `k` runs with
+    /// [`sweep::derive_seed`](crate::sweep::derive_seed)`(seed, 0, k)` —
+    /// the same SplitMix64 mixing the sweep engine uses — so the streams
+    /// of adjacent master seeds never overlap (a plain `seed + k` scheme
+    /// collides: base 3 replication 1 equals base 4 replication 0).
     pub fn run_repeated(&self, repeats: u64) -> Vec<SimReport> {
         (0..repeats)
             .map(|k| {
                 let mut s = self.clone();
-                // Decorrelate replications deterministically.
-                let mut mix = SmallRng::seed_from_u64(self.seed.wrapping_add(k));
-                s.seed = mix.gen();
+                s.seed = crate::sweep::derive_seed(self.seed, 0, k);
                 s.run()
             })
             .collect()
@@ -304,7 +326,10 @@ mod tests {
 
     #[test]
     fn replications_differ_but_concentrate() {
-        let reports = Simulation::ieee1901(3).horizon_us(5e6).seed(3).run_repeated(5);
+        let reports = Simulation::ieee1901(3)
+            .horizon_us(5e6)
+            .seed(3)
+            .run_repeated(5);
         assert_eq!(reports.len(), 5);
         let summary = ReplicationSummary::of(&reports);
         assert_eq!(summary.collision_probability.count, 5);
@@ -312,6 +337,32 @@ mod tests {
         assert!(summary.collision_probability.mean > 0.05);
         // Distinct seeds → not all identical.
         assert!(reports.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn adjacent_master_seeds_do_not_share_replications() {
+        // Regression: `seed_from_u64(seed + k)` made (base 3, k = 1)
+        // reuse (base 4, k = 0)'s stream. SplitMix64 (seed, k) mixing
+        // keeps replication sets of adjacent masters fully disjoint.
+        let base3 = Simulation::ieee1901(2)
+            .horizon_us(5e5)
+            .seed(3)
+            .run_repeated(3);
+        let base4 = Simulation::ieee1901(2)
+            .horizon_us(5e5)
+            .seed(4)
+            .run_repeated(3);
+        for a in &base3 {
+            for b in &base4 {
+                assert_ne!(a, b, "replication streams of masters 3 and 4 overlap");
+            }
+        }
+        // And replications stay reproducible.
+        let again = Simulation::ieee1901(2)
+            .horizon_us(5e5)
+            .seed(3)
+            .run_repeated(3);
+        assert_eq!(base3, again);
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Deterministic parallel parameter sweeps.
+//!
+//! Every paper experiment is a sweep: run the simulator over a grid of
+//! (configuration × station count) points, replicate each point with
+//! decorrelated seeds, and summarize the replications with confidence
+//! intervals. This module is the one implementation of that pattern, so
+//! experiments stop hand-rolling their own thread scopes:
+//!
+//! * [`parallel_map`] — a fixed-size worker pool that evaluates arbitrary
+//!   per-point work and returns results **in input order**, so output is
+//!   bit-identical regardless of worker count or OS scheduling;
+//! * [`SweepGrid`] — a builder over (config × N) points with `replications`
+//!   per point. Per-replication seeds derive from
+//!   [`derive_seed`]`(master_seed, point_index, replication)` via SplitMix64,
+//!   so every replication stream is decorrelated and reproducible no matter
+//!   how the points are scheduled;
+//! * per-point [`Welford`] accumulators are merged in replication order into
+//!   a [`ReplicationSummary`] grid, optionally stopping a point early once
+//!   its 95% CI half-width undercuts a target;
+//! * [`SweepResults`] serializes to JSON through
+//!   [`export::sweep_results_json`](crate::export::sweep_results_json).
+//!
+//! ```
+//! use plc_sim::sweep::SweepGrid;
+//! use plc_sim::Simulation;
+//!
+//! let results = SweepGrid::new(42)
+//!     .config("ca1", Simulation::ieee1901(1).horizon_us(2.0e5))
+//!     .stations([2, 3])
+//!     .replications(2)
+//!     .workers(2)
+//!     .run();
+//! assert_eq!(results.points.len(), 2);
+//! assert_eq!(results.points[0].summary.collision_probability.count, 2);
+//! ```
+
+use crate::runner::{ReplicationSummary, SimReport, Simulation};
+use parking_lot::Mutex;
+use plc_stats::summary::Welford;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+/// The SplitMix64 finalizer: one full avalanche round. A bijection on
+/// `u64`, so distinct inputs always map to distinct outputs.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for one `(point, replication)` cell of a sweep from the
+/// master seed.
+///
+/// The pair is packed into one word (`point_index` in the high 32 bits,
+/// `replication` in the low 32) and pushed through the SplitMix64
+/// finalizer twice. Because the finalizer is a bijection and the packing
+/// is injective, the derivation is **provably injective** over
+/// `(point_index, replication)` for any fixed master seed as long as both
+/// coordinates stay below 2³².
+///
+/// This replaces ad-hoc `seed + k` schemes whose replication streams for
+/// adjacent master seeds overlap (master 3, replication 1 colliding with
+/// master 4, replication 0).
+pub fn derive_seed(master_seed: u64, point_index: u64, replication: u64) -> u64 {
+    debug_assert!(point_index < 1 << 32, "sweep points limited to 2^32");
+    debug_assert!(replication < 1 << 32, "replications limited to 2^32");
+    let cell = (point_index << 32) | (replication & 0xFFFF_FFFF);
+    splitmix64(splitmix64(master_seed) ^ cell.wrapping_mul(0x2545_F491_4F6C_DD1D))
+}
+
+/// Number of workers used when the caller does not pick one: the machine's
+/// available parallelism (at least 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluate `f(index, item)` for every item on a fixed-size worker pool
+/// and return the results **in input order**.
+///
+/// Work is distributed through a shared queue; finished results flow back
+/// over a channel and are reassembled by index, so the output is a pure
+/// function of the inputs — bit-identical for 1 worker or 64, whatever the
+/// OS scheduler does. `f` must itself be deterministic in `(index, item)`
+/// for that guarantee to carry through.
+///
+/// ```
+/// let squares = plc_sim::sweep::parallel_map(4, (0u64..100).collect(), |_, x| x * x);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn parallel_map<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(total);
+    if workers == 1 {
+        // Run inline: same results as the pooled path, no thread overhead.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut out: Vec<Option<T>> = Vec::with_capacity(total);
+    out.resize_with(total, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let job = queue.lock().pop_front();
+                    let Some((i, item)) = job else { break };
+                    // A worker dies silently only if the collector hung up,
+                    // which cannot happen while we hold jobs.
+                    if tx.send((i, f(i, item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            out[i] = Some(result);
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("worker pool produced every index"))
+        .collect()
+}
+
+/// The per-point quantity an early-stopping rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantity {
+    /// `SimReport::collision_probability`.
+    CollisionProbability,
+    /// `SimReport::norm_throughput`.
+    NormThroughput,
+    /// `SimReport::jain_fairness`.
+    JainFairness,
+}
+
+/// Stop replicating a point once the watched quantity's 95% CI half-width
+/// drops below `ci95_half_width` (checked only after `min_replications`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStop {
+    /// The quantity whose confidence interval is watched.
+    pub quantity: Quantity,
+    /// Target half-width of the 95% confidence interval.
+    pub ci95_half_width: f64,
+    /// Never stop before this many replications (CI estimates below ~3
+    /// observations are meaningless).
+    pub min_replications: u64,
+}
+
+/// Builder for a deterministic (config × N × replication) sweep.
+///
+/// Point indices are row-major over `configs × stations`: the point for
+/// config `c` and the `i`-th station count has
+/// `point_index = c * stations.len() + i`. Replication `k` of that point
+/// runs with seed [`derive_seed`]`(master_seed, point_index, k)`.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    configs: Vec<(String, Simulation)>,
+    stations: Vec<usize>,
+    replications: u64,
+    master_seed: u64,
+    workers: usize,
+    early_stop: Option<EarlyStop>,
+}
+
+impl SweepGrid {
+    /// Empty grid with a master seed; defaults to 1 replication and the
+    /// machine's available parallelism.
+    pub fn new(master_seed: u64) -> Self {
+        SweepGrid {
+            configs: Vec::new(),
+            stations: Vec::new(),
+            replications: 1,
+            master_seed,
+            workers: default_workers(),
+            early_stop: None,
+        }
+    }
+
+    /// Add one labelled configuration template. The template's station
+    /// count and seed are overridden per point; everything else (protocol,
+    /// CSMA table, timing, horizon, traffic, …) is swept as-is.
+    pub fn config(mut self, label: impl Into<String>, template: Simulation) -> Self {
+        self.configs.push((label.into(), template));
+        self
+    }
+
+    /// Set the station counts the grid sweeps over.
+    pub fn stations(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.stations = ns.into_iter().collect();
+        self
+    }
+
+    /// Replications per point (the paper averages 10 testbed runs).
+    pub fn replications(mut self, r: u64) -> Self {
+        self.replications = r.max(1);
+        self
+    }
+
+    /// Fixed worker-pool size. Results are identical for any value ≥ 1.
+    pub fn workers(mut self, w: usize) -> Self {
+        self.workers = w.max(1);
+        self
+    }
+
+    /// Enable early stopping per point.
+    pub fn early_stop(mut self, rule: EarlyStop) -> Self {
+        self.early_stop = Some(rule);
+        self
+    }
+
+    /// Number of grid points (`configs × stations`).
+    pub fn num_points(&self) -> usize {
+        self.configs.len() * self.stations.len()
+    }
+
+    /// Run the sweep on the worker pool and summarize every point.
+    pub fn run(&self) -> SweepResults {
+        let points: Vec<(usize, &str, &Simulation, usize)> = self
+            .configs
+            .iter()
+            .flat_map(|(label, template)| {
+                self.stations
+                    .iter()
+                    .map(move |&n| (label.as_str(), template, n))
+            })
+            .enumerate()
+            .map(|(idx, (label, template, n))| (idx, label, template, n))
+            .collect();
+
+        let results = if self.early_stop.is_some() {
+            // Early stopping makes a point's replication count depend on
+            // its own running CI, so the unit of work is the whole point.
+            let early = self.early_stop;
+            let master = self.master_seed;
+            let max_reps = self.replications;
+            parallel_map(self.workers, points, move |_, (idx, label, template, n)| {
+                let mut acc = PointAccumulator::new();
+                let mut reps_run = 0;
+                for rep in 0..max_reps {
+                    let report = run_cell(template, n, master, idx as u64, rep);
+                    acc.merge_report(&report);
+                    reps_run = rep + 1;
+                    if let Some(rule) = early {
+                        if reps_run >= rule.min_replications.max(2)
+                            && acc.ci95_half_width(rule.quantity) <= rule.ci95_half_width
+                        {
+                            break;
+                        }
+                    }
+                }
+                acc.finish(label.to_string(), n, idx, reps_run)
+            })
+        } else {
+            // Fixed replication counts: fan out at (point, replication)
+            // granularity for load balance, then merge each point's
+            // replications in replication order. `parallel_map` returns in
+            // input order, so the merge order — and therefore every bit of
+            // the output — is schedule-independent.
+            let reps = self.replications;
+            let cells: Vec<(usize, &str, &Simulation, usize, u64)> = points
+                .iter()
+                .flat_map(|&(idx, label, template, n)| {
+                    (0..reps).map(move |rep| (idx, label, template, n, rep))
+                })
+                .collect();
+            let master = self.master_seed;
+            let reports =
+                parallel_map(self.workers, cells, move |_, (idx, _, template, n, rep)| {
+                    run_cell(template, n, master, idx as u64, rep)
+                });
+            points
+                .iter()
+                .map(|&(idx, label, _, n)| {
+                    let mut acc = PointAccumulator::new();
+                    for rep in 0..reps as usize {
+                        acc.merge_report(&reports[idx * reps as usize + rep]);
+                    }
+                    acc.finish(label.to_string(), n, idx, reps)
+                })
+                .collect()
+        };
+
+        SweepResults {
+            master_seed: self.master_seed,
+            replications: self.replications,
+            points: results,
+        }
+    }
+}
+
+/// Run one (point, replication) cell with its derived seed.
+fn run_cell(template: &Simulation, n: usize, master: u64, point_index: u64, rep: u64) -> SimReport {
+    template
+        .clone()
+        .num_stations(n)
+        .seed(derive_seed(master, point_index, rep))
+        .run()
+}
+
+/// Streaming per-point accumulator: one [`Welford`] per summarized
+/// quantity, extended by merging each replication's single-observation
+/// accumulator in replication order (so the early-stopping and fixed-count
+/// paths perform the exact same float operations).
+struct PointAccumulator {
+    collision_probability: Welford,
+    norm_throughput: Welford,
+    jain_fairness: Welford,
+}
+
+impl PointAccumulator {
+    fn new() -> Self {
+        PointAccumulator {
+            collision_probability: Welford::new(),
+            norm_throughput: Welford::new(),
+            jain_fairness: Welford::new(),
+        }
+    }
+
+    fn merge_report(&mut self, r: &SimReport) {
+        let single = |x: f64| {
+            let mut w = Welford::new();
+            w.push(x);
+            w
+        };
+        self.collision_probability
+            .merge(&single(r.collision_probability));
+        self.norm_throughput.merge(&single(r.norm_throughput));
+        self.jain_fairness.merge(&single(r.jain_fairness));
+    }
+
+    fn ci95_half_width(&self, q: Quantity) -> f64 {
+        let w = match q {
+            Quantity::CollisionProbability => &self.collision_probability,
+            Quantity::NormThroughput => &self.norm_throughput,
+            Quantity::JainFairness => &self.jain_fairness,
+        };
+        w.ci_half_width(0.95)
+    }
+
+    fn finish(self, config: String, n: usize, point_index: usize, reps: u64) -> SweepPointResult {
+        SweepPointResult {
+            config,
+            n,
+            point_index,
+            replications_run: reps,
+            summary: ReplicationSummary {
+                collision_probability: self.collision_probability.summary(),
+                norm_throughput: self.norm_throughput.summary(),
+                jain_fairness: self.jain_fairness.summary(),
+            },
+        }
+    }
+}
+
+/// The summarized outcome of one grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointResult {
+    /// Label of the configuration template.
+    pub config: String,
+    /// Station count.
+    pub n: usize,
+    /// Row-major index of the point in the grid.
+    pub point_index: usize,
+    /// Replications actually run (less than requested under early
+    /// stopping).
+    pub replications_run: u64,
+    /// Mean ± CI summaries over the replications.
+    pub summary: ReplicationSummary,
+}
+
+/// All points of a finished sweep, in grid order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// Master seed every cell seed was derived from.
+    pub master_seed: u64,
+    /// Requested replications per point.
+    pub replications: u64,
+    /// One result per grid point, in `point_index` order.
+    pub points: Vec<SweepPointResult>,
+}
+
+impl SweepResults {
+    /// The point for (config label, n), if present.
+    pub fn point(&self, config: &str, n: usize) -> Option<&SweepPointResult> {
+        self.points.iter().find(|p| p.config == config && p.n == n)
+    }
+
+    /// Serialize to a compact JSON document (see
+    /// [`export::sweep_results_json`](crate::export::sweep_results_json)).
+    pub fn to_json(&self) -> String {
+        crate::export::sweep_results_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_a_bijection_probe() {
+        // Distinct inputs through a bijection stay distinct.
+        let outs: std::collections::HashSet<u64> = (0..1000).map(splitmix64).collect();
+        assert_eq!(outs.len(), 1000);
+    }
+
+    #[test]
+    fn derived_seeds_are_unique_across_cells() {
+        let mut seen = std::collections::HashSet::new();
+        for point in 0..64u64 {
+            for rep in 0..64u64 {
+                assert!(seen.insert(derive_seed(99, point, rep)));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_masters_do_not_collide() {
+        // The failure mode of `seed + k` schemes.
+        assert_ne!(derive_seed(3, 0, 1), derive_seed(4, 0, 0));
+        assert_ne!(derive_seed(3, 1, 0), derive_seed(4, 0, 0));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(3, (0..50u64).collect(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..50u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(4, vec![7u64], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_shape_and_labels() {
+        let results = SweepGrid::new(1)
+            .config("a", Simulation::ieee1901(1).horizon_us(1e5))
+            .config("b", Simulation::dcf(1).horizon_us(1e5))
+            .stations([2, 3, 4])
+            .replications(2)
+            .workers(2)
+            .run();
+        assert_eq!(results.points.len(), 6);
+        assert_eq!(results.points[0].config, "a");
+        assert_eq!(results.points[0].n, 2);
+        assert_eq!(results.points[5].config, "b");
+        assert_eq!(results.points[5].n, 4);
+        for (i, p) in results.points.iter().enumerate() {
+            assert_eq!(p.point_index, i);
+            assert_eq!(p.replications_run, 2);
+            assert_eq!(p.summary.collision_probability.count, 2);
+        }
+        assert!(results.point("b", 3).is_some());
+        assert!(results.point("c", 3).is_none());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = SweepGrid::new(7)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(2e5))
+            .stations([2, 3])
+            .replications(3);
+        let serial = grid.clone().workers(1).run();
+        let pooled = grid.clone().workers(8).run();
+        assert_eq!(serial, pooled);
+        assert_eq!(serial.to_json(), pooled.to_json());
+    }
+
+    #[test]
+    fn early_stop_cuts_replications() {
+        // A huge CI target stops every point at min_replications.
+        let rule = EarlyStop {
+            quantity: Quantity::CollisionProbability,
+            ci95_half_width: 10.0,
+            min_replications: 2,
+        };
+        let results = SweepGrid::new(5)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(2e5))
+            .stations([2])
+            .replications(10)
+            .early_stop(rule)
+            .run();
+        assert_eq!(results.points[0].replications_run, 2);
+
+        // An unattainable target (0) runs the full budget.
+        let strict = EarlyStop {
+            ci95_half_width: 0.0,
+            ..rule
+        };
+        let full = SweepGrid::new(5)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(2e5))
+            .stations([2])
+            .replications(4)
+            .early_stop(strict)
+            .run();
+        assert_eq!(full.points[0].replications_run, 4);
+    }
+
+    #[test]
+    fn early_stop_matches_fixed_path_prefix() {
+        // With early stopping disabled by an unattainable target, the
+        // per-point path must produce bit-identical summaries to the
+        // fan-out path: both merge single-observation accumulators in
+        // replication order.
+        let grid = SweepGrid::new(11)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(2e5))
+            .stations([2, 3])
+            .replications(3);
+        let fanned = grid.clone().run();
+        let pointwise = grid
+            .clone()
+            .early_stop(EarlyStop {
+                quantity: Quantity::NormThroughput,
+                ci95_half_width: 0.0,
+                min_replications: 3,
+            })
+            .run();
+        assert_eq!(fanned, pointwise);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let results = SweepGrid::new(3)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2])
+            .replications(2)
+            .run();
+        let text = results.to_json();
+        let back: SweepResults = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, results);
+    }
+}

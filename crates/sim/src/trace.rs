@@ -244,16 +244,27 @@ mod tests {
 
     #[test]
     fn event_time_extraction() {
-        assert_eq!(TraceEvent::IdleSlot { t: Microseconds(5.0) }.time(), Microseconds(5.0));
+        assert_eq!(
+            TraceEvent::IdleSlot {
+                t: Microseconds(5.0)
+            }
+            .time(),
+            Microseconds(5.0)
+        );
         assert_eq!(sof_at(9.0).time(), Microseconds(9.0));
-        let c = TraceEvent::Collision { t: Microseconds(1.0), stations: vec![0, 1] };
+        let c = TraceEvent::Collision {
+            t: Microseconds(1.0),
+            stations: vec![0, 1],
+        };
         assert_eq!(c.time(), Microseconds(1.0));
     }
 
     #[test]
     fn vec_sink_records_in_order() {
         let mut sink = VecTraceSink::new();
-        sink.on_event(&TraceEvent::IdleSlot { t: Microseconds(0.0) });
+        sink.on_event(&TraceEvent::IdleSlot {
+            t: Microseconds(0.0),
+        });
         sink.on_event(&sof_at(35.84));
         assert_eq!(sink.events.len(), 2);
         assert_eq!(sink.events[1].time(), Microseconds(35.84));
@@ -262,21 +273,45 @@ mod tests {
     #[test]
     fn success_trace_filters() {
         let mut tr = SuccessTrace::new();
-        tr.on_event(&TraceEvent::IdleSlot { t: Microseconds(0.0) });
-        tr.on_event(&TraceEvent::Success { t: Microseconds(1.0), station: 2, burst: 1 });
-        tr.on_event(&TraceEvent::Collision { t: Microseconds(2.0), stations: vec![0, 1] });
-        tr.on_event(&TraceEvent::Success { t: Microseconds(3.0), station: 0, burst: 2 });
+        tr.on_event(&TraceEvent::IdleSlot {
+            t: Microseconds(0.0),
+        });
+        tr.on_event(&TraceEvent::Success {
+            t: Microseconds(1.0),
+            station: 2,
+            burst: 1,
+        });
+        tr.on_event(&TraceEvent::Collision {
+            t: Microseconds(2.0),
+            stations: vec![0, 1],
+        });
+        tr.on_event(&TraceEvent::Success {
+            t: Microseconds(3.0),
+            station: 0,
+            burst: 2,
+        });
         assert_eq!(tr.winners, vec![2, 0]);
     }
 
     #[test]
     fn counting_sink_counts() {
         let mut c = CountingSink::default();
-        c.on_event(&TraceEvent::IdleSlot { t: Microseconds(0.0) });
-        c.on_event(&TraceEvent::IdleSlot { t: Microseconds(1.0) });
+        c.on_event(&TraceEvent::IdleSlot {
+            t: Microseconds(0.0),
+        });
+        c.on_event(&TraceEvent::IdleSlot {
+            t: Microseconds(1.0),
+        });
         c.on_event(&sof_at(2.0));
-        c.on_event(&TraceEvent::Success { t: Microseconds(2.0), station: 0, burst: 1 });
-        c.on_event(&TraceEvent::FrameDropped { t: Microseconds(3.0), station: 0 });
+        c.on_event(&TraceEvent::Success {
+            t: Microseconds(2.0),
+            station: 0,
+            burst: 1,
+        });
+        c.on_event(&TraceEvent::FrameDropped {
+            t: Microseconds(3.0),
+            station: 0,
+        });
         assert_eq!(c.idle_slots, 2);
         assert_eq!(c.sofs, 1);
         assert_eq!(c.successes, 1);

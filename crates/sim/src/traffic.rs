@@ -13,9 +13,10 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// Frame arrival model for one station.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TrafficModel {
     /// Always backlogged — the paper's assumption.
+    #[default]
     Saturated,
     /// Poisson arrivals with the given rate (frames per µs); the queue is
     /// bounded and overflowing arrivals are dropped.
@@ -37,12 +38,6 @@ pub enum TrafficModel {
         /// Queue capacity in frames.
         queue_cap: usize,
     },
-}
-
-impl Default for TrafficModel {
-    fn default() -> Self {
-        TrafficModel::Saturated
-    }
 }
 
 /// Runtime state of one station's traffic source + queue.
@@ -86,7 +81,11 @@ impl TrafficState {
             TrafficModel::Poisson { rate_per_us, .. } => {
                 s.next_arrival = exp_sample(rng, 1.0 / rate_per_us);
             }
-            TrafficModel::OnOff { rate_per_us, mean_on_us, .. } => {
+            TrafficModel::OnOff {
+                rate_per_us,
+                mean_on_us,
+                ..
+            } => {
                 s.on = true;
                 s.phase_end = exp_sample(rng, mean_on_us);
                 s.next_arrival = exp_sample(rng, 1.0 / rate_per_us);
@@ -122,13 +121,21 @@ impl TrafficState {
         let was_empty = !self.has_frame();
         match self.model {
             TrafficModel::Saturated => return false,
-            TrafficModel::Poisson { rate_per_us, queue_cap } => {
+            TrafficModel::Poisson {
+                rate_per_us,
+                queue_cap,
+            } => {
                 while self.next_arrival <= now {
                     self.arrive(queue_cap);
                     self.next_arrival += exp_sample(rng, 1.0 / rate_per_us);
                 }
             }
-            TrafficModel::OnOff { rate_per_us, mean_on_us, mean_off_us, queue_cap } => {
+            TrafficModel::OnOff {
+                rate_per_us,
+                mean_on_us,
+                mean_off_us,
+                queue_cap,
+            } => {
                 // Walk phase boundaries and arrivals interleaved.
                 loop {
                     let next_event = self.next_arrival.min(self.phase_end);
@@ -210,7 +217,10 @@ mod tests {
         let mut r = rng();
         let rate = 1e-3; // 1 frame per 1000 µs
         let mut s = TrafficState::new(
-            TrafficModel::Poisson { rate_per_us: rate, queue_cap: usize::MAX / 2 },
+            TrafficModel::Poisson {
+                rate_per_us: rate,
+                queue_cap: usize::MAX / 2,
+            },
             &mut r,
         );
         s.advance_to(1e7, &mut r); // 10 s → expect ~10_000 arrivals
@@ -223,7 +233,10 @@ mod tests {
     fn poisson_activation_signal() {
         let mut r = rng();
         let mut s = TrafficState::new(
-            TrafficModel::Poisson { rate_per_us: 1e-3, queue_cap: 100 },
+            TrafficModel::Poisson {
+                rate_per_us: 1e-3,
+                queue_cap: 100,
+            },
             &mut r,
         );
         assert!(!s.has_frame());
@@ -238,7 +251,10 @@ mod tests {
     fn queue_cap_drops() {
         let mut r = rng();
         let mut s = TrafficState::new(
-            TrafficModel::Poisson { rate_per_us: 1e-2, queue_cap: 3 },
+            TrafficModel::Poisson {
+                rate_per_us: 1e-2,
+                queue_cap: 3,
+            },
             &mut r,
         );
         s.advance_to(1e6, &mut r); // ~10_000 arrivals into a 3-deep queue
@@ -250,7 +266,10 @@ mod tests {
     fn consume_drains_queue() {
         let mut r = rng();
         let mut s = TrafficState::new(
-            TrafficModel::Poisson { rate_per_us: 1e-2, queue_cap: 10 },
+            TrafficModel::Poisson {
+                rate_per_us: 1e-2,
+                queue_cap: 10,
+            },
             &mut r,
         );
         s.advance_to(1e5, &mut r);

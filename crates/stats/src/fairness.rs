@@ -117,7 +117,10 @@ mod tests {
     fn windowed_jain_round_robin_is_fair() {
         let trace: Vec<usize> = (0..100).map(|i| i % 4).collect();
         let f = windowed_jain(&trace, 4, 4);
-        assert!((f - 1.0).abs() < 1e-12, "round robin windows of 4 are perfectly fair");
+        assert!(
+            (f - 1.0).abs() < 1e-12,
+            "round robin windows of 4 are perfectly fair"
+        );
     }
 
     #[test]
@@ -174,6 +177,9 @@ mod tests {
     #[test]
     fn intersuccess_single_occurrence() {
         let trace = [1usize, 0, 1];
-        assert!(intersuccess_counts(&trace, 0).is_empty(), "one success yields no gaps");
+        assert!(
+            intersuccess_counts(&trace, 0).is_empty(),
+            "one success yields no gaps"
+        );
     }
 }

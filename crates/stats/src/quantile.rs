@@ -70,7 +70,8 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             self.warmup.push(x);
             if self.warmup.len() == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = w;
                 }
@@ -111,12 +112,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += s;
             }
@@ -125,7 +126,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let (qm, qi, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, ni, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, ni, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         qi + s / (np - nm)
             * ((ni - nm + s) * (qp - qi) / (np - ni) + (np - ni - s) * (qi - qm) / (ni - nm))
     }
@@ -170,7 +175,11 @@ mod tests {
         for _ in 0..100_000 {
             p2.push(rng.gen::<f64>());
         }
-        assert!((p2.estimate() - 0.5).abs() < 0.01, "median {}", p2.estimate());
+        assert!(
+            (p2.estimate() - 0.5).abs() < 0.01,
+            "median {}",
+            p2.estimate()
+        );
     }
 
     #[test]

@@ -30,7 +30,13 @@ pub struct Welford {
 impl Welford {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -138,7 +144,10 @@ impl Welford {
 /// expansion in 1/df; the error is below 2% for df ≥ 4 and below 0.3% for
 /// df ≥ 9, which is ample for experiment error bars.
 pub fn t_quantile(level: f64, df: f64) -> f64 {
-    assert!((0.0..1.0).contains(&level), "confidence level must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&level),
+        "confidence level must be in (0,1)"
+    );
     assert!(df >= 1.0);
     let p = 0.5 + level / 2.0; // one-sided probability
     let z = normal_quantile(p);
@@ -157,7 +166,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -30,12 +30,20 @@ impl Table {
         if let Some(first) = aligns.first_mut() {
             *first = Align::Left;
         }
-        Table { headers, aligns, rows: Vec::new() }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Override column alignments (must match the header count).
     pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
-        assert_eq!(aligns.len(), self.headers.len(), "alignment count must match headers");
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment count must match headers"
+        );
         self.aligns = aligns;
         self
     }
@@ -43,7 +51,11 @@ impl Table {
     /// Append a row; the cell count must match the header count.
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "cell count must match headers"
+        );
         self.rows.push(cells);
         self
     }

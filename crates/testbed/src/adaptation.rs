@@ -112,8 +112,7 @@ pub fn run(cfg: &AdaptationConfig) -> AdaptationOutcome {
         next_check = now + cfg.check_interval_us;
         for i in 0..cfg.n {
             // Channel keeps drifting regardless of traffic.
-            let margin =
-                cfg.base_margin_db - cfg.drift_db_per_s * (now - last_update_us[i]) / 1e6;
+            let margin = cfg.base_margin_db - cfg.drift_db_per_s * (now - last_update_us[i]) / 1e6;
             engine.set_station_pb_error(
                 i,
                 PbErrorModel::with_margin(margin).pb_error_prob().min(0.999),
@@ -146,8 +145,8 @@ pub fn run(cfg: &AdaptationConfig) -> AdaptationOutcome {
     let metrics = engine.metrics();
     let final_mean = (0..cfg.n)
         .map(|i| {
-            let margin =
-                cfg.base_margin_db - cfg.drift_db_per_s * (cfg.duration.as_micros() - last_update_us[i]) / 1e6;
+            let margin = cfg.base_margin_db
+                - cfg.drift_db_per_s * (cfg.duration.as_micros() - last_update_us[i]) / 1e6;
             PbErrorModel::with_margin(margin).pb_error_prob().min(0.999)
         })
         .sum::<f64>()
@@ -169,8 +168,11 @@ mod tests {
         // §4.1's claim made quantitative: faster-changing channels force
         // more tone-map MMEs.
         let rate = |drift: f64| {
-            run(&AdaptationConfig { drift_db_per_s: drift, ..Default::default() })
-                .update_rate_per_s
+            run(&AdaptationConfig {
+                drift_db_per_s: drift,
+                ..Default::default()
+            })
+            .update_rate_per_s
         };
         let slow = rate(0.25);
         let fast = rate(2.0);
@@ -183,8 +185,14 @@ mod tests {
 
     #[test]
     fn adaptation_preserves_goodput() {
-        let with = run(&AdaptationConfig { adapt: true, ..Default::default() });
-        let without = run(&AdaptationConfig { adapt: false, ..Default::default() });
+        let with = run(&AdaptationConfig {
+            adapt: true,
+            ..Default::default()
+        });
+        let without = run(&AdaptationConfig {
+            adapt: false,
+            ..Default::default()
+        });
         assert!(
             with.goodput > without.goodput + 0.03,
             "adaptation must pay for itself: {} vs {}",
@@ -198,7 +206,10 @@ mod tests {
 
     #[test]
     fn stable_channel_needs_no_updates() {
-        let out = run(&AdaptationConfig { drift_db_per_s: 0.0, ..Default::default() });
+        let out = run(&AdaptationConfig {
+            drift_db_per_s: 0.0,
+            ..Default::default()
+        });
         assert_eq!(out.updates_per_station.iter().sum::<u64>(), 0);
         assert!(out.goodput > 0.5);
     }

@@ -52,11 +52,22 @@ fn cmd_sim(args: &[String]) {
     let ts: f64 = parse(&args[3], "TS");
     let frame_length: f64 = parse(&args[4], "FRAME_LENGTH");
     let rest = &args[5..];
-    let split = rest.iter().position(|a| a == "--").unwrap_or_else(|| usage());
+    let split = rest
+        .iter()
+        .position(|a| a == "--")
+        .unwrap_or_else(|| usage());
     let cw: Vec<u32> = rest[..split].iter().map(|a| parse(a, "CW")).collect();
     let dc: Vec<u32> = rest[split + 1..].iter().map(|a| parse(a, "DC")).collect();
 
-    let sim = PaperSim { n, sim_time, tc, ts, frame_length, cw, dc };
+    let sim = PaperSim {
+        n,
+        sim_time,
+        tc,
+        ts,
+        frame_length,
+        cw,
+        dc,
+    };
     match sim.run(0) {
         Ok(r) => {
             println!("collision_pr   = {:.6}", r.collision_pr);
@@ -76,7 +87,10 @@ fn cmd_sim(args: &[String]) {
 }
 
 fn strip_for(args: &[String]) -> PowerStrip {
-    let n: usize = parse(args.first().map(String::as_str).unwrap_or_else(|| usage()), "N");
+    let n: usize = parse(
+        args.first().map(String::as_str).unwrap_or_else(|| usage()),
+        "N",
+    );
     let secs: f64 = args.get(1).map(|a| parse(a, "DURATION_S")).unwrap_or(20.0);
     let seed: u64 = args.get(2).map(|a| parse(a, "SEED")).unwrap_or(1);
     PowerStrip::new(TestbedConfig {
@@ -119,7 +133,11 @@ fn cmd_ampstat(args: &[String]) {
     println!("ΣCi = {sum_c}, ΣAi = {sum_a}");
     println!(
         "collision probability ΣCi/ΣAi = {:.6}",
-        if sum_a == 0 { 0.0 } else { sum_c as f64 / sum_a as f64 }
+        if sum_a == 0 {
+            0.0
+        } else {
+            sum_c as f64 / sum_a as f64
+        }
     );
 }
 
@@ -144,7 +162,10 @@ fn cmd_faifa(args: &[String]) {
     );
     let hist = plc_testbed::capture::burst_size_histogram(&bursts);
     for (size, count) in hist.iter() {
-        println!("  burst size {size}: {count} ({:.1}%)", 100.0 * hist.frequency(size));
+        println!(
+            "  burst size {size}: {count} ({:.1}%)",
+            100.0 * hist.frequency(size)
+        );
     }
     println!("MME overhead (bursts): {:.4}", mme_overhead(&bursts));
 }

@@ -116,7 +116,11 @@ mod tests {
             priority: Priority::CA1,
             peer: MacAddr::station(9),
         };
-        let raw = req.encode(&MmeHeader::request(MacAddr::station(77), bus.host_mac(), MMTYPE_STATS));
+        let raw = req.encode(&MmeHeader::request(
+            MacAddr::station(77),
+            bus.host_mac(),
+            MMTYPE_STATS,
+        ));
         assert!(bus.send(&raw).is_err());
     }
 

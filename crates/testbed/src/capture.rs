@@ -75,7 +75,11 @@ pub fn group_bursts(captures: &[SnifferInd]) -> Vec<BurstRecord> {
         }
     }
     out.extend(open);
-    out.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).expect("finite timestamps"));
+    out.sort_by(|a, b| {
+        a.start_us
+            .partial_cmp(&b.start_us)
+            .expect("finite timestamps")
+    });
     out
 }
 

@@ -50,7 +50,13 @@ pub struct Device {
 impl Device {
     /// A device with the given addresses, counters at zero, sniffer off.
     pub fn new(mac: MacAddr, tei: Tei) -> Self {
-        Device { mac, tei, stats: HashMap::new(), sniffer_enabled: false, captured: Vec::new() }
+        Device {
+            mac,
+            tei,
+            stats: HashMap::new(),
+            sniffer_enabled: false,
+            captured: Vec::new(),
+        }
     }
 
     /// The device's MAC address.
@@ -80,7 +86,11 @@ impl Device {
     pub fn record_tx_ack(&mut self, peer: MacAddr, priority: Priority, collided: bool) {
         let e = self
             .stats
-            .entry(StatKey { peer, priority, direction: Direction::Tx })
+            .entry(StatKey {
+                peer,
+                priority,
+                direction: Direction::Tx,
+            })
             .or_default();
         e.acked += 1;
         if collided {
@@ -93,7 +103,11 @@ impl Device {
     pub fn record_rx(&mut self, peer: MacAddr, priority: Priority, collided: bool) {
         let e = self
             .stats
-            .entry(StatKey { peer, priority, direction: Direction::Rx })
+            .entry(StatKey {
+                peer,
+                priority,
+                direction: Direction::Rx,
+            })
             .or_default();
         e.acked += 1;
         if collided {
@@ -138,7 +152,11 @@ impl Device {
         match header.base() {
             MMTYPE_STATS => {
                 let req = AmpStatReq::decode(raw)?;
-                let key = StatKey { peer: req.peer, priority: req.priority, direction: req.direction };
+                let key = StatKey {
+                    peer: req.peer,
+                    priority: req.priority,
+                    direction: req.direction,
+                };
                 let current = self.stats(&key);
                 if req.control == StatsControl::Reset {
                     self.stats.insert(key, AmpStatCnf::default());
@@ -153,7 +171,9 @@ impl Device {
                 self.sniffer_enabled = req.enable;
                 // Confirm echoes the new state in the first payload byte.
                 let cnf_header = MmeHeader::confirm_to(&header);
-                let state = SnifferReq { enable: self.sniffer_enabled };
+                let state = SnifferReq {
+                    enable: self.sniffer_enabled,
+                };
                 Ok(state.encode(&cnf_header))
             }
             other => Err(Error::UnknownMmtype(other)),
@@ -170,7 +190,10 @@ impl Device {
             mmtype: mmtype(MMTYPE_SNIFFER, MmVariant::Ind),
             fmi: 0,
         };
-        self.drain_captures().into_iter().map(|ind| ind.encode(&header)).collect()
+        self.drain_captures()
+            .into_iter()
+            .map(|ind| ind.encode(&header))
+            .collect()
     }
 }
 
@@ -204,7 +227,11 @@ mod tests {
         d.record_tx_ack(peer, Priority::CA1, false);
         d.record_tx_ack(peer, Priority::CA1, true);
         d.record_tx_ack(peer, Priority::CA1, true);
-        let s = d.stats(&StatKey { peer, priority: Priority::CA1, direction: Direction::Tx });
+        let s = d.stats(&StatKey {
+            peer,
+            priority: Priority::CA1,
+            direction: Direction::Tx,
+        });
         assert_eq!(s.acked, 3, "collided MPDUs are still acknowledged");
         assert_eq!(s.collided, 2);
     }
@@ -217,10 +244,42 @@ mod tests {
         d.record_tx_ack(a, Priority::CA1, false);
         d.record_tx_ack(b, Priority::CA2, true);
         d.record_rx(a, Priority::CA1, false);
-        assert_eq!(d.stats(&StatKey { peer: a, priority: Priority::CA1, direction: Direction::Tx }).acked, 1);
-        assert_eq!(d.stats(&StatKey { peer: b, priority: Priority::CA2, direction: Direction::Tx }).collided, 1);
-        assert_eq!(d.stats(&StatKey { peer: a, priority: Priority::CA1, direction: Direction::Rx }).acked, 1);
-        assert_eq!(d.stats(&StatKey { peer: b, priority: Priority::CA1, direction: Direction::Tx }).acked, 0);
+        assert_eq!(
+            d.stats(&StatKey {
+                peer: a,
+                priority: Priority::CA1,
+                direction: Direction::Tx
+            })
+            .acked,
+            1
+        );
+        assert_eq!(
+            d.stats(&StatKey {
+                peer: b,
+                priority: Priority::CA2,
+                direction: Direction::Tx
+            })
+            .collided,
+            1
+        );
+        assert_eq!(
+            d.stats(&StatKey {
+                peer: a,
+                priority: Priority::CA1,
+                direction: Direction::Rx
+            })
+            .acked,
+            1
+        );
+        assert_eq!(
+            d.stats(&StatKey {
+                peer: b,
+                priority: Priority::CA1,
+                direction: Direction::Tx
+            })
+            .acked,
+            0
+        );
     }
 
     #[test]
@@ -243,7 +302,10 @@ mod tests {
         let reply2 = d.handle_mme(&req.encode(&header)).unwrap();
         assert_eq!(AmpStatCnf::decode(&reply2).unwrap().acked, 1);
         // …and are cleared by a reset.
-        let reset = AmpStatReq { control: StatsControl::Reset, ..req };
+        let reset = AmpStatReq {
+            control: StatsControl::Reset,
+            ..req
+        };
         d.handle_mme(&reset.encode(&header)).unwrap();
         let reply3 = d.handle_mme(&req.encode(&header)).unwrap();
         assert_eq!(AmpStatCnf::decode(&reply3).unwrap(), AmpStatCnf::default());
@@ -291,10 +353,11 @@ mod tests {
     #[test]
     fn capture_indications_decode() {
         let mut d = dev();
-        d.handle_mme(
-            &SnifferReq { enable: true }
-                .encode(&MmeHeader::request(d.mac(), host(), MMTYPE_SNIFFER)),
-        )
+        d.handle_mme(&SnifferReq { enable: true }.encode(&MmeHeader::request(
+            d.mac(),
+            host(),
+            MMTYPE_SNIFFER,
+        )))
         .unwrap();
         d.sense_sof(5.5, sof(3));
         let frames = d.capture_indications(host());
@@ -310,8 +373,11 @@ mod tests {
     #[test]
     fn wrong_destination_rejected() {
         let mut d = dev();
-        let req = SnifferReq { enable: true }
-            .encode(&MmeHeader::request(MacAddr::station(42), host(), MMTYPE_SNIFFER));
+        let req = SnifferReq { enable: true }.encode(&MmeHeader::request(
+            MacAddr::station(42),
+            host(),
+            MMTYPE_SNIFFER,
+        ));
         assert!(d.handle_mme(&req).is_err());
     }
 
@@ -321,7 +387,10 @@ mod tests {
         let header = MmeHeader::request(d.mac(), host(), 0xA1C0);
         let mut raw = header.encode().to_vec();
         raw.extend_from_slice(&[0u8; 10]);
-        assert!(matches!(d.handle_mme(&raw), Err(Error::UnknownMmtype(0xA1C0))));
+        assert!(matches!(
+            d.handle_mme(&raw),
+            Err(Error::UnknownMmtype(0xA1C0))
+        ));
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl CollisionExperiment {
 
     /// Shorter test for CI-speed runs.
     pub fn quick(n: usize, seed: u64) -> Self {
-        CollisionExperiment { duration: Microseconds::from_secs(10.0), ..Self::paper(n, seed) }
+        CollisionExperiment {
+            duration: Microseconds::from_secs(10.0),
+            ..Self::paper(n, seed)
+        }
     }
 
     /// Run one test: reset → traffic → query → `ΣCᵢ / ΣAᵢ`.
@@ -100,7 +103,13 @@ impl CollisionExperiment {
     /// return each outcome.
     pub fn run_repeated(&self, repeats: u64) -> Result<Vec<ExperimentOutcome>> {
         (0..repeats)
-            .map(|k| CollisionExperiment { seed: self.seed.wrapping_add(k * 7919), ..self.clone() }.run())
+            .map(|k| {
+                CollisionExperiment {
+                    seed: self.seed.wrapping_add(k * 7919),
+                    ..self.clone()
+                }
+                .run()
+            })
             .collect()
     }
 }
@@ -142,7 +151,11 @@ pub fn mean_collision_probability(outcomes: &[ExperimentOutcome]) -> f64 {
     if outcomes.is_empty() {
         return f64::NAN;
     }
-    outcomes.iter().map(|o| o.collision_probability).sum::<f64>() / outcomes.len() as f64
+    outcomes
+        .iter()
+        .map(|o| o.collision_probability)
+        .sum::<f64>()
+        / outcomes.len() as f64
 }
 
 #[cfg(test)]
@@ -181,7 +194,12 @@ mod tests {
 
     #[test]
     fn probability_monotone_in_n() {
-        let p = |n| CollisionExperiment::quick(n, 4).run().unwrap().collision_probability;
+        let p = |n| {
+            CollisionExperiment::quick(n, 4)
+                .run()
+                .unwrap()
+                .collision_probability
+        };
         let (p1, p3, p6) = (p(1), p(3), p(6));
         assert!(p1 < p3 && p3 < p6, "{p1} {p3} {p6}");
     }
@@ -189,13 +207,22 @@ mod tests {
     #[test]
     fn outcome_arithmetic() {
         let out = ExperimentOutcome::from_counters(vec![
-            AmpStatCnf { acked: 100, collided: 10 },
-            AmpStatCnf { acked: 50, collided: 5 },
+            AmpStatCnf {
+                acked: 100,
+                collided: 10,
+            },
+            AmpStatCnf {
+                acked: 50,
+                collided: 5,
+            },
         ]);
         assert_eq!(out.sum_acked, 150);
         assert_eq!(out.sum_collided, 15);
         assert!((out.collision_probability - 0.1).abs() < 1e-12);
-        assert_eq!(ExperimentOutcome::from_counters(vec![]).collision_probability, 0.0);
+        assert_eq!(
+            ExperimentOutcome::from_counters(vec![]).collision_probability,
+            0.0
+        );
     }
 
     #[test]

@@ -21,11 +21,11 @@ use crate::bus::{DeviceTable, MgmtBus};
 use crate::device::Device;
 use parking_lot::Mutex;
 use plc_core::addr::{MacAddr, Tei};
+use plc_core::config::CsmaConfig;
 use plc_core::priority::Priority;
 use plc_core::timing::MacTiming;
 use plc_core::units::Microseconds;
 use plc_mac::Backoff1901;
-use plc_core::config::CsmaConfig;
 use plc_sim::bursting::BurstPolicy;
 use plc_sim::metrics::Metrics;
 use plc_sim::multiclass::{ClassStationSpec, MultiClassConfig, MultiClassEngine};
@@ -84,11 +84,18 @@ impl PowerStrip {
     /// strip. Device `i` has `MacAddr::station(i)` / `Tei::station(i)`;
     /// `D` is the last device.
     pub fn new(cfg: TestbedConfig) -> Self {
-        assert!(cfg.n_stations >= 1, "need at least one transmitting station");
+        assert!(
+            cfg.n_stations >= 1,
+            "need at least one transmitting station"
+        );
         let devices: Vec<Device> = (0..=cfg.n_stations as u32)
             .map(|i| Device::new(MacAddr::station(i), Tei::station(i)))
             .collect();
-        PowerStrip { cfg, devices: Arc::new(Mutex::new(devices)), host: HOST_MAC }
+        PowerStrip {
+            cfg,
+            devices: Arc::new(Mutex::new(devices)),
+            host: HOST_MAC,
+        }
     }
 
     /// The management bus the tools plug into.
@@ -179,7 +186,10 @@ struct FirmwareSink {
 
 impl FirmwareSink {
     fn new(devices: DeviceTable) -> Self {
-        FirmwareSink { devices, pending: HashMap::new() }
+        FirmwareSink {
+            devices,
+            pending: HashMap::new(),
+        }
     }
 }
 
@@ -246,7 +256,9 @@ mod tests {
         let mut sum_acked = 0;
         let mut sum_collided = 0;
         for i in 0..3 {
-            let s = tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx).unwrap();
+            let s = tool
+                .get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)
+                .unwrap();
             // Engine station i is the data station of device i.
             let gt = &metrics.per_station[i];
             assert_eq!(s.acked, gt.mpdus_acked(), "station {i} acked");
@@ -263,7 +275,10 @@ mod tests {
         let mut strip = PowerStrip::new(quick_cfg(1, 2));
         let metrics = strip.run_test();
         // INT6300 burst policy: every saturated win carries 2 MPDUs.
-        assert_eq!(metrics.per_station[0].mpdus_ok, 2 * metrics.per_station[0].successes);
+        assert_eq!(
+            metrics.per_station[0].mpdus_ok,
+            2 * metrics.per_station[0].successes
+        );
     }
 
     #[test]
@@ -272,8 +287,13 @@ mod tests {
         strip.run_test();
         let tool = AmpStat::new(strip.bus());
         let dst = strip.destination_mac();
-        let rx = tool.get(dst, strip.station_mac(0), Priority::CA1, Direction::Rx).unwrap();
-        assert!(rx.acked > 0, "D must have receive-side counters for station 0");
+        let rx = tool
+            .get(dst, strip.station_mac(0), Priority::CA1, Direction::Rx)
+            .unwrap();
+        assert!(
+            rx.acked > 0,
+            "D must have receive-side counters for station 0"
+        );
     }
 
     #[test]
@@ -284,13 +304,21 @@ mod tests {
         strip.run_test();
         let caps = faifa.collect(strip.destination_mac()).unwrap();
         assert!(!caps.is_empty());
-        let data = caps.iter().filter(|c| c.sof.priority == Priority::CA1).count();
-        let mme = caps.iter().filter(|c| c.sof.priority == Priority::CA2).count();
+        let data = caps
+            .iter()
+            .filter(|c| c.sof.priority == Priority::CA1)
+            .count();
+        let mme = caps
+            .iter()
+            .filter(|c| c.sof.priority == Priority::CA2)
+            .count();
         assert!(data > 0, "UDP data at CA1 must be captured");
         assert!(mme > 0, "management traffic at CA2 must be captured");
         assert!(data > mme, "saturated data dwarfs light management traffic");
         // Timestamps are non-decreasing.
-        assert!(caps.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        assert!(caps
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
     }
 
     #[test]
@@ -313,7 +341,10 @@ mod tests {
             let tool = AmpStat::new(strip.bus());
             let dst = strip.destination_mac();
             (0..2)
-                .map(|i| tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx).unwrap())
+                .map(|i| {
+                    tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)
+                        .unwrap()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
@@ -323,6 +354,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_stations_rejected() {
-        PowerStrip::new(TestbedConfig { n_stations: 0, ..Default::default() });
+        PowerStrip::new(TestbedConfig {
+            n_stations: 0,
+            ..Default::default()
+        });
     }
 }

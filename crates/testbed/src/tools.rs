@@ -40,8 +40,17 @@ impl AmpStat {
         priority: Priority,
         direction: Direction,
     ) -> Result<AmpStatCnf> {
-        let req = AmpStatReq { control, direction, priority, peer };
-        let raw = req.encode(&MmeHeader::request(device, self.bus.host_mac(), MMTYPE_STATS));
+        let req = AmpStatReq {
+            control,
+            direction,
+            priority,
+            peer,
+        };
+        let raw = req.encode(&MmeHeader::request(
+            device,
+            self.bus.host_mac(),
+            MMTYPE_STATS,
+        ));
         let reply = self.bus.send(&raw)?;
         AmpStatCnf::decode(&reply)
     }
@@ -84,8 +93,11 @@ impl Faifa {
     /// Enable or disable the sniffer mode of `device`; returns the state
     /// the device confirms.
     pub fn set_sniffer(&self, device: MacAddr, enable: bool) -> Result<bool> {
-        let raw = SnifferReq { enable }
-            .encode(&MmeHeader::request(device, self.bus.host_mac(), MMTYPE_SNIFFER));
+        let raw = SnifferReq { enable }.encode(&MmeHeader::request(
+            device,
+            self.bus.host_mac(),
+            MMTYPE_SNIFFER,
+        ));
         let reply = self.bus.send(&raw)?;
         Ok(SnifferReq::decode(&reply)?.enable)
     }
@@ -127,7 +139,10 @@ mod tests {
             Device::new(MacAddr::station(0), Tei::station(0)),
             Device::new(MacAddr::station(1), Tei::station(1)),
         ]));
-        (MgmtBus::new(devices.clone(), MacAddr([0x02, 0xB0, 0x57, 0, 0, 1])), devices)
+        (
+            MgmtBus::new(devices.clone(), MacAddr([0x02, 0xB0, 0x57, 0, 0, 1])),
+            devices,
+        )
     }
 
     #[test]
@@ -155,9 +170,24 @@ mod tests {
         let peer = MacAddr::station(1);
         devices.lock()[0].record_tx_ack(peer, Priority::CA1, false);
         devices.lock()[0].record_tx_ack(peer, Priority::CA2, false);
-        assert_eq!(tool.get(dev, peer, Priority::CA1, Direction::Tx).unwrap().acked, 1);
-        assert_eq!(tool.get(dev, peer, Priority::CA2, Direction::Tx).unwrap().acked, 1);
-        assert_eq!(tool.get(dev, peer, Priority::CA3, Direction::Tx).unwrap().acked, 0);
+        assert_eq!(
+            tool.get(dev, peer, Priority::CA1, Direction::Tx)
+                .unwrap()
+                .acked,
+            1
+        );
+        assert_eq!(
+            tool.get(dev, peer, Priority::CA2, Direction::Tx)
+                .unwrap()
+                .acked,
+            1
+        );
+        assert_eq!(
+            tool.get(dev, peer, Priority::CA3, Direction::Tx)
+                .unwrap()
+                .acked,
+            0
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ fn main() {
                 best.config
                     .dc_vector()
                     .iter()
-                    .map(|&d| if d == DC_DISABLED { "-".to_string() } else { d.to_string() })
+                    .map(|&d| if d == DC_DISABLED {
+                        "-".to_string()
+                    } else {
+                        d.to_string()
+                    })
                     .collect::<Vec<_>>()
             ),
         ]);

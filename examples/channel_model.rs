@@ -51,7 +51,10 @@ fn main() {
                 .unwrap_or_else(|| "∞".into()),
         ]);
     }
-    println!("Synthetic PLC channels → bit loading → rate\n\n{}", t.render());
+    println!(
+        "Synthetic PLC channels → bit loading → rate\n\n{}",
+        t.render()
+    );
 
     // ---- 2. Mains-cycle breathing ------------------------------------
     let ch = ChannelModel::long_link();
@@ -67,9 +70,12 @@ fn main() {
     for (name, ch) in &channels {
         let rate = PhyRate::from_tone_map(&ch.tone_map(0.0));
         let timing = rate.mac_timing(payload).expect("live channel");
-        let r = Simulation::ieee1901(3).timing(timing).horizon_us(2.0e7).seed(5).run();
-        let mbps =
-            r.norm_throughput * (payload as f64 * 8.0) / timing.frame_length.as_micros();
+        let r = Simulation::ieee1901(3)
+            .timing(timing)
+            .horizon_us(2.0e7)
+            .seed(5)
+            .run();
+        let mbps = r.norm_throughput * (payload as f64 * 8.0) / timing.frame_length.as_micros();
         t.row(vec![
             name.to_string(),
             format!("{:.4}", r.collision_probability),
@@ -89,7 +95,12 @@ fn main() {
         "goodput (sim)",
         "1/E[rounds] × clean",
     ]);
-    let clean = Simulation::ieee1901(2).horizon_us(2.0e7).seed(6).run().metrics.goodput();
+    let clean = Simulation::ieee1901(2)
+        .horizon_us(2.0e7)
+        .seed(6)
+        .run()
+        .metrics
+        .goodput();
     for margin in [3.0, 1.5, 0.75] {
         let p = PbErrorModel::with_margin(margin).pb_error_prob();
         let r = Simulation::ieee1901(2)

@@ -30,7 +30,11 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(11);
         let mut stations = Vec::new();
         for i in 0..n {
-            let cfg = if i < n - upgraded { CsmaConfig::ieee1901_ca01() } else { boosted_cfg.clone() };
+            let cfg = if i < n - upgraded {
+                CsmaConfig::ieee1901_ca01()
+            } else {
+                boosted_cfg.clone()
+            };
             stations.push(StationSpec::saturated(Backoff1901::new(cfg, &mut rng)));
         }
         let mut engine = SlottedEngine::new(
@@ -45,11 +49,21 @@ fn main() {
                 return f64::NAN;
             }
             let len = r.len() as f64;
-            m.per_station[r].iter().map(|s| s.successes as f64).sum::<f64>() / len
+            m.per_station[r]
+                .iter()
+                .map(|s| s.successes as f64)
+                .sum::<f64>()
+                / len
         };
         let legacy = mean(0..n - upgraded);
         let boosted = mean(n - upgraded..n);
-        let fmt = |x: f64| if x.is_nan() { "-".to_string() } else { format!("{x:.0}") };
+        let fmt = |x: f64| {
+            if x.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{x:.0}")
+            }
+        };
         table.row(vec![
             format!("{upgraded}/{n}"),
             format!("{:.4}", m.norm_throughput(Microseconds::new(2050.0))),

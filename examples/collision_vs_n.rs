@@ -13,6 +13,7 @@
 //! Run with: `cargo run --release --example collision_vs_n`
 
 use plc::prelude::*;
+use plc_sim::sweep;
 use plc_stats::table::{fmt_prob, Table};
 
 /// Figure 2 values as published (read from Table 2: ΣCᵢ/ΣAᵢ).
@@ -28,7 +29,9 @@ fn main() {
     ]);
 
     let model = CoupledModel::default_ca1();
-    for n in 1..=7usize {
+    // The seven points are independent; run them on the deterministic
+    // sweep pool (same results for any worker count), then print in order.
+    let rows = sweep::parallel_map(sweep::default_workers(), (1..=7usize).collect(), |_, n| {
         // Simulation: the reference simulator, 50 s.
         let sim = PaperSim::with_n_and_time(n, 5.0e7)
             .run(n as u64)
@@ -47,13 +50,16 @@ fn main() {
         .expect("testbed runs");
         let meas = plc_testbed::experiment::mean_collision_probability(&outcomes);
 
-        table.row(vec![
+        vec![
             n.to_string(),
             fmt_prob(PAPER[n - 1]),
             fmt_prob(sim),
             fmt_prob(ana),
             fmt_prob(meas),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
 
     println!("Figure 2 — collision probability vs N (CA1 defaults)\n");

@@ -72,7 +72,10 @@ fn main() {
             spec(Priority::CA1, TrafficModel::Saturated, &mut rng),
             spec(
                 Priority::CA2,
-                TrafficModel::Poisson { rate_per_us: 1e-4, queue_cap: 32 },
+                TrafficModel::Poisson {
+                    rate_per_us: 1e-4,
+                    queue_cap: 32,
+                },
                 &mut rng,
             ),
         ],
@@ -94,7 +97,10 @@ fn main() {
         by_class2[2].to_string(),
     ]);
 
-    println!("Priority resolution with 2×CA1 + 1×CA2 stations, {:.0} s\n", horizon / 1e6);
+    println!(
+        "Priority resolution with 2×CA1 + 1×CA2 stations, {:.0} s\n",
+        horizon / 1e6
+    );
     println!("{}", table.render());
     println!(
         "Saturated CA2 wins every priority-resolution phase: CA1 gets zero.\n\

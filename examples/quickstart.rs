@@ -36,7 +36,10 @@ fn main() {
     .expect("valid inputs");
 
     // 2. The modular engine via the high-level builder.
-    let engine = Simulation::ieee1901(n).horizon_us(horizon_us).seed(42).run();
+    let engine = Simulation::ieee1901(n)
+        .horizon_us(horizon_us)
+        .seed(42)
+        .run();
 
     // 3. The analytical model (no simulation at all).
     let model = CoupledModel::default_ca1();

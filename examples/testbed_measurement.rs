@@ -59,7 +59,10 @@ fn main() {
     strip.run_test();
 
     let captures = faifa.collect(d).expect("captures");
-    println!("sniffer captured {} SoF delimiters at D; first five:", captures.len());
+    println!(
+        "sniffer captured {} SoF delimiters at D; first five:",
+        captures.len()
+    );
     for ind in captures.iter().take(5) {
         println!("  {}", Faifa::format_sof(ind));
     }

@@ -37,6 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Compile and run the README's code blocks (Quickstart, Parallel sweeps)
+// as doctests so the documented examples can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub use plc_analysis as analysis;
 pub use plc_core as core;
 pub use plc_mac as mac;
@@ -55,7 +61,8 @@ pub mod prelude {
     pub use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf, BackoffProcess, RetryPolicy};
     pub use plc_phy::{ChannelModel, PbErrorModel, PhyRate, ToneMap};
     pub use plc_sim::{
-        BurstPolicy, PaperSim, SimReport, Simulation, StepOutcome, TraceEvent, TrafficModel,
+        BurstPolicy, EarlyStop, PaperSim, Quantity, SimReport, Simulation, StepOutcome, SweepGrid,
+        SweepResults, TraceEvent, TrafficModel,
     };
     pub use plc_testbed::{CollisionExperiment, PowerStrip, TestbedConfig};
 }

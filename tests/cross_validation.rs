@@ -70,7 +70,9 @@ fn deferral_counter_effect_is_consistent() {
     assert!(sim_gap > 0.02, "simulated deferral benefit: {sim_gap}");
 
     let model_with = CoupledModel::default_ca1().solve(n).collision_probability;
-    let model_without = BianchiModel::with_1901_windows().solve(n).collision_probability;
+    let model_without = BianchiModel::with_1901_windows()
+        .solve(n)
+        .collision_probability;
     let model_gap = model_without - model_with;
     assert!(model_gap > 0.02, "modelled deferral benefit: {model_gap}");
 
@@ -106,6 +108,16 @@ fn acked_counter_includes_collisions_like_the_paper() {
         .iter()
         .map(|&n| CollisionExperiment::quick(n, 5).run().unwrap().sum_acked)
         .collect();
-    assert!(a[1] > a[0], "ΣAᵢ(4) = {} must exceed ΣAᵢ(1) = {}", a[1], a[0]);
-    assert!(a[2] > a[1], "ΣAᵢ(7) = {} must exceed ΣAᵢ(4) = {}", a[2], a[1]);
+    assert!(
+        a[1] > a[0],
+        "ΣAᵢ(4) = {} must exceed ΣAᵢ(1) = {}",
+        a[1],
+        a[0]
+    );
+    assert!(
+        a[2] > a[1],
+        "ΣAᵢ(7) = {} must exceed ΣAᵢ(4) = {}",
+        a[2],
+        a[1]
+    );
 }

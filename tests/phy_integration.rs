@@ -49,7 +49,10 @@ fn goodput_tracks_error_rate() {
     let g1 = run(0.05);
     let g2 = run(0.2);
     let g3 = run(0.5);
-    assert!(g0 > g1 && g1 > g2 && g2 > g3, "goodput must fall: {g0} {g1} {g2} {g3}");
+    assert!(
+        g0 > g1 && g1 > g2 && g2 > g3,
+        "goodput must fall: {g0} {g1} {g2} {g3}"
+    );
     // Closed form: every retransmission round costs a full transmission
     // opportunity while the slot structure is unchanged, so
     // g(p)/g(0) = 1 / E[rounds per frame] = 1 / E[max of 4 geometrics].
@@ -68,7 +71,11 @@ fn goodput_tracks_error_rate() {
 /// apart — the paper's §3.2 point about selective acknowledgments).
 #[test]
 fn errors_do_not_inflate_collision_probability() {
-    let p_clean = Simulation::ieee1901(3).horizon_us(2.0e7).seed(4).run().collision_probability;
+    let p_clean = Simulation::ieee1901(3)
+        .horizon_us(2.0e7)
+        .seed(4)
+        .run()
+        .collision_probability;
     let p_noisy = Simulation::ieee1901(3)
         .pb_error_prob(0.3)
         .horizon_us(2.0e7)
@@ -93,10 +100,14 @@ fn channel_derived_timing_flows_into_the_mac() {
     let run = |ch: &ChannelModel| {
         let rate = PhyRate::from_tone_map(&ch.tone_map(0.0));
         let timing = rate.mac_timing(payload).expect("live channel");
-        let report = Simulation::ieee1901(3).timing(timing).horizon_us(3.0e7).seed(5).run();
+        let report = Simulation::ieee1901(3)
+            .timing(timing)
+            .horizon_us(3.0e7)
+            .seed(5)
+            .run();
         // Absolute rate = normalized share × payload bits / airtime.
-        let mbps = report.norm_throughput * (payload as f64 * 8.0)
-            / timing.frame_length.as_micros();
+        let mbps =
+            report.norm_throughput * (payload as f64 * 8.0) / timing.frame_length.as_micros();
         (report.collision_probability, mbps)
     };
     let (p_short, mbps_short) = run(&ChannelModel::power_strip());
@@ -105,7 +116,10 @@ fn channel_derived_timing_flows_into_the_mac() {
         mbps_long < mbps_short * 0.8,
         "the attenuated link must be materially slower: {mbps_long:.1} vs {mbps_short:.1} Mb/s"
     );
-    assert!(mbps_short > 20.0, "strip link should be tens of Mb/s: {mbps_short:.1}");
+    assert!(
+        mbps_short > 20.0,
+        "strip link should be tens of Mb/s: {mbps_short:.1}"
+    );
     // Contention sees only slot counts, not payload rate: with timing
     // scaled, collision probability stays in the same band.
     assert!((p_short - p_long).abs() < 0.05, "{p_short} vs {p_long}");

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 /// Strategy: a valid CSMA configuration with 1–5 stages, windows that are
 /// powers of two in 2..=256, and deferral values in 0..=31 or disabled.
 fn config_strategy() -> impl Strategy<Value = CsmaConfig> {
-    let stage = (1u32..=8, prop_oneof![Just(DC_DISABLED), (0u32..=31)])
+    let stage = (1u32..=8, prop_oneof![Just(DC_DISABLED), 0u32..=31])
         .prop_map(|(wexp, dc)| (1u32 << wexp, dc));
     proptest::collection::vec(stage, 1..=5).prop_map(|stages| {
         let cw: Vec<u32> = stages.iter().map(|&(w, _)| w).collect();
@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn stage_quantities_coherent(
         wexp in 1u32..=8,
-        d in prop_oneof![Just(DC_DISABLED), (0u32..=31)],
+        d in prop_oneof![Just(DC_DISABLED), 0u32..=31],
         p in 0.0f64..=1.0,
     ) {
         let w = 1u32 << wexp;

@@ -1,0 +1,48 @@
+//! Statistical cross-validation of the engine against the analytical
+//! model, replacing single-seed point assertions with CI-based ones.
+//!
+//! Cano & Malone ("On Efficiency and Validity of Previous Homeplug MAC
+//! Performance Analysis") show that simulator-vs-analysis conclusions are
+//! only meaningful with replicated runs and confidence intervals; a single
+//! seed can land anywhere in the replication distribution. These tests
+//! sweep N with 5 decorrelated replications per point through
+//! `plc_sim::sweep` and compare the replication mean, not one draw, with
+//! the coupled fixed point.
+
+use plc::prelude::*;
+use plc_sim::sweep::SweepGrid;
+
+/// Engine collision probability agrees with the `CoupledModel` prediction
+/// within ± 3 standard errors of the 5-replication mean at every swept N.
+#[test]
+fn engine_mean_collision_probability_tracks_coupled_model() {
+    let model = CoupledModel::default_ca1();
+    let results = SweepGrid::new(0xC0117)
+        .config("ca1", Simulation::ieee1901(1).horizon_us(1.0e7))
+        .stations([2, 5, 10, 15])
+        .replications(5)
+        .run();
+
+    for point in &results.points {
+        let predicted = model.solve(point.n).collision_probability;
+        let summary = &point.summary.collision_probability;
+        let std_err = summary.std_dev / (summary.count as f64).sqrt();
+        eprintln!(
+            "N={:2}: engine {:.5} ± {:.5} (se), model {:.5}, |Δ|/se = {:.2}",
+            point.n,
+            summary.mean,
+            std_err,
+            predicted,
+            (summary.mean - predicted).abs() / std_err
+        );
+        assert!(std_err > 0.0, "replications collapsed at N={}", point.n);
+        assert!(
+            (summary.mean - predicted).abs() <= 3.0 * std_err,
+            "N={}: engine mean {:.5} outside model {:.5} ± 3·se ({:.5})",
+            point.n,
+            summary.mean,
+            predicted,
+            3.0 * std_err
+        );
+    }
+}

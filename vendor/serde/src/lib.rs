@@ -1,0 +1,350 @@
+//! Offline stand-in for `serde`, vendored so the workspace builds without a
+//! crates.io mirror. Instead of serde's visitor architecture it uses a small
+//! JSON-shaped value tree: [`Serialize`] lowers a type to a [`Value`],
+//! [`Deserialize`] rebuilds it. The companion `serde_derive` proc-macro
+//! generates both impls for plain structs and enums (no `#[serde(...)]`
+//! attributes), and the in-tree `serde_json` renders [`Value`] to and from
+//! JSON text with serde_json-compatible conventions (externally tagged
+//! enums, transparent newtypes, `Option` as the value-or-null).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the intermediate form between typed data and
+/// serialized text. Numbers keep their literal text so `u64` and `f64`
+/// round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number, kept as its literal text.
+    Num(String),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a plain message naming what failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Produce the value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `v` into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        DeError::custom(format!(
+                            "invalid {} literal {s:?}: {e}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected {} number, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    Value::Num(self.to_string())
+                } else if self.is_nan() {
+                    Value::Str("NaN".to_string())
+                } else if *self > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        DeError::custom(format!("invalid float literal {s:?}: {e}"))
+                    }),
+                    Value::Str(s) => match s.as_str() {
+                        "NaN" => Ok(<$t>::NAN),
+                        "inf" => Ok(<$t>::INFINITY),
+                        "-inf" => Ok(<$t>::NEG_INFINITY),
+                        _ => Err(DeError::custom(format!("expected float, found string {s:?}"))),
+                    },
+                    other => Err(DeError::custom(format!("expected float, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError::custom(format!(
+                "expected array of length {N}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected tuple array, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Helpers the derive-generated code calls. Not part of the public API.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Wrap a variant payload in its externally-tagged single-key object.
+    pub fn tag(name: &str, inner: Value) -> Value {
+        Value::Obj(vec![(name.to_string(), inner)])
+    }
+
+    /// Unwrap an externally-tagged enum value into (variant name, payload).
+    pub fn untag(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+            other => Err(DeError::custom(format!(
+                "expected single-key enum object, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Extract and deserialize the named field of a struct object.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, val)) => T::from_value(val)
+                    .map_err(|e| DeError::custom(format!("field {name:?}: {}", e.0))),
+                None => Err(DeError::custom(format!("missing field {name:?}"))),
+            },
+            other => Err(DeError::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    /// Extract and deserialize the `idx`-th element of a tuple array.
+    pub fn element<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+        match v {
+            Value::Arr(items) => match items.get(idx) {
+                Some(val) => T::from_value(val)
+                    .map_err(|e| DeError::custom(format!("element {idx}: {}", e.0))),
+                None => Err(DeError::custom(format!("missing tuple element {idx}"))),
+            },
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for x in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_value(&x.to_value()).unwrap(), x);
+        }
+        for x in [0.0f64, 35.84, -2.5e-7, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+        }
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let arr = [1.5f64, 2.5, 3.5];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+}
