@@ -130,12 +130,10 @@ fn bench_sniffer(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("mme_overhead_n2_2s", |b| {
         b.iter(|| {
-            black_box(plc_bench::exp::mme_overhead::measure(
-                &plc_bench::RunOpts { quick: true },
-                2,
-                2e-6,
-                1,
-            ))
+            black_box(
+                plc_bench::exp::mme_overhead::measure(&plc_bench::RunOpts::quick(), 2, 2e-6, 1)
+                    .unwrap(),
+            )
         })
     });
     g.finish();
@@ -204,7 +202,7 @@ fn bench_delay(c: &mut Criterion) {
     g.bench_function("points_n_1_2_5", |b| {
         b.iter(|| {
             black_box(plc_bench::exp::delay::points(
-                &plc_bench::RunOpts { quick: true },
+                &plc_bench::RunOpts::quick(),
                 &[1, 2, 5],
             ))
         })

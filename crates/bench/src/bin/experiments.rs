@@ -2,27 +2,63 @@
 //! paper (plus the extension experiments) as printed tables.
 //!
 //! ```text
-//! experiments [--full] [NAME...]
+//! experiments [--smoke|--full] [--timings] [NAME...]
+//! experiments bench-snapshot [--check] [--out DIR]
 //!
+//!   --smoke    tiny horizons: exercise every pipeline in seconds
+//!              (integration-test mode; artifacts are noise)
 //!   --full     paper-length runs (240 s tests, 10 repeats, 100 s sims);
 //!              default is quick mode (CI-friendly)
+//!   --timings  print per-phase timings after each experiment
 //!   NAME       any of: table1 figure1 table2 figure2 throughput
 //!              priorities boost fairness mme_overhead bursts models
 //!              (default: all, in order)
+//!
+//! bench-snapshot times the pinned engine workloads and writes
+//! BENCH_<date>.json into DIR (default: the current directory); with
+//! --check it reruns them at a reduced horizon, validates the schema and
+//! writes nothing.
+//!
+//! Any experiment failure is reported on stderr and the process exits
+//! nonzero — no panics.
 //! ```
 
-use plc_bench::{registry, RunOpts};
+use plc_bench::{registry, snapshot, RunOpts};
+use plc_core::error::{Error, Result};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("bench-snapshot") => run_bench_snapshot(&args[1..]),
+        _ => run_experiments(&args),
+    };
+    std::process::exit(code);
+}
+
+fn run_experiments(args: &[String]) -> i32 {
+    let smoke = args.iter().any(|a| a == "--smoke");
     let full = args.iter().any(|a| a == "--full");
+    if smoke && full {
+        eprintln!("--smoke and --full are mutually exclusive");
+        return 2;
+    }
+    let timings = args.iter().any(|a| a == "--timings");
     let names: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
 
-    let opts = RunOpts { quick: !full };
+    let mut opts = if smoke {
+        RunOpts::smoke()
+    } else if full {
+        RunOpts::full()
+    } else {
+        RunOpts::quick()
+    };
+    if timings {
+        opts = opts.with_obs(plc_obs::Registry::new());
+    }
     let registry = registry();
 
     let selected: Vec<_> = if names.is_empty() {
@@ -32,7 +68,7 @@ fn main() {
         for name in &names {
             if !known.contains(name) {
                 eprintln!("unknown experiment '{name}'; known: {}", known.join(" "));
-                std::process::exit(2);
+                return 2;
             }
         }
         registry
@@ -43,18 +79,104 @@ fn main() {
 
     println!(
         "plc experiment harness — mode: {}\n",
-        if full { "FULL (paper-length)" } else { "quick" }
+        if smoke {
+            "SMOKE (tiny horizons)"
+        } else if full {
+            "FULL (paper-length)"
+        } else {
+            "quick"
+        }
     );
     for (name, runner) in selected {
         println!("==================================================================");
         println!("== {name}");
         println!("==================================================================");
         let started = std::time::Instant::now();
-        let output = runner(&opts);
-        println!("{output}");
+        match runner(&opts) {
+            Ok(output) => println!("{output}"),
+            Err(e) => {
+                eprintln!("experiment '{name}' failed: {e}");
+                return 1;
+            }
+        }
         println!(
             "[{name} finished in {:.1} s]\n",
             started.elapsed().as_secs_f64()
         );
+        if timings {
+            print_phase_timings(&opts.obs, name);
+        }
     }
+    0
+}
+
+/// Print the `exp.<name>.*` span timers accumulated by one experiment.
+fn print_phase_timings(obs: &plc_obs::Registry, name: &str) {
+    let prefix = format!("exp.{name}.");
+    let snap = obs.snapshot();
+    let phases: Vec<_> = snap
+        .timers
+        .iter()
+        .filter(|t| t.name.starts_with(&prefix))
+        .collect();
+    if phases.is_empty() {
+        return;
+    }
+    println!("phase timings:");
+    for t in phases {
+        println!(
+            "  {:<40} {:>4} span(s) {:>9.3} s",
+            t.name, t.count, t.total_secs
+        );
+    }
+    println!();
+}
+
+fn run_bench_snapshot(args: &[String]) -> i32 {
+    match bench_snapshot(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bench-snapshot failed: {e}");
+            1
+        }
+    }
+}
+
+fn bench_snapshot(args: &[String]) -> Result<()> {
+    let check = args.iter().any(|a| a == "--check");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| Error::runtime("--out requires a directory argument"))
+        })
+        .transpose()?
+        .unwrap_or_else(|| ".".to_string());
+
+    if check {
+        // Reduced horizons: validate the pipeline and schema quickly.
+        let snap = snapshot::collect(0.05)?;
+        snapshot::check(&snap)?;
+        println!(
+            "bench-snapshot --check OK: {} workloads, schema {}",
+            snap.workloads.len(),
+            snap.schema
+        );
+        return Ok(());
+    }
+
+    let snap = snapshot::collect(1.0)?;
+    snapshot::check(&snap)?;
+    let path = std::path::Path::new(&out_dir).join(snap.file_name());
+    std::fs::write(&path, snap.to_json()? + "\n")?;
+    println!("wrote {}", path.display());
+    for w in &snap.workloads {
+        println!(
+            "  {:<24} {:>9.3} s  {:>12} slots  {:>12.0} slots/s",
+            w.name, w.wall_secs, w.slots, w.slots_per_sec
+        );
+    }
+    Ok(())
 }

@@ -3,12 +3,14 @@
 //! conditions", closed-loop).
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_core::units::Microseconds;
 use plc_stats::table::{fmt_prob, Table};
 use plc_testbed::adaptation::{run as run_adaptation, AdaptationConfig};
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _span = opts.obs.timer("exp.adaptation.runs").start();
     let duration = Microseconds::from_secs(opts.test_secs().min(60.0));
     let mut t = Table::new(vec![
         "drift (dB/s)",
@@ -36,14 +38,14 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(frozen.final_mean_error_prob),
         ]);
     }
-    format!(
+    Ok(format!(
         "E13 — tone-map adaptation under channel drift (N = 3, 3 dB renegotiated\n\
          margin, 5% firmware error-rate trigger)\n\n{}\n\
          The tone-map MME rate is an *output* of channel dynamics: it scales\n\
          with the drift rate, exactly the dependence §4.1 describes. With the\n\
          loop frozen, goodput decays toward the error-dominated floor.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -52,7 +54,7 @@ mod tests {
 
     #[test]
     fn renders_with_monotone_update_rates() {
-        let s = run(&RunOpts { quick: true });
+        let s = run(&RunOpts::quick()).unwrap();
         assert!(s.contains("updates/s"));
         // Extract the updates/s column and check monotonicity in drift.
         let rates: Vec<f64> = s

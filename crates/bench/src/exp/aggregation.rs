@@ -8,6 +8,7 @@
 //! timeouts fill MPDUs but hold the first frame hostage.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_sim::aggregation::{AggregationConfig, AggregationQueue, EthernetFrame};
 use plc_stats::table::Table;
 use rand::rngs::SmallRng;
@@ -62,7 +63,8 @@ pub fn measure(frames_per_s: f64, timeout_us: f64, horizon_us: f64, seed: u64) -
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _span = opts.obs.timer("exp.aggregation.measure").start();
     let horizon = opts.horizon_us();
     let mut t = Table::new(vec![
         "frames/s",
@@ -83,7 +85,7 @@ pub fn run(opts: &RunOpts) -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "E12 — Ethernet→PLC frame aggregation (1500 B frames, 72-PB budget)\n\n{}\n\
          Light load ships near-empty MPDUs after a full timeout wait; heavy\n\
          load fills the 72-PB budget quickly (24 frames × 3 PBs) and the\n\
@@ -91,7 +93,7 @@ pub fn run(opts: &RunOpts) -> String {
          The timeout knob trades first-frame latency against efficiency in\n\
          between, which is why vendors tune (and hide) it.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use crate::RunOpts;
 use plc_analysis::boost::{boost_search, BoostOptions};
 use plc_core::config::{CsmaConfig, DC_DISABLED};
+use plc_core::error::{Error, Result};
 use plc_core::timing::MacTiming;
 use plc_sim::sweep;
 use plc_sim::Simulation;
@@ -24,27 +25,31 @@ pub struct BoostResult {
 
 /// Search and validate at each N, on the deterministic
 /// [`plc_sim::sweep`] pool.
-pub fn results(opts: &RunOpts, ns: &[usize]) -> Vec<BoostResult> {
+pub fn results(opts: &RunOpts, ns: &[usize]) -> Result<Vec<BoostResult>> {
     let timing = MacTiming::paper_default();
     let horizon = opts.horizon_us();
     sweep::parallel_map(sweep::default_workers(), ns.to_vec(), |_, n| {
         let best = boost_search(n, &timing, &BoostOptions::default())
             .into_iter()
             .next()
-            .expect("candidates");
+            .ok_or_else(|| {
+                Error::runtime(format!("boost search produced no candidates at N={n}"))
+            })?;
         let default_sim = Simulation::ieee1901(n).horizon_us(horizon).seed(13).run();
         let boosted_sim = Simulation::ieee1901(n)
             .config(best.config.clone())
             .horizon_us(horizon)
             .seed(13)
             .run();
-        BoostResult {
+        Ok(BoostResult {
             n,
             default_throughput: default_sim.norm_throughput,
             boosted_throughput: boosted_sim.norm_throughput,
             config: best.config,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 fn dc_label(cfg: &CsmaConfig) -> String {
@@ -62,8 +67,11 @@ fn dc_label(cfg: &CsmaConfig) -> String {
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
-    let rs = results(opts, &[2, 5, 10, 20]);
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.boost.search").start();
+    let rs = results(opts, &[2, 5, 10, 20])?;
+    drop(span);
+    let _render = opts.obs.timer("exp.boost.render").start();
     let mut t = Table::new(vec!["N", "default S", "boosted S", "gain", "cw", "dc"]);
     for r in &rs {
         t.row(vec![
@@ -78,12 +86,12 @@ pub fn run(opts: &RunOpts) -> String {
             dc_label(&r.config),
         ]);
     }
-    format!(
+    Ok(format!(
         "E3 — boosting: model-guided (CW, DC) search, simulation-validated\n\n{}\n\
          The default table is tuned for small N; at N ≥ 10 wider windows win\n\
          back the airtime currently lost to collisions.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -92,7 +100,7 @@ mod tests {
 
     #[test]
     fn boosting_helps_at_large_n_not_small() {
-        let rs = results(&RunOpts { quick: true }, &[2, 20]);
+        let rs = results(&RunOpts::quick(), &[2, 20]).unwrap();
         let small_gain = rs[0].boosted_throughput / rs[0].default_throughput - 1.0;
         let large_gain = rs[1].boosted_throughput / rs[1].default_throughput - 1.0;
         assert!(

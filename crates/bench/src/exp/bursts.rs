@@ -7,6 +7,7 @@
 //! contrasts a channel-adaptive random policy.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_core::units::Microseconds;
 use plc_sim::BurstPolicy;
 use plc_stats::hist::Histogram;
@@ -16,7 +17,7 @@ use plc_testbed::tools::Faifa;
 use plc_testbed::{group_bursts, PowerStrip, TestbedConfig};
 
 /// Capture and histogram the burst sizes under a policy.
-pub fn measure(opts: &RunOpts, policy: BurstPolicy, seed: u64) -> Histogram {
+pub fn measure(opts: &RunOpts, policy: BurstPolicy, seed: u64) -> Result<Histogram> {
     let mut strip = PowerStrip::new(TestbedConfig {
         n_stations: 3,
         duration: Microseconds::from_secs(opts.test_secs().min(20.0)),
@@ -27,22 +28,23 @@ pub fn measure(opts: &RunOpts, policy: BurstPolicy, seed: u64) -> Histogram {
     });
     let faifa = Faifa::new(strip.bus());
     let d = strip.destination_mac();
-    faifa.set_sniffer(d, true).expect("sniffer on");
+    faifa.set_sniffer(d, true)?;
     strip.run_test();
-    let captures = faifa.collect(d).expect("captures");
-    burst_size_histogram(&group_bursts(&captures))
+    let captures = faifa.collect(d)?;
+    Ok(burst_size_histogram(&group_bursts(&captures)))
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
-    let int6300 = measure(opts, BurstPolicy::INT6300, 42);
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _span = opts.obs.timer("exp.bursts.capture").start();
+    let int6300 = measure(opts, BurstPolicy::INT6300, 42)?;
     let adaptive = measure(
         opts,
         BurstPolicy::Random {
             weights: [0.1, 0.5, 0.25, 0.15],
         },
         42,
-    );
+    )?;
     let mut t = Table::new(vec!["burst size", "INT6300 freq.", "adaptive freq."]);
     for size in 1..=4usize {
         t.row(vec![
@@ -51,7 +53,7 @@ pub fn run(opts: &RunOpts) -> String {
             format!("{:.3}", adaptive.frequency(size)),
         ]);
     }
-    format!(
+    Ok(format!(
         "E6 — burst-size frequencies measured at the sniffer (§3.1)\n\n{}\n\
          The INT6300 policy reproduces the paper's observation (all bursts\n\
          of 2); the adaptive column models 'depends on channel conditions\n\
@@ -59,7 +61,7 @@ pub fn run(opts: &RunOpts) -> String {
         t.render(),
         int6300.mean(),
         adaptive.mean()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -68,7 +70,7 @@ mod tests {
 
     #[test]
     fn int6300_measures_all_twos() {
-        let h = measure(&RunOpts { quick: true }, BurstPolicy::INT6300, 1);
+        let h = measure(&RunOpts::quick(), BurstPolicy::INT6300, 1).unwrap();
         assert!(h.total() > 50);
         assert_eq!(h.mode(), Some(2));
         assert!(
@@ -83,12 +85,13 @@ mod tests {
     #[test]
     fn random_policy_spreads_sizes() {
         let h = measure(
-            &RunOpts { quick: true },
+            &RunOpts::quick(),
             BurstPolicy::Random {
                 weights: [1.0, 1.0, 1.0, 1.0],
             },
             2,
-        );
+        )
+        .unwrap();
         for size in 1..=4 {
             assert!(
                 h.frequency(size) > 0.1,

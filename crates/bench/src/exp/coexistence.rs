@@ -11,6 +11,7 @@
 
 use crate::RunOpts;
 use plc_core::config::CsmaConfig;
+use plc_core::error::Result;
 use plc_core::units::Microseconds;
 use plc_mac::Backoff1901;
 use plc_sim::engine::{EngineConfig, SlottedEngine, StationSpec};
@@ -80,9 +81,10 @@ pub fn run_mix(
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _span = opts.obs.timer("exp.coexistence.mixes").start();
     // The E3-style boosted table for N = 10.
-    let boosted = CsmaConfig::from_vectors(&[32, 64, 128, 256], &[0, 1, 3, 15]).expect("valid");
+    let boosted = CsmaConfig::from_vectors(&[32, 64, 128, 256], &[0, 1, 3, 15])?;
     let n = 10;
     let mut t = Table::new(vec![
         "default/boosted",
@@ -113,7 +115,7 @@ pub fn run(opts: &RunOpts) -> String {
             },
         ]);
     }
-    format!(
+    Ok(format!(
         "E11 — incremental deployment of a boosted table (cw 32…256), N = {n}\n\n{}\n\
          Total throughput rises with every station that upgrades, but the\n\
          default stations free-ride on the upgraders' politeness: with a\n\
@@ -121,7 +123,7 @@ pub fn run(opts: &RunOpts) -> String {
          than each boosted one. Parameter boosting is a collective-action\n\
          problem — consistent with why the standard ships one table.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -130,7 +132,7 @@ mod tests {
 
     #[test]
     fn upgraders_lose_share_but_lift_the_total() {
-        let opts = RunOpts { quick: true };
+        let opts = RunOpts::quick();
         let boosted = CsmaConfig::from_vectors(&[32, 64, 128, 256], &[0, 1, 3, 15]).unwrap();
         let all_default = run_mix(&opts, 10, 0, &boosted, 3);
         let mixed = run_mix(&opts, 5, 5, &boosted, 3);
@@ -149,7 +151,7 @@ mod tests {
 
     #[test]
     fn homogeneous_populations_are_fair() {
-        let opts = RunOpts { quick: true };
+        let opts = RunOpts::quick();
         let boosted = CsmaConfig::from_vectors(&[32, 64, 128, 256], &[0, 1, 3, 15]).unwrap();
         let o = run_mix(&opts, 0, 10, &boosted, 4);
         // Within one group the shares are symmetric (long-run).

@@ -10,6 +10,7 @@
 use crate::RunOpts;
 use parking_lot::Mutex;
 use plc_analysis::CoupledModel;
+use plc_core::error::Result;
 use plc_core::timing::MacTiming;
 use plc_sim::trace::SuccessTrace;
 use plc_sim::Simulation;
@@ -51,7 +52,8 @@ pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<DelayPoint> {
             let r = Simulation::ieee1901(n)
                 .horizon_us(opts.horizon_us())
                 .seed(17)
-                .run_with_sinks(vec![trace.clone()]);
+                .sink(trace.clone())
+                .run();
             let mut per_station = Welford::new();
             for s in &r.metrics.per_station {
                 per_station.push(s.intersuccess.mean());
@@ -80,8 +82,11 @@ pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<DelayPoint> {
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.delay.points").start();
     let pts = points(opts, &[1, 2, 3, 5, 7, 10, 15]);
+    drop(span);
+    let _render = opts.obs.timer("exp.delay.render").start();
     let mut t = Table::new(vec![
         "N",
         "sim (ms)",
@@ -98,14 +103,14 @@ pub fn run(opts: &RunOpts) -> String {
             format!("{:.2}", p.p95_ms),
         ]);
     }
-    format!(
+    Ok(format!(
         "E9 — mean MAC access delay (inter-success time of a tagged saturated\n\
          station) vs N, simulation vs coupled-model renewal prediction\n\n{}\n\
          Delay grows slightly faster than linearly in N (each extra station\n\
          adds both its airtime share and extra collisions); the model tracks\n\
          the simulation within a few percent.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -114,7 +119,7 @@ mod tests {
 
     #[test]
     fn delay_grows_superlinearly_and_model_tracks() {
-        let pts = points(&RunOpts { quick: true }, &[1, 2, 5, 10]);
+        let pts = points(&RunOpts::quick(), &[1, 2, 5, 10]);
         // Monotone growth.
         assert!(pts.windows(2).all(|w| w[1].sim_ms > w[0].sim_ms));
         // Superlinear: delay(10)/delay(1) > 10.
@@ -139,7 +144,7 @@ mod tests {
     fn p95_reflects_short_term_unfairness() {
         // 1901's streaky wins give a heavy delay tail: p95 well above the
         // mean at moderate N.
-        let pts = points(&RunOpts { quick: true }, &[5]);
+        let pts = points(&RunOpts::quick(), &[5]);
         assert!(
             pts[0].p95_ms > 2.0 * pts[0].sim_ms,
             "p95 {} vs mean {}",
@@ -151,7 +156,7 @@ mod tests {
     #[test]
     fn single_station_closed_form() {
         // Alone: E[intersuccess] = Ts + 3.5 σ ≈ 2.668 ms.
-        let pts = points(&RunOpts { quick: true }, &[1]);
+        let pts = points(&RunOpts::quick(), &[1]);
         assert!((pts[0].sim_ms - 2.668).abs() < 0.03, "{}", pts[0].sim_ms);
         assert!((pts[0].model_ms - 2.668).abs() < 0.001);
     }

@@ -9,6 +9,7 @@
 //! `goodput(p) / goodput(0) = 1 / E[max of k geometrics]`.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_phy::error::{expected_rounds_for, PbErrorModel};
 use plc_sim::Simulation;
 use plc_stats::table::{fmt_prob, Table};
@@ -54,8 +55,11 @@ pub fn sweep(opts: &RunOpts, n: usize) -> Vec<ErrorPoint> {
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.errors.sweep").start();
     let pts = sweep(opts, 3);
+    drop(span);
+    let _render = opts.obs.timer("exp.errors.render").start();
     let mut t = Table::new(vec![
         "margin (dB)",
         "PB err prob",
@@ -76,14 +80,14 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(p.collision_probability),
         ]);
     }
-    format!(
+    Ok(format!(
         "E8 — channel errors with selective PB retransmission (N = 3)\n\n{}\n\
          Each retransmission round costs a full contention win, so goodput\n\
          falls as 1/E[rounds]; the collision probability column is flat —\n\
          selective ACKs keep channel errors and collisions distinct, exactly\n\
          the property §3.2's measurement methodology relies on.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -92,7 +96,7 @@ mod tests {
 
     #[test]
     fn goodput_falls_and_matches_prediction() {
-        let pts = sweep(&RunOpts { quick: true }, 3);
+        let pts = sweep(&RunOpts::quick(), 3);
         assert!(pts.windows(2).all(|w| w[1].goodput <= w[0].goodput + 1e-9));
         for p in &pts {
             assert!(
@@ -111,7 +115,7 @@ mod tests {
         // are statistically independent samples of the same contention
         // process — the comparison tolerance must cover two standard
         // errors of each estimate, not zero.
-        let pts = sweep(&RunOpts { quick: true }, 3);
+        let pts = sweep(&RunOpts::quick(), 3);
         let base = pts[0].collision_probability;
         for p in &pts {
             assert!(

@@ -3,6 +3,7 @@
 
 use crate::RunOpts;
 use parking_lot::Mutex;
+use plc_core::error::Result;
 use plc_sim::trace::SuccessTrace;
 use plc_sim::Simulation;
 use plc_stats::fairness::{intersuccess_counts, windowed_jain};
@@ -12,7 +13,7 @@ use std::sync::Arc;
 /// Success trace of a simulation run.
 pub fn success_trace(sim: &Simulation) -> Vec<usize> {
     let sink = Arc::new(Mutex::new(SuccessTrace::new()));
-    sim.run_with_sinks(vec![sink.clone()]);
+    sim.clone().sink(sink.clone()).run();
     let winners = sink.lock().winners.clone();
     winners
 }
@@ -29,8 +30,9 @@ pub fn jain_comparison(opts: &RunOpts, n: usize, windows: &[usize]) -> Vec<(usiz
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
     let n = 4;
+    let span = opts.obs.timer("exp.fairness.traces").start();
     let rows = jain_comparison(opts, n, &[4, 8, 16, 32, 64, 256]);
     let mut t = Table::new(vec!["window", "Jain 1901", "Jain 802.11"]);
     for (w, j1901, jdcf) in &rows {
@@ -45,8 +47,10 @@ pub fn run(opts: &RunOpts) -> String {
     let trace = success_trace(&Simulation::ieee1901(n).horizon_us(horizon).seed(14));
     let gaps = intersuccess_counts(&trace, 0);
     let streaks = gaps.iter().filter(|&&g| g == 0).count() as f64 / gaps.len().max(1) as f64;
+    drop(span);
+    let _render = opts.obs.timer("exp.fairness.render").start();
 
-    format!(
+    Ok(format!(
         "E4 — short-term fairness, N = {n} saturated stations\n\n{}\n\
          1901 sits below 802.11 at short windows: the winner restarts at CW = 8\n\
          while losers are pushed up stages (often without transmitting), so wins\n\
@@ -54,7 +58,7 @@ pub fn run(opts: &RunOpts) -> String {
          its previous win. Long-run fairness (large windows) is preserved.\n",
         t.render(),
         100.0 * streaks
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -63,7 +67,7 @@ mod tests {
 
     #[test]
     fn short_term_gap_and_long_term_convergence() {
-        let rows = jain_comparison(&RunOpts { quick: true }, 4, &[8, 512]);
+        let rows = jain_comparison(&RunOpts::quick(), 4, &[8, 512]);
         let (_, j1901_short, jdcf_short) = rows[0];
         let (_, j1901_long, jdcf_long) = rows[1];
         assert!(

@@ -7,6 +7,7 @@
 //! the medium busy and has DC = 0") and the winner resetting to CW = 8.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_mac::process::BackoffSnapshot;
 use plc_mac::Backoff1901;
 use plc_sim::engine::{EngineConfig, SlottedEngine, StationSpec};
@@ -56,8 +57,11 @@ pub fn trace(rows: usize, seed: u64) -> Vec<TraceRow> {
 }
 
 /// Render the figure as a table.
-pub fn run(_opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.figure1.trace").start();
     let rows = trace(30, 1901);
+    drop(span);
+    let _render = opts.obs.timer("exp.figure1.render").start();
     let mut s = String::from("Figure 1 — backoff evolution, 2 saturated stations (CA1 table)\n\n");
     s.push_str(&format!(
         "{:>10}  {:<10}  {:>12}  {:>12}\n{}\n",
@@ -84,7 +88,7 @@ pub fn run(_opts: &RunOpts) -> String {
             fmt(&r.b)
         ));
     }
-    s
+    Ok(s)
 }
 
 #[cfg(test)]

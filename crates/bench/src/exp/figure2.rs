@@ -9,6 +9,7 @@
 
 use crate::RunOpts;
 use plc_analysis::CoupledModel;
+use plc_core::error::{Error, Result};
 use plc_core::units::Microseconds;
 use plc_sim::sweep;
 use plc_sim::PaperSim;
@@ -39,8 +40,9 @@ pub const PAPER: [f64; 7] = [
     0.000154, 0.07414, 0.13387, 0.17789, 0.21761, 0.24427, 0.26686,
 ];
 
-/// Compute all seven points. The sweep over N runs in parallel.
-pub fn points(opts: &RunOpts) -> Vec<Point> {
+/// Compute all seven points. The sweep over N runs in parallel; the
+/// first failing point aborts the figure.
+pub fn points(opts: &RunOpts) -> Result<Vec<Point>> {
     let model = CoupledModel::default_ca1();
     let horizon = opts.horizon_us();
     let secs = opts.test_secs().min(60.0);
@@ -49,34 +51,38 @@ pub fn points(opts: &RunOpts) -> Vec<Point> {
     sweep::parallel_map(sweep::default_workers(), (1..=7usize).collect(), |_, n| {
         let simulation = PaperSim::with_n_and_time(n, horizon)
             .run(40 + n as u64)
-            .expect("valid inputs")
+            .map_err(|e| Error::runtime(format!("figure2 reference sim N={n}: {e}")))?
             .collision_pr;
         let analysis = model.solve(n).collision_probability;
         let outcomes = CollisionExperiment {
             duration: Microseconds::from_secs(secs),
             ..CollisionExperiment::paper(n, 500 + n as u64)
         }
-        .run_repeated(repeats)
-        .expect("testbed runs");
+        .run_repeated(repeats)?;
         let measured = mean_collision_probability(&outcomes);
         let mut w = Welford::new();
         for o in &outcomes {
             w.push(o.collision_probability);
         }
-        Point {
+        Ok(Point {
             n,
             paper: PAPER[n - 1],
             simulation,
             analysis,
             measured,
             measured_ci95: w.ci_half_width(0.95),
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Render the figure as a table.
-pub fn run(opts: &RunOpts) -> String {
-    let pts = points(opts);
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.figure2.points").start();
+    let pts = points(opts)?;
+    drop(span);
+    let _render = opts.obs.timer("exp.figure2.render").start();
     let mut t = Table::new(vec![
         "N",
         "paper (meas.)",
@@ -95,11 +101,11 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(p.measured_ci95),
         ]);
     }
-    format!(
+    Ok(format!(
         "Figure 2 — collision probability vs N (CA1 defaults, {} repeats)\n\n{}",
         opts.repeats(),
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -108,7 +114,7 @@ mod tests {
 
     #[test]
     fn series_agree_and_track_the_paper() {
-        let pts = points(&RunOpts { quick: true });
+        let pts = points(&RunOpts::quick()).unwrap();
         assert_eq!(pts.len(), 7);
         for p in &pts[1..] {
             // The three reproduced series agree within 2.5 points.

@@ -8,6 +8,7 @@
 //! and queues blow up (arrivals are dropped at the queue cap).
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_sim::{Simulation, TrafficModel};
 use plc_stats::table::{fmt_prob, Table};
 
@@ -58,10 +59,13 @@ pub fn sweep(opts: &RunOpts, n: usize, offered: &[f64]) -> Vec<LoadPoint> {
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
     let n = 5;
     let offered = [0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 2.0];
+    let span = opts.obs.timer("exp.load.sweep").start();
     let pts = sweep(opts, n, &offered);
+    drop(span);
+    let _render = opts.obs.timer("exp.load.render").start();
     let mut t = Table::new(vec!["offered load", "carried", "collision p", "shortfall"]);
     for p in &pts {
         t.row(vec![
@@ -77,13 +81,13 @@ pub fn run(opts: &RunOpts) -> String {
         .seed(33)
         .run()
         .norm_throughput;
-    format!(
+    Ok(format!(
         "E10 — unsaturated operation, N = {n} Poisson stations\n\n{}\n\
          Below the knee carried ≈ offered and collisions are rare (stations\n\
          are mostly idle); past it the network pins at the saturated ceiling\n\
          (≈ {sat:.3} at N = {n}, E1's value) and the excess is dropped.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -92,7 +96,7 @@ mod tests {
 
     #[test]
     fn two_regimes() {
-        let opts = RunOpts { quick: true };
+        let opts = RunOpts::quick();
         let pts = sweep(&opts, 5, &[0.2, 0.5, 2.0]);
         // Light load: carried ≈ offered, few collisions.
         assert!(
@@ -119,7 +123,7 @@ mod tests {
 
     #[test]
     fn carried_is_monotone_in_offered() {
-        let pts = sweep(&RunOpts { quick: true }, 3, &[0.1, 0.4, 0.8]);
+        let pts = sweep(&RunOpts::quick(), 3, &[0.1, 0.4, 0.8]);
         assert!(pts.windows(2).all(|w| w[1].carried >= w[0].carried - 0.01));
     }
 }

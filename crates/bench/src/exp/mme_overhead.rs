@@ -6,6 +6,7 @@
 //! overhead. Data is told from management by the SoF LinkID priority.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_core::units::Microseconds;
 use plc_stats::table::{fmt_prob, Table};
 use plc_testbed::tools::Faifa;
@@ -27,7 +28,7 @@ pub struct OverheadPoint {
 }
 
 /// Run the sniffer capture and compute the overhead.
-pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> OverheadPoint {
+pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> Result<OverheadPoint> {
     let mut strip = PowerStrip::new(TestbedConfig {
         n_stations: n,
         duration: Microseconds::from_secs(opts.test_secs().min(30.0)),
@@ -37,23 +38,24 @@ pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> OverheadPo
     });
     let faifa = Faifa::new(strip.bus());
     let d = strip.destination_mac();
-    faifa.set_sniffer(d, true).expect("sniffer on");
+    faifa.set_sniffer(d, true)?;
     strip.run_test();
-    let captures = faifa.collect(d).expect("captures");
+    let captures = faifa.collect(d)?;
     let bursts = group_bursts(&captures);
     let data = bursts.iter().filter(|b| b.is_data()).count();
     let mme = bursts.iter().filter(|b| !b.is_data()).count();
-    OverheadPoint {
+    Ok(OverheadPoint {
         n,
         mme_rate,
         data_bursts: data,
         mme_bursts: mme,
         overhead: mme_overhead(&bursts),
-    }
+    })
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _span = opts.obs.timer("exp.mme_overhead.capture").start();
     let mut t = Table::new(vec![
         "N",
         "MME rate (1/s/dev)",
@@ -62,7 +64,7 @@ pub fn run(opts: &RunOpts) -> String {
         "overhead",
     ]);
     for &(n, rate) in &[(2usize, 2e-6), (2, 1e-5), (5, 2e-6), (5, 1e-5)] {
-        let p = measure(opts, n, rate, 900 + n as u64);
+        let p = measure(opts, n, rate, 900 + n as u64)?;
         t.row(vec![
             n.to_string(),
             format!("{:.0}", rate * 1e6),
@@ -71,12 +73,12 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(p.overhead),
         ]);
     }
-    format!(
+    Ok(format!(
         "E5 — MME overhead over bursts (§3.3 methodology, sniffer at D)\n\n{}\n\
          Saturated data dominates; the management plane costs a few bursts\n\
          per hundred data bursts and grows linearly with the MME rate.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -85,9 +87,9 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_mme_rate() {
-        let opts = RunOpts { quick: true };
-        let low = measure(&opts, 2, 2e-6, 1);
-        let high = measure(&opts, 2, 2e-5, 1);
+        let opts = RunOpts::quick();
+        let low = measure(&opts, 2, 2e-6, 1).unwrap();
+        let high = measure(&opts, 2, 2e-5, 1).unwrap();
         assert!(low.overhead > 0.0);
         assert!(
             high.overhead > 2.0 * low.overhead,
@@ -99,7 +101,7 @@ mod tests {
 
     #[test]
     fn zero_rate_means_zero_overhead() {
-        let p = measure(&RunOpts { quick: true }, 2, 0.0, 2);
+        let p = measure(&RunOpts::quick(), 2, 0.0, 2).unwrap();
         assert_eq!(p.mme_bursts, 0);
         assert_eq!(p.overhead, 0.0);
         assert!(p.data_bursts > 0);

@@ -17,6 +17,7 @@
 
 use crate::RunOpts;
 use plc_analysis::{CoupledModel, Model1901, RoundModel};
+use plc_core::error::{Error, Result};
 use plc_sim::PaperSim;
 use plc_stats::table::{fmt_prob, Table};
 
@@ -24,7 +25,7 @@ use plc_stats::table::{fmt_prob, Table};
 pub type Row = (usize, f64, f64, f64, f64);
 
 /// All comparison rows for the swept N values.
-pub fn rows(opts: &RunOpts) -> Vec<Row> {
+pub fn rows(opts: &RunOpts) -> Result<Vec<Row>> {
     let decoupled = Model1901::default_ca1();
     let round = RoundModel::default_ca1();
     let coupled = CoupledModel::default_ca1();
@@ -32,22 +33,25 @@ pub fn rows(opts: &RunOpts) -> Vec<Row> {
         .map(|n| {
             let sim = PaperSim::with_n_and_time(n, opts.horizon_us())
                 .run(70 + n as u64)
-                .expect("valid")
+                .map_err(|e| Error::runtime(format!("models reference sim N={n}: {e}")))?
                 .collision_pr;
-            (
+            Ok((
                 n,
                 sim,
                 decoupled.solve(n).collision_probability,
                 round.solve(n).collision_probability,
                 coupled.solve(n).collision_probability,
-            )
+            ))
         })
         .collect()
 }
 
 /// Render the comparison.
-pub fn run(opts: &RunOpts) -> String {
-    let data = rows(opts);
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.models.rows").start();
+    let data = rows(opts)?;
+    drop(span);
+    let _render = opts.obs.timer("exp.models.render").start();
     let mut t = Table::new(vec![
         "N",
         "simulation",
@@ -68,7 +72,7 @@ pub fn run(opts: &RunOpts) -> String {
         errs[1] = errs[1].max((r - sim).abs());
         errs[2] = errs[2].max((c - sim).abs());
     }
-    format!(
+    Ok(format!(
         "E7 — modelling assumptions: collision probability vs simulation\n\n{}\n\
          max |error|: slot-decoupled {:.4}, round {:.4}, coupled {:.4}.\n\
          The naive decoupling overestimates at small N (synchronized restarts\n\
@@ -78,7 +82,7 @@ pub fn run(opts: &RunOpts) -> String {
         errs[0],
         errs[1],
         errs[2]
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -90,7 +94,7 @@ mod tests {
         // Pointwise the simpler models can luck into a crossing (the round
         // model's bias flips sign near N = 4); the right comparison is the
         // worst case over the sweep.
-        let data = rows(&RunOpts { quick: true });
+        let data = rows(&RunOpts::quick()).unwrap();
         let max_err =
             |f: &dyn Fn(&Row) -> f64| data.iter().map(|row| f(row).abs()).fold(0.0f64, f64::max);
         let ed = max_err(&|&(_, sim, d, _, _)| d - sim);
@@ -103,7 +107,7 @@ mod tests {
 
     #[test]
     fn known_bias_directions() {
-        let data = rows(&RunOpts { quick: true });
+        let data = rows(&RunOpts::quick()).unwrap();
         let (_, sim2, d2, _, _) = data[0]; // N = 2
         let (_, sim7, _, r7, _) = data[5]; // N = 7
         assert!(d2 > sim2, "decoupled overestimates at N=2");

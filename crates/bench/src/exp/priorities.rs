@@ -13,6 +13,7 @@
 use crate::RunOpts;
 use plc_analysis::CoupledModel;
 use plc_core::config::CsmaConfig;
+use plc_core::error::Result;
 use plc_core::priority::Priority;
 use plc_core::units::Microseconds;
 use plc_mac::Backoff1901;
@@ -59,7 +60,8 @@ pub fn class_collision_curves(opts: &RunOpts) -> Vec<(usize, f64, f64, f64, f64)
 }
 
 /// Render the experiment.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let span = opts.obs.timer("exp.priorities.curves").start();
     let mut t = Table::new(vec!["N", "CA1 sim", "CA1 model", "CA3 sim", "CA3 model"]);
     for (n, s01, m01, s23, m23) in class_collision_curves(opts) {
         t.row(vec![
@@ -71,6 +73,8 @@ pub fn run(opts: &RunOpts) -> String {
         ]);
     }
 
+    drop(span);
+    let _cross = opts.obs.timer("exp.priorities.cross_class").start();
     // Cross-class scenario: 2×CA1 saturated + 1×CA2 light.
     let mut rng = SmallRng::seed_from_u64(5);
     let stations = vec![
@@ -101,7 +105,7 @@ pub fn run(opts: &RunOpts) -> String {
     e.run();
     let by_class = e.successes_by_class();
 
-    format!(
+    Ok(format!(
         "E2 — priority classes (Table 1 columns) under explicit priority resolution\n\n\
          Per-class collision probability, N same-class saturated stations:\n\n{}\n\
          The CA2/CA3 table (CW capped at 32) collides more at large N — bounded\n\
@@ -112,7 +116,7 @@ pub fn run(opts: &RunOpts) -> String {
         t.render(),
         by_class[1],
         by_class[2],
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -124,7 +128,7 @@ mod tests {
         // The CA2/CA3 table halves the stage-2/3 windows, so it collides
         // more — visibly even at N = 2, where a loser cascades into the
         // capped stages within a few busy rounds.
-        let rows = class_collision_curves(&RunOpts { quick: true });
+        let rows = class_collision_curves(&RunOpts::quick());
         for &(n, s01, m01, s23, m23) in &rows[1..] {
             assert!(s23 > s01, "N={n}: CA3 sim {s23} vs CA1 sim {s01}");
             assert!(m23 > m01, "N={n}: CA3 model {m23} vs CA1 model {m01}");

@@ -4,6 +4,7 @@
 
 use crate::RunOpts;
 use plc_core::config::CsmaConfig;
+use plc_core::error::Result;
 use plc_stats::table::Table;
 
 /// One Table 1 row: `(stage, bpc_label, (cw, dc) for CA0/1, (cw, dc) for CA2/3)`.
@@ -24,7 +25,8 @@ pub fn rows() -> Vec<Row> {
 }
 
 /// Render the table.
-pub fn run(_opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
+    let _render = opts.obs.timer("exp.table1.render").start();
     let mut t = Table::new(vec![
         "backoff stage i",
         "BPC",
@@ -43,11 +45,11 @@ pub fn run(_opts: &RunOpts) -> String {
             d23.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Table 1 — IEEE 1901 contention windows CWi and initial deferral\n\
          counter values di per backoff stage (regenerated from plc-core):\n\n{}",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -72,7 +74,7 @@ mod tests {
 
     #[test]
     fn render_contains_all_values() {
-        let s = run(&RunOpts::default());
+        let s = run(&RunOpts::default()).unwrap();
         for needle in ["64", "15", "≥ 3", "CA2/CA3"] {
             assert!(s.contains(needle), "missing {needle}");
         }

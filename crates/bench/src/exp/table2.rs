@@ -20,6 +20,7 @@
 //! curve.
 
 use crate::RunOpts;
+use plc_core::error::Result;
 use plc_core::units::Microseconds;
 use plc_stats::table::{fmt_prob, fmt_sci, Table};
 use plc_testbed::CollisionExperiment;
@@ -36,24 +37,26 @@ pub const PAPER: [(f64, f64); 7] = [
 ];
 
 /// Measured `(ΣCi, ΣAi)` per N on the emulated testbed.
-pub fn measure(test_secs: f64, seed: u64) -> Vec<(u64, u64)> {
+pub fn measure(test_secs: f64, seed: u64) -> Result<Vec<(u64, u64)>> {
     (1..=7usize)
         .map(|n| {
             let out = CollisionExperiment {
                 duration: Microseconds::from_secs(test_secs),
                 ..CollisionExperiment::paper(n, seed + n as u64)
             }
-            .run()
-            .expect("testbed run");
-            (out.sum_collided, out.sum_acked)
+            .run()?;
+            Ok((out.sum_collided, out.sum_acked))
         })
         .collect()
 }
 
 /// Render paper vs measured.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
     let secs = opts.test_secs();
-    let measured = measure(secs, 2024);
+    let span = opts.obs.timer("exp.table2.measure").start();
+    let measured = measure(secs, 2024)?;
+    drop(span);
+    let _render = opts.obs.timer("exp.table2.render").start();
     let mut t = Table::new(vec![
         "N",
         "paper ΣCi",
@@ -75,13 +78,13 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(if a == 0 { 0.0 } else { c as f64 / a as f64 }),
         ]);
     }
-    format!(
+    Ok(format!(
         "Table 2 — ΣCi, ΣAi per N ({secs:.0} s tests; paper used 240 s)\n\n{}\n\
          Absolute counts differ from the paper's (their PHY carried shorter\n\
          frames); the signatures match: ΣAi grows with N because collided\n\
          frames are still acknowledged, and ΣCi/ΣAi follows Figure 2.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -99,7 +102,7 @@ mod tests {
 
     #[test]
     fn measured_signatures_match() {
-        let m = measure(5.0, 9);
+        let m = measure(5.0, 9).unwrap();
         // ΣAi grows with N.
         assert!(m[6].1 > m[0].1, "ΣAi must grow: {:?}", m);
         // Ratio is monotone and lands near the paper's endpoints.

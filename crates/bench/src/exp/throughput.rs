@@ -13,6 +13,7 @@
 use crate::RunOpts;
 use plc_analysis::CoupledModel;
 use plc_core::config::CsmaConfig;
+use plc_core::error::Result;
 use plc_core::timing::MacTiming;
 use plc_sim::sweep;
 use plc_sim::Simulation;
@@ -34,32 +35,40 @@ pub struct Point {
 }
 
 /// The sweep over N, run on the deterministic [`plc_sim::sweep`] pool.
-pub fn points(opts: &RunOpts, ns: &[usize]) -> Vec<Point> {
+pub fn points(opts: &RunOpts, ns: &[usize]) -> Result<Vec<Point>> {
     let horizon = opts.horizon_us();
     let model = CoupledModel::default_ca1();
     let timing = MacTiming::paper_default();
-    sweep::parallel_map(sweep::default_workers(), ns.to_vec(), |_, n| {
-        let s1901 = Simulation::ieee1901(n).horizon_us(horizon).seed(7).run();
-        let dcf = Simulation::dcf(n).horizon_us(horizon).seed(7).run();
-        let dcf_matched = Simulation::dcf(n)
-            .config(CsmaConfig::dcf_like(8, 4).expect("valid"))
-            .horizon_us(horizon)
-            .seed(7)
-            .run();
-        Point {
-            n,
-            s1901: s1901.norm_throughput,
-            s1901_model: model.throughput(n, &timing),
-            dcf: dcf.norm_throughput,
-            dcf_matched: dcf_matched.norm_throughput,
-        }
-    })
+    let matched_cfg = CsmaConfig::dcf_like(8, 4)?;
+    Ok(sweep::parallel_map(
+        sweep::default_workers(),
+        ns.to_vec(),
+        |_, n| {
+            let s1901 = Simulation::ieee1901(n).horizon_us(horizon).seed(7).run();
+            let dcf = Simulation::dcf(n).horizon_us(horizon).seed(7).run();
+            let dcf_matched = Simulation::dcf(n)
+                .config(matched_cfg.clone())
+                .horizon_us(horizon)
+                .seed(7)
+                .run();
+            Point {
+                n,
+                s1901: s1901.norm_throughput,
+                s1901_model: model.throughput(n, &timing),
+                dcf: dcf.norm_throughput,
+                dcf_matched: dcf_matched.norm_throughput,
+            }
+        },
+    ))
 }
 
 /// Render the comparison.
-pub fn run(opts: &RunOpts) -> String {
+pub fn run(opts: &RunOpts) -> Result<String> {
     let ns = [1usize, 2, 3, 5, 7, 10, 15, 20, 30];
-    let pts = points(opts, &ns);
+    let span = opts.obs.timer("exp.throughput.points").start();
+    let pts = points(opts, &ns)?;
+    drop(span);
+    let _render = opts.obs.timer("exp.throughput.render").start();
     let mut t = Table::new(vec![
         "N",
         "1901 (sim)",
@@ -76,14 +85,14 @@ pub fn run(opts: &RunOpts) -> String {
             fmt_prob(p.dcf_matched),
         ]);
     }
-    format!(
+    Ok(format!(
         "E1 — normalized throughput vs N (paper timing: σ 35.84 µs, Ts 2542.64 µs,\n\
          Tc 2920.64 µs, L 2050 µs)\n\n{}\n\
          1901 wins at small N (smaller CW₀ wastes fewer idle slots) and holds up\n\
          at larger N thanks to the deferral counter; DCF with 1901's windows but\n\
          no deferral counter collapses fastest.\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -92,7 +101,7 @@ mod tests {
 
     #[test]
     fn shapes_hold() {
-        let pts = points(&RunOpts { quick: true }, &[2, 10, 20]);
+        let pts = points(&RunOpts::quick(), &[2, 10, 20]).unwrap();
         // 1901 beats classic DCF at N=2 (backoff efficiency).
         assert!(pts[0].s1901 > pts[0].dcf, "{:?}", pts[0]);
         // The matched-window no-deferral ablation is the worst at N=20.

@@ -1,10 +1,12 @@
 //! # plc-bench — the experiment harness
 //!
 //! One module per table/figure of the paper (plus the extension
-//! experiments from DESIGN.md), each exposing a `run(&RunOpts) -> String`
-//! that regenerates the artifact as a printed table. The `experiments`
-//! binary dispatches to them; the criterion benches in `benches/` measure
-//! the computational cost of the same pipelines.
+//! experiments from DESIGN.md), each exposing a
+//! `run(&RunOpts) -> Result<String>` that regenerates the artifact as a
+//! printed table. The `experiments` binary dispatches to them; the
+//! criterion benches in `benches/` measure the computational cost of the
+//! same pipelines, and [`snapshot`] pins a handful of workloads into a
+//! committed `BENCH_<date>.json` perf trajectory.
 //!
 //! | module | artifact |
 //! |--------|----------|
@@ -25,57 +27,110 @@
 //! | [`exp::coexistence`] | E11 — mixed default/boosted populations |
 //! | [`exp::aggregation`] | E12 — Ethernet→PLC frame aggregation |
 //! | [`exp::adaptation`] | E13 — tone-map adaptation vs channel drift |
+//!
+//! ## Errors and observability
+//!
+//! Experiments no longer panic on testbed or configuration failures:
+//! every fallible step routes through [`plc_core::error::Error`] and the
+//! `experiments` binary exits nonzero on the first failure. Each module
+//! also reports phase timings (measure/render spans) into the
+//! [`plc_obs::Registry`] carried by [`RunOpts::obs`]; the binary prints
+//! them after each experiment when observability is enabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod snapshot;
+
+/// How long the experiments run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Tiny horizons: every pipeline is exercised end to end in seconds.
+    /// Artifacts are statistically meaningless — integration-test mode.
+    Smoke,
+    /// CI-friendly horizons with meaningful (if noisy) statistics.
+    Quick,
+    /// Paper-length runs: 240 s tests, 10 repeats, 100 s simulations.
+    Full,
+}
 
 /// Execution options shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
-    /// Quick mode: shorter horizons and fewer repetitions (CI-friendly).
-    /// Full mode approaches the paper's durations.
-    pub quick: bool,
+    /// Horizon/repetition scaling.
+    pub mode: Mode,
+    /// Metric registry the experiments report phase timings into.
+    /// Disabled by default — timers cost nothing until enabled.
+    pub obs: plc_obs::Registry,
 }
 
 impl RunOpts {
+    fn with_mode(mode: Mode) -> Self {
+        RunOpts {
+            mode,
+            obs: plc_obs::Registry::disabled(),
+        }
+    }
+
+    /// Smoke mode: tiny horizons, single repetitions.
+    pub fn smoke() -> Self {
+        Self::with_mode(Mode::Smoke)
+    }
+
+    /// Quick mode: CI-friendly horizons (the default).
+    pub fn quick() -> Self {
+        Self::with_mode(Mode::Quick)
+    }
+
+    /// Full mode: the paper's durations.
+    pub fn full() -> Self {
+        Self::with_mode(Mode::Full)
+    }
+
+    /// Attach an observability registry (builder style).
+    pub fn with_obs(mut self, obs: plc_obs::Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Simulation horizon in µs, scaled by mode.
     pub fn horizon_us(&self) -> f64 {
-        if self.quick {
-            1.0e7
-        } else {
-            1.0e8
+        match self.mode {
+            Mode::Smoke => 4.0e5,
+            Mode::Quick => 1.0e7,
+            Mode::Full => 1.0e8,
         }
     }
 
     /// Emulated-testbed test duration in seconds.
     pub fn test_secs(&self) -> f64 {
-        if self.quick {
-            10.0
-        } else {
-            240.0
+        match self.mode {
+            Mode::Smoke => 0.5,
+            Mode::Quick => 10.0,
+            Mode::Full => 240.0,
         }
     }
 
     /// Repetitions for averaged measurements (the paper uses 10).
     pub fn repeats(&self) -> u64 {
-        if self.quick {
-            3
-        } else {
-            10
+        match self.mode {
+            Mode::Smoke => 1,
+            Mode::Quick => 3,
+            Mode::Full => 10,
         }
     }
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { quick: true }
+        Self::quick()
     }
 }
 
-/// An experiment entry point: options in, rendered table out.
-pub type Experiment = fn(&RunOpts) -> String;
+/// An experiment entry point: options in, rendered table out (or the
+/// first failure, unified as [`plc_core::error::Error`]).
+pub type Experiment = fn(&RunOpts) -> plc_core::error::Result<String>;
 
 /// Every experiment's name and runner, in presentation order.
 pub fn registry() -> Vec<(&'static str, Experiment)> {
@@ -116,12 +171,26 @@ mod tests {
 
     #[test]
     fn opts_scale_with_mode() {
-        let quick = RunOpts { quick: true };
-        let full = RunOpts { quick: false };
+        let smoke = RunOpts::smoke();
+        let quick = RunOpts::quick();
+        let full = RunOpts::full();
+        assert!(smoke.horizon_us() < quick.horizon_us());
         assert!(quick.horizon_us() < full.horizon_us());
+        assert!(smoke.test_secs() < quick.test_secs());
         assert!(quick.test_secs() < full.test_secs());
+        assert!(smoke.repeats() <= quick.repeats());
         assert!(quick.repeats() < full.repeats());
         assert_eq!(full.test_secs(), 240.0, "paper's test duration");
         assert_eq!(full.repeats(), 10, "paper averages 10 tests");
+    }
+
+    #[test]
+    fn default_obs_is_disabled() {
+        let opts = RunOpts::default();
+        assert!(!opts.obs.is_enabled());
+        // Disabled timers never record.
+        let t = opts.obs.timer("exp.test");
+        drop(t.start());
+        assert_eq!(t.count(), 0);
     }
 }

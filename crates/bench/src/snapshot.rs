@@ -1,0 +1,242 @@
+//! Perf-trajectory snapshots: `BENCH_<date>.json`.
+//!
+//! The `experiments bench-snapshot` subcommand times a small set of
+//! pinned engine workloads (wall-clock and engine slots per second, the
+//! slot count read back from the [`plc_obs::Registry`] the engines are
+//! instrumented with) and writes the result as a dated JSON file. The
+//! committed files form a perf trajectory across PRs; `--check` reruns
+//! the workloads at a reduced horizon and validates the schema without
+//! touching the working tree.
+//!
+//! Wall-clock numbers depend on the host, so snapshots record throughput
+//! for trend-reading by humans — they are deliberately *not* asserted
+//! against by tests (the criterion benches in `benches/` are the
+//! statistically careful tool).
+
+use plc_core::error::{Error, Result};
+use plc_obs::Registry;
+use plc_sim::sweep;
+use plc_sim::Simulation;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema identifier embedded in every snapshot file.
+pub const SCHEMA: &str = "plc-bench-snapshot/v1";
+
+/// One timed workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Workload name (stable across PRs — the trajectory key).
+    pub name: String,
+    /// Wall-clock seconds for the whole workload.
+    pub wall_secs: f64,
+    /// Engine slots stepped (from the `engine.steps` counter).
+    pub slots: u64,
+    /// Slots per wall-clock second.
+    pub slots_per_sec: f64,
+}
+
+/// A dated collection of workload timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// Civil date (UTC) the snapshot was taken, `YYYY-MM-DD`.
+    pub date: String,
+    /// The pinned workloads, in a fixed order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchSnapshot {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::runtime(format!("snapshot encode: {e}")))
+    }
+
+    /// Parse a snapshot back from JSON, verifying the schema tag.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let snap: BenchSnapshot = serde_json::from_str(json)
+            .map_err(|e| Error::runtime(format!("snapshot decode: {e}")))?;
+        if snap.schema != SCHEMA {
+            return Err(Error::runtime(format!(
+                "snapshot schema mismatch: expected {SCHEMA:?}, got {:?}",
+                snap.schema
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// The file name this snapshot belongs in.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+}
+
+/// Today's civil date (UTC) as `YYYY-MM-DD`, from the system clock.
+///
+/// Uses the days-from-epoch civil-calendar algorithm so no date crate is
+/// needed.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Convert days since 1970-01-01 to a (year, month, day) civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Time one closure that runs instrumented engines against `registry`,
+/// reading the slot count from the `engine.steps` counter delta.
+fn time_workload(name: &str, registry: &Registry, f: impl FnOnce()) -> WorkloadResult {
+    let counter = registry.counter("engine.steps");
+    let before = counter.get();
+    let started = Instant::now();
+    f();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let slots = counter.get() - before;
+    WorkloadResult {
+        name: name.to_string(),
+        wall_secs,
+        slots,
+        slots_per_sec: if wall_secs > 0.0 {
+            slots as f64 / wall_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the pinned workloads. `scale` multiplies every horizon (1.0 for a
+/// real snapshot, smaller for `--check`).
+pub fn collect(scale: f64) -> Result<BenchSnapshot> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(Error::runtime(format!("invalid horizon scale {scale}")));
+    }
+    let h = |us: f64| us * scale;
+    let registry = Registry::new();
+    let mut workloads = Vec::new();
+
+    workloads.push(time_workload("engine_1901_n5_500s", &registry, || {
+        Simulation::ieee1901(5)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
+    workloads.push(time_workload("engine_1901_n20_500s", &registry, || {
+        Simulation::ieee1901(20)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
+    workloads.push(time_workload("engine_dcf_n10_500s", &registry, || {
+        Simulation::dcf(10)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
+    workloads.push(time_workload("engine_noisy_n3_500s", &registry, || {
+        Simulation::ieee1901(3)
+            .pb_error_prob(0.1)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
+    // A parallel sweep: 8 independent runs on the worker pool; the shared
+    // registry accumulates engine.steps across workers.
+    workloads.push(time_workload("sweep_1901_n2to9_250s", &registry, || {
+        sweep::parallel_map(sweep::default_workers(), (2..=9usize).collect(), |_, n| {
+            Simulation::ieee1901(n)
+                .horizon_us(h(2.5e8))
+                .seed(n as u64)
+                .registry(&registry)
+                .run()
+        });
+    }));
+
+    Ok(BenchSnapshot {
+        schema: SCHEMA.to_string(),
+        date: today_utc(),
+        workloads,
+    })
+}
+
+/// Validate a freshly collected snapshot: every workload must have run
+/// slots and the JSON must round-trip. Used by `bench-snapshot --check`.
+pub fn check(snap: &BenchSnapshot) -> Result<()> {
+    if snap.workloads.is_empty() {
+        return Err(Error::runtime("snapshot has no workloads"));
+    }
+    for w in &snap.workloads {
+        if w.slots == 0 {
+            return Err(Error::runtime(format!("workload {:?} ran 0 slots", w.name)));
+        }
+        if !(w.wall_secs.is_finite() && w.wall_secs >= 0.0) {
+            return Err(Error::runtime(format!(
+                "workload {:?} has invalid wall time {}",
+                w.name, w.wall_secs
+            )));
+        }
+    }
+    let round = BenchSnapshot::from_json(&snap.to_json()?)?;
+    if round != *snap {
+        return Err(Error::runtime("snapshot JSON does not round-trip"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // 2024-01-01
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        // Leap day.
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+    }
+
+    #[test]
+    fn today_is_well_formed() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn collect_and_check_roundtrip() {
+        // Tiny horizons: this is a schema/plumbing test, not a benchmark.
+        let snap = collect(2.0e-5).unwrap();
+        assert_eq!(snap.workloads.len(), 5);
+        check(&snap).unwrap();
+        let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
+        assert_eq!(parsed, snap);
+        assert!(parsed.file_name().starts_with("BENCH_"));
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let bad = r#"{"schema":"other/v9","date":"2026-01-01","workloads":[]}"#;
+        assert!(BenchSnapshot::from_json(bad).is_err());
+    }
+}

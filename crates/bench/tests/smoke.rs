@@ -1,0 +1,24 @@
+//! Smoke test: every registered experiment must complete end to end at
+//! smoke horizons without error — the same pipelines `experiments
+//! --smoke` exercises in CI, run in-process so a failure names the
+//! module.
+
+use plc_bench::{registry, RunOpts};
+
+#[test]
+fn every_experiment_runs_at_smoke_horizons() {
+    let opts = RunOpts::smoke().with_obs(plc_obs::Registry::new());
+    for (name, runner) in registry() {
+        let out = runner(&opts).unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+        assert!(!out.is_empty(), "experiment {name} rendered nothing");
+    }
+    // Every module reported at least one phase timing into the registry.
+    let snap = opts.obs.snapshot();
+    for (name, _) in registry() {
+        let prefix = format!("exp.{name}.");
+        assert!(
+            snap.timers.iter().any(|t| t.name.starts_with(&prefix)),
+            "experiment {name} reported no phase timings (no {prefix}* timer)"
+        );
+    }
+}

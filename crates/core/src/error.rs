@@ -49,6 +49,13 @@ pub enum Error {
         /// Checksum recomputed over the contents.
         computed: u32,
     },
+    /// A tool, experiment or harness failed at runtime (I/O, a testbed
+    /// request, an invalid measurement) — the unified error the
+    /// `experiments` binary and `plc-tools` report instead of panicking.
+    Runtime {
+        /// What failed, human-readable.
+        context: String,
+    },
 }
 
 impl Error {
@@ -57,6 +64,19 @@ impl Error {
         Error::InvalidConfig {
             reason: reason.into(),
         }
+    }
+
+    /// Shorthand for runtime failures in tools and harnesses.
+    pub fn runtime(context: impl Into<String>) -> Self {
+        Error::Runtime {
+            context: context.into(),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::runtime(format!("I/O error: {e}"))
     }
 }
 
@@ -81,6 +101,7 @@ impl fmt::Display for Error {
                     "bad checksum: frame carries 0x{expected:08X}, computed 0x{computed:08X}"
                 )
             }
+            Error::Runtime { context } => write!(f, "runtime failure: {context}"),
         }
     }
 }
@@ -137,5 +158,15 @@ mod tests {
     fn errors_are_comparable_and_clonable() {
         let e = Error::UnknownDelimiter(0xFF);
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn runtime_helper_and_io_conversion() {
+        let e = Error::runtime("bench snapshot write failed");
+        assert!(e.to_string().contains("bench snapshot write failed"));
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Runtime { .. }));
+        assert!(e.to_string().contains("gone"));
     }
 }

@@ -1,0 +1,304 @@
+//! Periodic observation hooks for engines and sweeps.
+//!
+//! An [`Observer`] receives read-only, plain-data snapshots: the slotted
+//! engine reports an [`EngineObs`] every configured number of steps
+//! (per-station backoff counters → stage occupancy, BPC distribution),
+//! and the sweep scheduler reports a [`SweepProgress`] from its collector
+//! thread as cells complete (progress + ETA).
+//!
+//! Observers never touch the simulation's RNG streams and cannot feed
+//! anything back, so attaching one is guaranteed not to perturb results:
+//! sweep JSON stays byte-identical with or without observers, for any
+//! worker count (pinned by an integration test in the facade crate).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::Arc;
+
+/// One station's backoff counters and tallies at observation time.
+///
+/// Plain integers (no simulator types) so lower layers can depend on
+/// this crate without cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationObs {
+    /// Station index.
+    pub station: usize,
+    /// Backoff stage currently in effect (0-based).
+    pub stage: usize,
+    /// Contention window in effect.
+    pub cw: u32,
+    /// Current backoff counter.
+    pub bc: u32,
+    /// Current deferral counter (`None` when the protocol has none).
+    pub dc: Option<u32>,
+    /// Backoff procedure counter since the last success.
+    pub bpc: u32,
+    /// Successful transmissions so far.
+    pub successes: u64,
+    /// Collisions participated in so far.
+    pub collisions: u64,
+}
+
+/// A periodic engine snapshot: global tallies plus one [`StationObs`]
+/// per station.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineObs {
+    /// Simulated time in µs.
+    pub t_us: f64,
+    /// Engine steps executed so far.
+    pub step: u64,
+    /// Idle slots so far.
+    pub idle_slots: u64,
+    /// Successful transmissions so far.
+    pub successes: u64,
+    /// Collision events so far.
+    pub collision_events: u64,
+    /// Per-station counters.
+    pub stations: Vec<StationObs>,
+}
+
+impl EngineObs {
+    /// How many stations currently sit in each backoff stage
+    /// (index = stage; length = highest occupied stage + 1).
+    pub fn stage_occupancy(&self) -> Vec<usize> {
+        let mut occ = Vec::new();
+        for s in &self.stations {
+            if s.stage >= occ.len() {
+                occ.resize(s.stage + 1, 0);
+            }
+            occ[s.stage] += 1;
+        }
+        occ
+    }
+
+    /// Distribution of the backoff procedure counter across stations
+    /// (index = BPC value; length = highest observed BPC + 1).
+    pub fn bpc_distribution(&self) -> Vec<usize> {
+        let mut dist = Vec::new();
+        for s in &self.stations {
+            let b = s.bpc as usize;
+            if b >= dist.len() {
+                dist.resize(b + 1, 0);
+            }
+            dist[b] += 1;
+        }
+        dist
+    }
+}
+
+/// Progress of a running sweep, reported from the collector thread.
+///
+/// `elapsed_secs`/`eta_secs` are wall-clock estimates and therefore not
+/// reproducible between runs — they exist for humans watching a long
+/// sweep, and by construction cannot influence the sweep's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepProgress {
+    /// Work units finished (replication cells, or whole points under
+    /// early stopping).
+    pub completed: usize,
+    /// Total work units in the sweep.
+    pub total: usize,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed_secs: f64,
+    /// Estimated wall-clock seconds remaining (0 when unknown).
+    pub eta_secs: f64,
+}
+
+/// A passive receiver of periodic snapshots. All methods default to
+/// no-ops so implementors override only what they watch.
+pub trait Observer: Send {
+    /// Called by the slotted engine every configured number of steps.
+    fn on_engine(&mut self, obs: &EngineObs) {
+        let _ = obs;
+    }
+
+    /// Called by the sweep scheduler as work units complete.
+    fn on_sweep_progress(&mut self, progress: &SweepProgress) {
+        let _ = progress;
+    }
+}
+
+/// An observer shared between the caller and an engine or sweep.
+pub type SharedObserver = Arc<Mutex<dyn Observer + Send>>;
+
+/// Wrap an observer for attachment (`shared(MyObserver::default())`).
+pub fn shared<O: Observer + 'static>(observer: O) -> SharedObserver {
+    Arc::new(Mutex::new(observer))
+}
+
+/// Records every snapshot it receives; the simplest useful observer.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// Engine snapshots, in arrival order.
+    pub engine: Vec<EngineObs>,
+    /// Sweep progress reports, in arrival order.
+    pub progress: Vec<SweepProgress>,
+}
+
+impl Observer for CollectingObserver {
+    fn on_engine(&mut self, obs: &EngineObs) {
+        self.engine.push(obs.clone());
+    }
+
+    fn on_sweep_progress(&mut self, progress: &SweepProgress) {
+        self.progress.push(progress.clone());
+    }
+}
+
+/// Streams every snapshot as one JSON line to a writer, composing with
+/// the JSON-lines trace format of `plc_sim::export`.
+pub struct JsonLinesObserver<W: Write> {
+    writer: W,
+    lines_written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonLinesObserver<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesObserver {
+            writer,
+            lines_written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+
+    /// The first I/O or serialization error, if any occurred.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the inner writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(self.writer)
+    }
+
+    fn write_line(&mut self, line: Result<String, serde_json::Error>) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = line
+            .map_err(std::io::Error::other)
+            .and_then(|l| writeln!(self.writer, "{l}"));
+        match result {
+            Ok(()) => self.lines_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write + Send> Observer for JsonLinesObserver<W> {
+    fn on_engine(&mut self, obs: &EngineObs) {
+        self.write_line(serde_json::to_string(obs));
+    }
+
+    fn on_sweep_progress(&mut self, progress: &SweepProgress) {
+        self.write_line(serde_json::to_string(progress));
+    }
+}
+
+/// Prints sweep progress lines (`sweep 3/12 25.0% elapsed 1.2s eta 3.6s`)
+/// to standard error — what the `experiments` harness attaches to long
+/// sweeps.
+#[derive(Debug, Default)]
+pub struct ProgressPrinter {
+    last_printed: Option<usize>,
+}
+
+impl Observer for ProgressPrinter {
+    fn on_sweep_progress(&mut self, p: &SweepProgress) {
+        if self.last_printed == Some(p.completed) {
+            return;
+        }
+        self.last_printed = Some(p.completed);
+        let pct = if p.total > 0 {
+            100.0 * p.completed as f64 / p.total as f64
+        } else {
+            100.0
+        };
+        eprintln!(
+            "sweep {}/{} {:5.1}% elapsed {:.1}s eta {:.1}s",
+            p.completed, p.total, pct, p.elapsed_secs, p.eta_secs
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs_with_stages(stages: &[usize], bpcs: &[u32]) -> EngineObs {
+        EngineObs {
+            t_us: 1.0,
+            step: 1,
+            idle_slots: 0,
+            successes: 0,
+            collision_events: 0,
+            stations: stages
+                .iter()
+                .zip(bpcs)
+                .enumerate()
+                .map(|(i, (&stage, &bpc))| StationObs {
+                    station: i,
+                    stage,
+                    cw: 8,
+                    bc: 0,
+                    dc: Some(0),
+                    bpc,
+                    successes: 0,
+                    collisions: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stage_occupancy_counts_per_stage() {
+        let obs = obs_with_stages(&[0, 0, 2], &[0, 1, 1]);
+        assert_eq!(obs.stage_occupancy(), vec![2, 0, 1]);
+        assert_eq!(obs.bpc_distribution(), vec![1, 2]);
+    }
+
+    #[test]
+    fn collecting_observer_stores_everything() {
+        let mut c = CollectingObserver::default();
+        c.on_engine(&obs_with_stages(&[0], &[0]));
+        c.on_sweep_progress(&SweepProgress {
+            completed: 1,
+            total: 2,
+            elapsed_secs: 0.5,
+            eta_secs: 0.5,
+        });
+        assert_eq!(c.engine.len(), 1);
+        assert_eq!(c.progress.len(), 1);
+    }
+
+    #[test]
+    fn json_lines_observer_round_trips() {
+        let mut o = JsonLinesObserver::new(Vec::<u8>::new());
+        let obs = obs_with_stages(&[1, 3], &[2, 0]);
+        o.on_engine(&obs);
+        assert_eq!(o.lines_written(), 1);
+        assert!(o.error().is_none());
+        let bytes = o.into_inner().unwrap();
+        let line = String::from_utf8(bytes).unwrap();
+        let back: EngineObs = serde_json::from_str(line.trim()).expect("parse");
+        assert_eq!(back, obs);
+    }
+
+    #[test]
+    fn shared_wraps_into_a_usable_handle() {
+        let handle = shared(CollectingObserver::default());
+        handle.lock().on_engine(&obs_with_stages(&[0], &[0]));
+    }
+}

@@ -1,0 +1,666 @@
+//! The metric registry: named counters, gauges, histograms and span
+//! timers behind cheap cloneable handles.
+//!
+//! A [`Registry`] is an `Arc` around shared state, so cloning one and
+//! handing it to an engine, a worker pool and a reporting thread all
+//! observe the same metrics. Handles ([`Counter`], [`Gauge`],
+//! [`Histogram`], [`SpanTimer`]) are resolved once by name and then
+//! update lock-free (counters/gauges/timers are atomics; histograms
+//! take a short mutex).
+//!
+//! Disabling a registry ([`Registry::set_enabled`]) turns every handle
+//! into a no-op — span timers stop reading the clock entirely — so
+//! instrumented code paths cost one relaxed atomic load when
+//! observability is off.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram bucket count: bucket 0 holds values < 1, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, the last bucket saturates.
+const HIST_BUCKETS: usize = 32;
+
+#[derive(Default)]
+struct HistData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+struct TimerData {
+    count: AtomicU64,
+    nanos: AtomicU64,
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    /// f64 stored as its bit pattern.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Mutex<HistData>>),
+    Timer(Arc<TimerData>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+struct RegistryInner {
+    enabled: AtomicBool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A shared, named-metric registry. Clones share state.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .field("metrics", &self.inner.metrics.lock().len())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled: AtomicBool::new(true),
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// An empty registry with recording turned off (every handle is a
+    /// no-op until [`set_enabled`](Registry::set_enabled)`(true)`).
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off for every handle of this registry.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    fn resolve<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> (Metric, T),
+        reuse: impl FnOnce(&Metric) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.inner.metrics.lock();
+        if let Some(existing) = metrics.get(name) {
+            return reuse(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    existing.kind()
+                )
+            });
+        }
+        let (metric, handle) = make();
+        metrics.insert(name.to_string(), metric);
+        handle
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let enabled = self.inner.clone();
+        self.resolve(
+            name,
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (
+                    Metric::Counter(cell.clone()),
+                    Counter {
+                        cell,
+                        owner: enabled,
+                    },
+                )
+            },
+            |m| match m {
+                Metric::Counter(cell) => Some(Counter {
+                    cell: cell.clone(),
+                    owner: self.inner.clone(),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.resolve(
+            name,
+            || {
+                let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
+                (
+                    Metric::Gauge(cell.clone()),
+                    Gauge {
+                        cell,
+                        owner: self.inner.clone(),
+                    },
+                )
+            },
+            |m| match m {
+                Metric::Gauge(cell) => Some(Gauge {
+                    cell: cell.clone(),
+                    owner: self.inner.clone(),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.resolve(
+            name,
+            || {
+                let data = Arc::new(Mutex::new(HistData::default()));
+                (
+                    Metric::Histogram(data.clone()),
+                    Histogram {
+                        data,
+                        owner: self.inner.clone(),
+                    },
+                )
+            },
+            |m| match m {
+                Metric::Histogram(data) => Some(Histogram {
+                    data: data.clone(),
+                    owner: self.inner.clone(),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the span timer `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn timer(&self, name: &str) -> SpanTimer {
+        self.resolve(
+            name,
+            || {
+                let data = Arc::new(TimerData {
+                    count: AtomicU64::new(0),
+                    nanos: AtomicU64::new(0),
+                });
+                (
+                    Metric::Timer(data.clone()),
+                    SpanTimer {
+                        data,
+                        owner: self.inner.clone(),
+                    },
+                )
+            },
+            |m| match m {
+                Metric::Timer(data) => Some(SpanTimer {
+                    data: data.clone(),
+                    owner: self.inner.clone(),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time snapshot of every metric, names sorted, suitable
+    /// for deterministic JSON export.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.inner.metrics.lock();
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(cell) => snap.counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    value: cell.load(Ordering::Relaxed),
+                }),
+                Metric::Gauge(cell) => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: f64::from_bits(cell.load(Ordering::Relaxed)),
+                }),
+                Metric::Histogram(data) => {
+                    let h = data.lock();
+                    let last_used = h
+                        .buckets
+                        .iter()
+                        .rposition(|&b| b > 0)
+                        .map(|i| i + 1)
+                        .unwrap_or(0);
+                    snap.histograms.push(HistogramSnapshot {
+                        name: name.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0.0 } else { h.min },
+                        max: if h.count == 0 { 0.0 } else { h.max },
+                        buckets: h.buckets[..last_used].to_vec(),
+                    });
+                }
+                Metric::Timer(data) => {
+                    let count = data.count.load(Ordering::Relaxed);
+                    let nanos = data.nanos.load(Ordering::Relaxed);
+                    snap.timers.push(TimerSnapshot {
+                        name: name.clone(),
+                        count,
+                        total_secs: nanos as f64 * 1e-9,
+                    });
+                }
+            }
+        }
+        snap
+    }
+
+    /// Serialize [`snapshot`](Registry::snapshot) as one compact JSON
+    /// document (names sorted → byte-deterministic for equal contents).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("registry snapshot serializes infallibly")
+    }
+}
+
+/// Monotone event counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    owner: Arc<RegistryInner>,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.owner.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value-wins instantaneous measurement handle.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    owner: Arc<RegistryInner>,
+}
+
+impl Gauge {
+    /// Record the current value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if self.owner.enabled.load(Ordering::Relaxed) {
+            self.cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Last recorded value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Value-distribution handle (log₂ buckets plus count/sum/min/max).
+#[derive(Clone)]
+pub struct Histogram {
+    data: Arc<Mutex<HistData>>,
+    owner: Arc<RegistryInner>,
+}
+
+impl Histogram {
+    /// Record one observation. Non-finite values are ignored.
+    pub fn record(&self, value: f64) {
+        if !self.owner.enabled.load(Ordering::Relaxed) || !value.is_finite() {
+            return;
+        }
+        let bucket = if value < 1.0 {
+            0
+        } else {
+            (value.log2().floor() as usize + 1).min(HIST_BUCKETS - 1)
+        };
+        let mut h = self.data.lock();
+        if h.count == 0 {
+            h.min = value;
+            h.max = value;
+        } else {
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        }
+        h.count += 1;
+        h.sum += value;
+        h.buckets[bucket] += 1;
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.data.lock().count
+    }
+}
+
+/// Accumulating wall-clock timer for a named span.
+///
+/// [`start`](SpanTimer::start) returns a guard that records the elapsed
+/// time when dropped; when the owning registry is disabled the guard
+/// never reads the clock.
+#[derive(Clone)]
+pub struct SpanTimer {
+    data: Arc<TimerData>,
+    owner: Arc<RegistryInner>,
+}
+
+impl SpanTimer {
+    /// Start a span; the returned guard records on drop. The guard owns
+    /// a handle to the timer, so it outlives any borrow of the timer
+    /// itself (instrumented code can hold it across `&mut self` calls).
+    #[inline]
+    pub fn start(&self) -> SpanGuard {
+        let started = if self.owner.enabled.load(Ordering::Relaxed) {
+            Some((self.data.clone(), Instant::now()))
+        } else {
+            None
+        };
+        SpanGuard { started }
+    }
+
+    /// Record an externally measured span.
+    pub fn record(&self, duration: std::time::Duration) {
+        if self.owner.enabled.load(Ordering::Relaxed) {
+            self.data.count.fetch_add(1, Ordering::Relaxed);
+            self.data
+                .nanos
+                .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans recorded so far.
+    pub fn count(&self) -> u64 {
+        self.data.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.data.nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+/// Drop guard produced by [`SpanTimer::start`].
+pub struct SpanGuard {
+    started: Option<(Arc<TimerData>, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((data, started)) = self.started.take() {
+            data.count.fetch_add(1, Ordering::Relaxed);
+            data.nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Last recorded value.
+    pub value: f64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Log₂ bucket counts, trimmed after the last non-empty bucket:
+    /// bucket 0 counts values < 1, bucket `i ≥ 1` counts `[2^(i−1), 2^i)`.
+    pub buckets: Vec<u64>,
+}
+
+/// Snapshot of one span timer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimerSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total recorded seconds.
+    pub total_secs: f64,
+}
+
+/// Every metric of a registry at one instant, names sorted per kind.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span timers, sorted by name.
+    pub timers: Vec<TimerSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The timer named `name`, if present.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = Registry::new();
+        let a = reg.counter("steps");
+        let b = reg.counter("steps");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().counter("steps"), Some(5));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        reg.counter("x").add(3);
+        assert_eq!(clone.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        let t = reg.timer("t");
+        c.inc();
+        g.set(2.5);
+        h.record(10.0);
+        {
+            let _span = t.start();
+        }
+        t.record(std::time::Duration::from_millis(5));
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(t.count(), 0);
+        // Re-enabling makes the same handles live again.
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let reg = Registry::new();
+        let g = reg.gauge("load");
+        g.set(1.0);
+        g.set(-3.5);
+        assert_eq!(g.get(), -3.5);
+    }
+
+    #[test]
+    fn histogram_tracks_bounds_and_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("sizes");
+        for v in [0.5, 1.0, 3.0, 1000.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.min, 0.5);
+        assert_eq!(hs.max, 1000.0);
+        assert!((hs.sum - 1004.5).abs() < 1e-9);
+        // 0.5 → bucket 0, 1.0 → bucket 1, 3.0 → bucket 2, 1000 → bucket 10.
+        assert_eq!(hs.buckets[0], 1);
+        assert_eq!(hs.buckets[1], 1);
+        assert_eq!(hs.buckets[2], 1);
+        assert_eq!(hs.buckets[10], 1);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn span_timer_accumulates() {
+        let reg = Registry::new();
+        let t = reg.timer("work");
+        {
+            let _g = t.start();
+        }
+        t.record(std::time::Duration::from_micros(100));
+        assert_eq!(t.count(), 2);
+        assert!(t.total_secs() >= 100e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("name");
+        let _ = reg.gauge("name");
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let make = || {
+            let reg = Registry::new();
+            reg.counter("zeta").add(1);
+            reg.counter("alpha").add(2);
+            reg.gauge("mid").set(0.5);
+            reg.to_json()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+        assert!(a.find("alpha").unwrap() < a.find("zeta").unwrap());
+        let back: RegistrySnapshot = serde_json::from_str(&a).expect("parse");
+        assert_eq!(back.counter("alpha"), Some(2));
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<SpanTimer>();
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

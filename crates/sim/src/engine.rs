@@ -31,12 +31,26 @@ use plc_core::timing::{MacTiming, MAX_BURST, PREAMBLE, RIFS, SACK};
 use plc_core::units::Microseconds;
 use plc_mac::process::BackoffProcess;
 use plc_mac::retry::{RetryPolicy, RetryState};
+use plc_obs::{EngineObs, SharedObserver, StationObs};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
 /// A trace sink shared between the engine and its owner.
 pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
+
+/// An observer attached to the engine, firing every `every` steps.
+struct ObserverSlot {
+    observer: SharedObserver,
+    every: u64,
+}
+
+/// Hot-path span timers installed by [`SlottedEngine::instrument`].
+struct EngineTimers {
+    step: plc_obs::SpanTimer,
+    pb_draw: plc_obs::SpanTimer,
+    steps: plc_obs::Counter,
+}
 
 /// Beacon scheduling: the CCo transmits one beacon per period; contention
 /// is *suspended* (not sensed busy — backoff state freezes) while the
@@ -196,6 +210,10 @@ pub struct SlottedEngine<P: BackoffProcess> {
     tx_buf: Vec<StationId>,
     /// Time of the next scheduled beacon, when beacons are enabled.
     next_beacon: Microseconds,
+    /// Steps executed so far (one per [`step`](Self::step) call).
+    steps: u64,
+    observers: Vec<ObserverSlot>,
+    timers: Option<EngineTimers>,
 }
 
 impl<P: BackoffProcess> SlottedEngine<P> {
@@ -238,12 +256,45 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             sinks: Vec::new(),
             tx_buf: Vec::with_capacity(n),
             next_beacon,
+            steps: 0,
+            observers: Vec::new(),
+            timers: None,
         }
     }
 
     /// Subscribe a trace sink.
     pub fn add_sink(&mut self, sink: SharedSink) {
         self.sinks.push(sink);
+    }
+
+    /// Attach a periodic observer: it receives an [`EngineObs`] snapshot
+    /// every `every_steps` engine steps. Observers are read-only — they
+    /// never touch the engine's RNG stream, so attaching one cannot
+    /// change the simulation's results.
+    pub fn add_observer(&mut self, observer: SharedObserver, every_steps: u64) {
+        assert!(every_steps > 0, "observer interval must be positive");
+        self.observers.push(ObserverSlot {
+            observer,
+            every: every_steps,
+        });
+    }
+
+    /// Install hot-path instrumentation into `registry`: the span timers
+    /// `engine.step` (whole-step wall time) and `engine.pb_draw`
+    /// (per-MPDU channel-error sampling), plus the counter
+    /// `engine.steps`. Without this call the hot loop pays a single
+    /// branch per step for observability.
+    pub fn instrument(&mut self, registry: &plc_obs::Registry) {
+        self.timers = Some(EngineTimers {
+            step: registry.timer("engine.step"),
+            pb_draw: registry.timer("engine.pb_draw"),
+            steps: registry.counter("engine.steps"),
+        });
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// Current simulated time.
@@ -275,6 +326,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         if p == 0.0 {
             return 0;
         }
+        let _draw_span = self.timers.as_ref().map(|t| t.pb_draw.start());
         let mut errored = 0u16;
         for _ in 0..pbs {
             if rand::Rng::gen::<f64>(&mut self.rng) < p {
@@ -320,6 +372,75 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     /// Execute one step: idle slot, success or collision. Advances
     /// simulated time accordingly.
     pub fn step(&mut self) -> StepOutcome {
+        // Keep the uninstrumented path free of Drop locals (span guards)
+        // so the optimizer sees the same hot loop as without
+        // observability; it pays exactly this one branch.
+        if self.timers.is_none() && self.observers.is_empty() {
+            let outcome = self.step_inner();
+            self.steps += 1;
+            return outcome;
+        }
+        self.step_instrumented()
+    }
+
+    #[cold]
+    fn step_instrumented(&mut self) -> StepOutcome {
+        let _step_span = self.timers.as_ref().map(|t| t.step.start());
+        let outcome = self.step_inner();
+        self.steps += 1;
+        if let Some(t) = &self.timers {
+            t.steps.inc();
+        }
+        if !self.observers.is_empty() {
+            self.notify_observers();
+        }
+        outcome
+    }
+
+    /// Build the plain-data snapshot observers receive.
+    fn engine_obs(&self) -> EngineObs {
+        EngineObs {
+            t_us: self.t.as_micros(),
+            step: self.steps,
+            idle_slots: self.metrics.idle_slots,
+            successes: self.metrics.successes,
+            collision_events: self.metrics.collision_events,
+            stations: self
+                .stations
+                .iter()
+                .enumerate()
+                .map(|(i, st)| {
+                    let snap = st.process.snapshot();
+                    StationObs {
+                        station: i,
+                        stage: snap.stage,
+                        cw: snap.cw,
+                        bc: snap.bc,
+                        dc: snap.dc,
+                        bpc: snap.bpc,
+                        successes: self.metrics.per_station[i].successes,
+                        collisions: self.metrics.per_station[i].collisions,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn notify_observers(&self) {
+        let mut obs: Option<EngineObs> = None;
+        for slot in &self.observers {
+            if self.steps.is_multiple_of(slot.every) {
+                let snapshot = obs.get_or_insert_with(|| self.engine_obs());
+                slot.observer.lock().on_engine(snapshot);
+            }
+        }
+    }
+
+    // Force-inlined into both `step` paths: with two call sites the
+    // inliner otherwise outlines this hot body, costing ~5-15% engine
+    // throughput (measured on the saturated-1901 workloads).
+    #[inline(always)]
+    fn step_inner(&mut self) -> StepOutcome {
         // The CCo's beacon takes the medium at its scheduled time;
         // contention is suspended (backoff state frozen) for its airtime.
         if let Some(b) = self.cfg.beacons {
@@ -567,8 +688,18 @@ impl<P: BackoffProcess> SlottedEngine<P> {
 
     /// Step until simulated time exceeds the horizon; returns the metrics.
     pub fn run(&mut self) -> &Metrics {
-        while self.t <= self.cfg.horizon {
-            self.step();
+        // The instrumented-or-not decision is loop-invariant: hoist it so
+        // the uninstrumented loop compiles exactly as it would without
+        // observability support.
+        if self.timers.is_none() && self.observers.is_empty() {
+            while self.t <= self.cfg.horizon {
+                self.step_inner();
+                self.steps += 1;
+            }
+        } else {
+            while self.t <= self.cfg.horizon {
+                self.step_instrumented();
+            }
         }
         &self.metrics
     }

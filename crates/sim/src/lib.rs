@@ -49,6 +49,9 @@ pub use export::JsonLinesSink;
 pub use metrics::{Metrics, StationMetrics};
 pub use paper::{PaperSim, PaperSimResult};
 pub use runner::{ReplicationSummary, SimReport, Simulation};
-pub use sweep::{EarlyStop, Quantity, SweepGrid, SweepPointResult, SweepResults};
+pub use sweep::{
+    parallel_map, parallel_map_with_progress, EarlyStop, Quantity, SweepGrid, SweepPointResult,
+    SweepResults,
+};
 pub use trace::{StationId, SuccessTrace, TraceEvent, TraceSink, VecTraceSink};
 pub use traffic::TrafficModel;

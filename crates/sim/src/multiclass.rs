@@ -113,6 +113,13 @@ pub struct MultiClassEngine<P: BackoffProcess> {
     t: Microseconds,
     metrics: Metrics,
     sinks: Vec<Arc<Mutex<dyn TraceSink + Send>>>,
+    timers: Option<MultiClassTimers>,
+}
+
+/// Hot-path span timers installed by [`MultiClassEngine::instrument`].
+struct MultiClassTimers {
+    round: plc_obs::SpanTimer,
+    prs: plc_obs::SpanTimer,
 }
 
 impl<P: BackoffProcess> MultiClassEngine<P> {
@@ -141,12 +148,23 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
             t: Microseconds::ZERO,
             metrics: Metrics::new(n),
             sinks: Vec::new(),
+            timers: None,
         }
     }
 
     /// Subscribe a trace sink.
     pub fn add_sink(&mut self, sink: Arc<Mutex<dyn TraceSink + Send>>) {
         self.sinks.push(sink);
+    }
+
+    /// Install hot-path instrumentation into `registry`: span timers
+    /// `multiclass.round` (one full contention round) and
+    /// `multiclass.prs` (the priority-resolution phase).
+    pub fn instrument(&mut self, registry: &plc_obs::Registry) {
+        self.timers = Some(MultiClassTimers {
+            round: registry.timer("multiclass.round"),
+            prs: registry.timer("multiclass.prs"),
+        });
     }
 
     /// Current simulated time.
@@ -191,8 +209,10 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
     /// Run one full contention round: PRS phase, winning-class backoff
     /// until a transmission (or nothing to send → one idle slot).
     pub fn round(&mut self) {
+        let _round_span = self.timers.as_ref().map(|t| t.round.start());
         self.advance_traffic();
 
+        let prs_span = self.timers.as_ref().map(|t| t.prs.start());
         let contending: Vec<Priority> = self
             .stations
             .iter()
@@ -200,7 +220,9 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
             .map(|s| s.priority)
             .collect();
 
-        let Some(res) = resolve_priority(&contending) else {
+        let resolved = resolve_priority(&contending);
+        drop(prs_span);
+        let Some(res) = resolved else {
             // Nobody has traffic: medium idles one slot.
             self.t += self.cfg.timing.slot;
             self.metrics.idle_slots += 1;

@@ -26,13 +26,19 @@ use plc_core::units::Microseconds;
 use plc_mac::process::Protocol;
 use plc_mac::retry::RetryPolicy;
 use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf};
+use plc_obs::SharedObserver;
 use plc_stats::summary::{Summary, Welford};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Builder for single-contention-domain simulations.
-#[derive(Debug, Clone)]
+///
+/// [`run`](Simulation::run) is the single entry point: sinks and
+/// observers are attached with [`sink`](Simulation::sink) /
+/// [`observer`](Simulation::observer) before running, instead of through
+/// side-channel run variants or post-construction engine mutation.
+#[derive(Clone)]
 pub struct Simulation {
     n: usize,
     protocol: Protocol,
@@ -45,6 +51,32 @@ pub struct Simulation {
     traffic: TrafficModel,
     pb_error_prob: f64,
     beacons: Option<crate::engine::BeaconSchedule>,
+    snapshots: bool,
+    sinks: Vec<SharedSink>,
+    observers: Vec<(SharedObserver, u64)>,
+    registry: Option<plc_obs::Registry>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.n)
+            .field("protocol", &self.protocol)
+            .field("config", &self.config)
+            .field("timing", &self.timing)
+            .field("horizon", &self.horizon)
+            .field("seed", &self.seed)
+            .field("burst", &self.burst)
+            .field("retry", &self.retry)
+            .field("traffic", &self.traffic)
+            .field("pb_error_prob", &self.pb_error_prob)
+            .field("beacons", &self.beacons)
+            .field("snapshots", &self.snapshots)
+            .field("sinks", &self.sinks.len())
+            .field("observers", &self.observers.len())
+            .field("registry", &self.registry.is_some())
+            .finish()
+    }
 }
 
 impl Simulation {
@@ -63,6 +95,10 @@ impl Simulation {
             traffic: TrafficModel::Saturated,
             pb_error_prob: 0.0,
             beacons: None,
+            snapshots: false,
+            sinks: Vec::new(),
+            observers: Vec::new(),
+            registry: None,
         }
     }
 
@@ -140,6 +176,36 @@ impl Simulation {
         self
     }
 
+    /// Emit per-station [`TraceEvent::Snapshot`](crate::trace::TraceEvent)
+    /// events after every step (Figure 1-style backoff traces; costly on
+    /// long runs).
+    pub fn snapshots(mut self, emit: bool) -> Self {
+        self.snapshots = emit;
+        self
+    }
+
+    /// Attach a trace sink; every built engine emits its events into it.
+    /// Repeatable.
+    pub fn sink(mut self, sink: SharedSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Attach a periodic observer: it receives an engine snapshot every
+    /// `every_steps` steps (see [`SlottedEngine::add_observer`]).
+    /// Repeatable. Observers never perturb results.
+    pub fn observer(mut self, observer: SharedObserver, every_steps: u64) -> Self {
+        self.observers.push((observer, every_steps));
+        self
+    }
+
+    /// Instrument built engines into `registry` (hot-path span timers
+    /// and the `engine.steps` counter; see [`SlottedEngine::instrument`]).
+    pub fn registry(mut self, registry: &plc_obs::Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Build the engine (for callers that want to attach sinks or step
     /// manually).
     pub fn build(&self) -> SlottedEngine<AnyBackoff> {
@@ -170,14 +236,25 @@ impl Simulation {
             burst: self.burst,
             retry: self.retry,
             pb_error_prob: self.pb_error_prob,
-            emit_snapshots: false,
+            emit_snapshots: self.snapshots,
             emit_wire_events: true,
             beacons: self.beacons,
         };
-        SlottedEngine::new(cfg, stations, self.seed)
+        let mut engine = SlottedEngine::new(cfg, stations, self.seed);
+        for s in &self.sinks {
+            engine.add_sink(s.clone());
+        }
+        for (obs, every) in &self.observers {
+            engine.add_observer(obs.clone(), *every);
+        }
+        if let Some(reg) = &self.registry {
+            engine.instrument(reg);
+        }
+        engine
     }
 
-    /// Build, run to the horizon, and summarize.
+    /// Build, run to the horizon, and summarize. The single entry point:
+    /// attached sinks, observers and instrumentation all apply.
     pub fn run(&self) -> SimReport {
         let mut engine = self.build();
         engine.run();
@@ -185,13 +262,14 @@ impl Simulation {
     }
 
     /// Build with the given sinks attached, run, and summarize.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach sinks with Simulation::sink(...) and call run()"
+    )]
     pub fn run_with_sinks(&self, sinks: Vec<SharedSink>) -> SimReport {
-        let mut engine = self.build();
-        for s in sinks {
-            engine.add_sink(s);
-        }
-        engine.run();
-        SimReport::from_metrics(engine.metrics().clone(), self.timing.frame_length)
+        let mut with = self.clone();
+        with.sinks.extend(sinks);
+        with.run()
     }
 
     /// Run `repeats` replications with distinct derived seeds and return
@@ -385,5 +463,60 @@ mod tests {
         let report = Simulation::ieee1901(3).horizon_us(5.0e6).seed(42).run();
         assert!(report.collision_probability > 0.0);
         assert!(report.norm_throughput > 0.5);
+    }
+
+    #[test]
+    fn builder_sink_receives_all_events() {
+        use crate::trace::CountingSink;
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        let sink = Arc::new(Mutex::new(CountingSink::default()));
+        let r = Simulation::ieee1901(2)
+            .horizon_us(1e6)
+            .seed(4)
+            .sink(sink.clone())
+            .run();
+        let c = *sink.lock();
+        assert_eq!(c.successes, r.successes);
+        assert_eq!(c.collisions, r.metrics.collision_events);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_with_sinks_matches_builder_sink() {
+        use crate::trace::CountingSink;
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        let sim = Simulation::ieee1901(2).horizon_us(5e5).seed(9);
+        let a_sink = Arc::new(Mutex::new(CountingSink::default()));
+        let a = sim.clone().sink(a_sink.clone()).run();
+        let b_sink = Arc::new(Mutex::new(CountingSink::default()));
+        let b = sim.run_with_sinks(vec![b_sink.clone()]);
+        assert_eq!(a, b);
+        assert_eq!(*a_sink.lock(), *b_sink.lock());
+    }
+
+    #[test]
+    fn observers_and_registry_do_not_perturb_results() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        let plain = Simulation::ieee1901(3).horizon_us(1e6).seed(5).run();
+        let collector = Arc::new(Mutex::new(plc_obs::CollectingObserver::default()));
+        let registry = plc_obs::Registry::new();
+        let observed = Simulation::ieee1901(3)
+            .horizon_us(1e6)
+            .seed(5)
+            .observer(collector.clone(), 500)
+            .registry(&registry)
+            .run();
+        assert_eq!(plain, observed, "observation must be read-only");
+        let snaps = collector.lock();
+        assert!(!snaps.engine.is_empty(), "periodic snapshots must arrive");
+        let first = &snaps.engine[0];
+        assert_eq!(first.step, 500);
+        assert_eq!(first.stations.len(), 3);
+        assert_eq!(first.stage_occupancy().iter().sum::<usize>(), 3);
+        let steps = registry.snapshot().counter("engine.steps").unwrap();
+        assert!(steps >= snaps.engine.len() as u64 * 500);
     }
 }

@@ -97,6 +97,27 @@ where
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    parallel_map_with_progress(workers, items, f, |_| {})
+}
+
+/// [`parallel_map`] with a progress callback.
+///
+/// `on_done` is invoked with the number of completed items (1 ≤ n ≤
+/// `items.len()`) from the **calling thread** (the result collector), in
+/// completion order — it observes progress without being able to affect
+/// the results, which stay bit-identical for any worker count.
+pub fn parallel_map_with_progress<I, T, F, P>(
+    workers: usize,
+    items: Vec<I>,
+    f: F,
+    mut on_done: P,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+    P: FnMut(usize),
+{
     let total = items.len();
     if total == 0 {
         return Vec::new();
@@ -107,7 +128,11 @@ where
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                let r = f(i, item);
+                on_done(i + 1);
+                r
+            })
             .collect();
     }
 
@@ -134,8 +159,11 @@ where
             });
         }
         drop(tx);
+        let mut done = 0usize;
         for (i, result) in rx {
             out[i] = Some(result);
+            done += 1;
+            on_done(done);
         }
     });
 
@@ -174,7 +202,7 @@ pub struct EarlyStop {
 /// config `c` and the `i`-th station count has
 /// `point_index = c * stations.len() + i`. Replication `k` of that point
 /// runs with seed [`derive_seed`]`(master_seed, point_index, k)`.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SweepGrid {
     configs: Vec<(String, Simulation)>,
     stations: Vec<usize>,
@@ -182,6 +210,23 @@ pub struct SweepGrid {
     master_seed: u64,
     workers: usize,
     early_stop: Option<EarlyStop>,
+    observers: Vec<plc_obs::SharedObserver>,
+    registry: Option<plc_obs::Registry>,
+}
+
+impl std::fmt::Debug for SweepGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepGrid")
+            .field("configs", &self.configs)
+            .field("stations", &self.stations)
+            .field("replications", &self.replications)
+            .field("master_seed", &self.master_seed)
+            .field("workers", &self.workers)
+            .field("early_stop", &self.early_stop)
+            .field("observers", &self.observers.len())
+            .field("registry", &self.registry.is_some())
+            .finish()
+    }
 }
 
 impl SweepGrid {
@@ -195,6 +240,8 @@ impl SweepGrid {
             master_seed,
             workers: default_workers(),
             early_stop: None,
+            observers: Vec::new(),
+            registry: None,
         }
     }
 
@@ -230,6 +277,24 @@ impl SweepGrid {
         self
     }
 
+    /// Attach a progress observer. It receives a
+    /// [`SweepProgress`](plc_obs::SweepProgress) (completed/total units,
+    /// elapsed wall time, ETA) from the collector thread as work units
+    /// finish. Repeatable. Observers cannot perturb the sweep's results:
+    /// the JSON export stays byte-identical with or without them.
+    pub fn observer(mut self, observer: plc_obs::SharedObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Record sweep instrumentation into `registry`: the `sweep.cell`
+    /// span timer (one span per replication cell) and the `sweep.cells`
+    /// counter.
+    pub fn registry(mut self, registry: &plc_obs::Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Number of grid points (`configs × stations`).
     pub fn num_points(&self) -> usize {
         self.configs.len() * self.stations.len()
@@ -249,29 +314,70 @@ impl SweepGrid {
             .map(|(idx, (label, template, n))| (idx, label, template, n))
             .collect();
 
+        // Progress is observed from the collector thread (wall-clock ETA,
+        // completion order); it cannot feed back into the results.
+        let started = std::time::Instant::now();
+        let observers = &self.observers;
+        let notify = |done: usize, total: usize| {
+            if observers.is_empty() {
+                return;
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = if done > 0 && done < total {
+                elapsed / done as f64 * (total - done) as f64
+            } else {
+                0.0
+            };
+            let progress = plc_obs::SweepProgress {
+                completed: done,
+                total,
+                elapsed_secs: elapsed,
+                eta_secs: eta,
+            };
+            for o in observers {
+                o.lock().on_sweep_progress(&progress);
+            }
+        };
+        let cell_timer = self.registry.as_ref().map(|r| r.timer("sweep.cell"));
+        let cell_counter = self.registry.as_ref().map(|r| r.counter("sweep.cells"));
+        let timed_cell = |template: &Simulation, n: usize, master: u64, idx: u64, rep: u64| {
+            let _span = cell_timer.as_ref().map(|t| t.start());
+            let report = run_cell(template, n, master, idx, rep);
+            if let Some(c) = &cell_counter {
+                c.inc();
+            }
+            report
+        };
+
         let results = if self.early_stop.is_some() {
             // Early stopping makes a point's replication count depend on
             // its own running CI, so the unit of work is the whole point.
             let early = self.early_stop;
             let master = self.master_seed;
             let max_reps = self.replications;
-            parallel_map(self.workers, points, move |_, (idx, label, template, n)| {
-                let mut acc = PointAccumulator::new();
-                let mut reps_run = 0;
-                for rep in 0..max_reps {
-                    let report = run_cell(template, n, master, idx as u64, rep);
-                    acc.merge_report(&report);
-                    reps_run = rep + 1;
-                    if let Some(rule) = early {
-                        if reps_run >= rule.min_replications.max(2)
-                            && acc.ci95_half_width(rule.quantity) <= rule.ci95_half_width
-                        {
-                            break;
+            let total_points = points.len();
+            parallel_map_with_progress(
+                self.workers,
+                points,
+                move |_, (idx, label, template, n)| {
+                    let mut acc = PointAccumulator::new();
+                    let mut reps_run = 0;
+                    for rep in 0..max_reps {
+                        let report = timed_cell(template, n, master, idx as u64, rep);
+                        acc.merge_report(&report);
+                        reps_run = rep + 1;
+                        if let Some(rule) = early {
+                            if reps_run >= rule.min_replications.max(2)
+                                && acc.ci95_half_width(rule.quantity) <= rule.ci95_half_width
+                            {
+                                break;
+                            }
                         }
                     }
-                }
-                acc.finish(label.to_string(), n, idx, reps_run)
-            })
+                    acc.finish(label.to_string(), n, idx, reps_run)
+                },
+                |done| notify(done, total_points),
+            )
         } else {
             // Fixed replication counts: fan out at (point, replication)
             // granularity for load balance, then merge each point's
@@ -286,10 +392,15 @@ impl SweepGrid {
                 })
                 .collect();
             let master = self.master_seed;
-            let reports =
-                parallel_map(self.workers, cells, move |_, (idx, _, template, n, rep)| {
-                    run_cell(template, n, master, idx as u64, rep)
-                });
+            let total_cells = cells.len();
+            let reports = parallel_map_with_progress(
+                self.workers,
+                cells,
+                move |_, (idx, _, template, n, rep)| {
+                    timed_cell(template, n, master, idx as u64, rep)
+                },
+                |done| notify(done, total_cells),
+            );
             points
                 .iter()
                 .map(|&(idx, label, _, n)| {
@@ -543,6 +654,51 @@ mod tests {
             })
             .run();
         assert_eq!(fanned, pointwise);
+    }
+
+    #[test]
+    fn progress_observer_sees_every_cell() {
+        use parking_lot::Mutex as PlMutex;
+        use std::sync::Arc;
+        let collector = Arc::new(PlMutex::new(plc_obs::CollectingObserver::default()));
+        let registry = plc_obs::Registry::new();
+        let results = SweepGrid::new(9)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2, 3])
+            .replications(2)
+            .workers(2)
+            .observer(collector.clone())
+            .registry(&registry)
+            .run();
+        assert_eq!(results.points.len(), 2);
+        let progress = collector.lock().progress.clone();
+        // 2 points × 2 replications = 4 cells, one report each.
+        assert_eq!(progress.len(), 4);
+        assert!(progress.windows(2).all(|w| w[0].completed < w[1].completed));
+        let last = progress.last().unwrap();
+        assert_eq!(last.completed, 4);
+        assert_eq!(last.total, 4);
+        assert_eq!(last.eta_secs, 0.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sweep.cells"), Some(4));
+        assert_eq!(snap.timer("sweep.cell").unwrap().count, 4);
+    }
+
+    #[test]
+    fn observers_do_not_change_sweep_json() {
+        let grid = SweepGrid::new(13)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(2e5))
+            .stations([2, 3])
+            .replications(2);
+        let bare = grid.clone().workers(1).run();
+        let observed = grid
+            .clone()
+            .workers(4)
+            .observer(plc_obs::shared(plc_obs::CollectingObserver::default()))
+            .registry(&plc_obs::Registry::new())
+            .run();
+        assert_eq!(bare, observed);
+        assert_eq!(bare.to_json(), observed.to_json());
     }
 
     #[test]

@@ -37,6 +37,20 @@ pub struct StatKey {
     pub direction: Direction,
 }
 
+/// Firmware counters mirrored into a [`plc_obs::Registry`], so host-side
+/// dashboards read the same numbers the ampstat MME reports.
+#[derive(Clone)]
+struct DeviceObs {
+    tx_acked: plc_obs::Counter,
+    tx_collided: plc_obs::Counter,
+}
+
+impl std::fmt::Debug for DeviceObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeviceObs")
+    }
+}
+
 /// One emulated HomePlug AV device.
 #[derive(Debug, Clone)]
 pub struct Device {
@@ -45,6 +59,7 @@ pub struct Device {
     stats: HashMap<StatKey, AmpStatCnf>,
     sniffer_enabled: bool,
     captured: Vec<SnifferInd>,
+    obs: Option<DeviceObs>,
 }
 
 impl Device {
@@ -56,7 +71,20 @@ impl Device {
             stats: HashMap::new(),
             sniffer_enabled: false,
             captured: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Mirror this device's transmit-side firmware counters into
+    /// `registry` as `testbed.dev<TEI>.tx_acked` / `.tx_collided`. The
+    /// MME path stays authoritative — the registry counters are a live
+    /// read-only view that must always agree with what ampstat reports.
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        let tei = self.tei.0;
+        self.obs = Some(DeviceObs {
+            tx_acked: registry.counter(&format!("testbed.dev{tei}.tx_acked")),
+            tx_collided: registry.counter(&format!("testbed.dev{tei}.tx_collided")),
+        });
     }
 
     /// The device's MAC address.
@@ -95,6 +123,12 @@ impl Device {
         e.acked += 1;
         if collided {
             e.collided += 1;
+        }
+        if let Some(obs) = &self.obs {
+            obs.tx_acked.inc();
+            if collided {
+                obs.tx_collided.inc();
+            }
         }
     }
 
@@ -234,6 +268,29 @@ mod tests {
         });
         assert_eq!(s.acked, 3, "collided MPDUs are still acknowledged");
         assert_eq!(s.collided, 2);
+    }
+
+    #[test]
+    fn registry_mirror_tracks_tx_counters() {
+        let registry = plc_obs::Registry::new();
+        let mut d = dev();
+        d.attach_registry(&registry);
+        let peer = MacAddr::station(9);
+        d.record_tx_ack(peer, Priority::CA1, false);
+        d.record_tx_ack(peer, Priority::CA1, true);
+        d.record_rx(peer, Priority::CA1, true); // rx is not mirrored
+        let snap = registry.snapshot();
+        // Tei::station(0) carries TEI 1 on the wire.
+        assert_eq!(snap.counter("testbed.dev1.tx_acked"), Some(2));
+        assert_eq!(snap.counter("testbed.dev1.tx_collided"), Some(1));
+        // The MME-visible counters agree.
+        let s = d.stats(&StatKey {
+            peer,
+            priority: Priority::CA1,
+            direction: Direction::Tx,
+        });
+        assert_eq!(s.acked, 2);
+        assert_eq!(s.collided, 1);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub struct PowerStrip {
     cfg: TestbedConfig,
     devices: DeviceTable,
     host: MacAddr,
+    registry: Option<plc_obs::Registry>,
 }
 
 /// The measurement host's MAC address (the PC the tools run on).
@@ -95,7 +96,21 @@ impl PowerStrip {
             cfg,
             devices: Arc::new(Mutex::new(devices)),
             host: HOST_MAC,
+            registry: None,
         }
+    }
+
+    /// Mirror every device's firmware counters into `registry`
+    /// (`testbed.dev<TEI>.tx_acked` / `.tx_collided`) and instrument the
+    /// underlying engine's round/PRS timers on the next [`run_test`].
+    /// Observability only — results are identical with or without it.
+    ///
+    /// [`run_test`]: PowerStrip::run_test
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        for d in self.devices.lock().iter_mut() {
+            d.attach_registry(registry);
+        }
+        self.registry = Some(registry.clone());
     }
 
     /// The management bus the tools plug into.
@@ -170,6 +185,9 @@ impl PowerStrip {
             emit_wire_events: true,
         };
         let mut engine = MultiClassEngine::new(engine_cfg, stations, self.cfg.seed);
+        if let Some(registry) = &self.registry {
+            engine.instrument(registry);
+        }
         let sink = Arc::new(Mutex::new(FirmwareSink::new(self.devices.clone())));
         engine.add_sink(sink);
         engine.run().clone()
@@ -268,6 +286,48 @@ mod tests {
         }
         assert!(sum_acked > 0);
         assert!(sum_collided > 0, "3 saturated stations must collide in 5 s");
+    }
+
+    #[test]
+    fn registry_mirror_agrees_with_ampstat() {
+        // The per-device mirror counters aggregate across priorities, so
+        // disable MME traffic to compare against the CA1-only ampstat view.
+        let mut cfg = quick_cfg(3, 1);
+        cfg.mme_rate_per_us = 0.0;
+        let mut strip = PowerStrip::new(cfg);
+        let registry = plc_obs::Registry::new();
+        strip.attach_registry(&registry);
+        strip.run_test();
+        let tool = AmpStat::new(strip.bus());
+        let dst = strip.destination_mac();
+        let snap = registry.snapshot();
+        for i in 0..3u32 {
+            let s = tool
+                .get(
+                    strip.station_mac(i as usize),
+                    dst,
+                    Priority::CA1,
+                    Direction::Tx,
+                )
+                .unwrap();
+            // Device i carries Tei::station(i) == i + 1.
+            let tei = i + 1;
+            assert_eq!(
+                snap.counter(&format!("testbed.dev{tei}.tx_acked")),
+                Some(s.acked),
+                "device {i} acked mirror"
+            );
+            assert_eq!(
+                snap.counter(&format!("testbed.dev{tei}.tx_collided")),
+                Some(s.collided),
+                "device {i} collided mirror"
+            );
+        }
+        // The engine's round timer was instrumented through the same registry.
+        assert!(snap
+            .timers
+            .iter()
+            .any(|t| t.name == "multiclass.round" && t.count > 0));
     }
 
     #[test]

@@ -15,23 +15,18 @@
 
 use parking_lot::Mutex;
 use plc::prelude::*;
-use plc_sim::engine::{EngineConfig, SlottedEngine, StationSpec};
 use plc_sim::trace::VecTraceSink;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
-    let mut rng = SmallRng::seed_from_u64(1901);
-    let stations = vec![
-        StationSpec::saturated(Backoff1901::default_ca1(&mut rng)),
-        StationSpec::saturated(Backoff1901::default_ca1(&mut rng)),
-    ];
-    let mut cfg = EngineConfig::paper_default();
-    cfg.emit_snapshots = true;
-    let mut engine = SlottedEngine::new(cfg, stations, 1901);
+    // The Simulation builder is the single entry point: snapshots and the
+    // trace sink are attached before `build()`, no engine mutation needed.
     let sink = Arc::new(Mutex::new(VecTraceSink::new()));
-    engine.add_sink(sink.clone());
+    let mut engine = Simulation::ieee1901(2)
+        .seed(1901)
+        .snapshots(true)
+        .sink(sink.clone())
+        .build();
 
     println!("IEEE 1901 backoff trace, 2 saturated stations (CA1 table)\n");
     println!(

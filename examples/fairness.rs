@@ -21,9 +21,9 @@ use plc_stats::hist::Histogram;
 use plc_stats::table::Table;
 use std::sync::Arc;
 
-fn run_trace(sim: &Simulation) -> Vec<usize> {
+fn run_trace(sim: Simulation) -> Vec<usize> {
     let sink = Arc::new(Mutex::new(SuccessTrace::new()));
-    sim.run_with_sinks(vec![sink.clone()]);
+    sim.sink(sink.clone()).run();
     let trace = sink.lock().winners.clone();
     trace
 }
@@ -32,8 +32,8 @@ fn main() {
     let n = 4;
     let horizon = 3.0e7;
 
-    let trace_1901 = run_trace(&Simulation::ieee1901(n).horizon_us(horizon).seed(4));
-    let trace_dcf = run_trace(&Simulation::dcf(n).horizon_us(horizon).seed(4));
+    let trace_1901 = run_trace(Simulation::ieee1901(n).horizon_us(horizon).seed(4));
+    let trace_dcf = run_trace(Simulation::dcf(n).horizon_us(horizon).seed(4));
 
     println!("Short-term fairness, N = {n} saturated stations\n");
     let mut table = Table::new(vec!["window", "Jain (1901)", "Jain (802.11)"]);

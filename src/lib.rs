@@ -19,6 +19,7 @@
 //! | [`analysis`] | `plc-analysis` | coupled round model, decoupled model, Bianchi, boosting |
 //! | [`testbed`] | `plc-testbed` | emulated devices, MME bus, ampstat/faifa, §3.2 methodology |
 //! | [`stats`] | `plc-stats` | summaries, confidence intervals, fairness, histograms |
+//! | [`obs`] | `plc-obs` | counters/gauges/histograms/span-timers, engine & sweep observers |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ struct ReadmeDoctests;
 pub use plc_analysis as analysis;
 pub use plc_core as core;
 pub use plc_mac as mac;
+pub use plc_obs as obs;
 pub use plc_phy as phy;
 pub use plc_sim as sim;
 pub use plc_stats as stats;
@@ -59,6 +61,9 @@ pub mod prelude {
     pub use plc_core::timing::MacTiming;
     pub use plc_core::units::Microseconds;
     pub use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf, BackoffProcess, RetryPolicy};
+    pub use plc_obs::{
+        shared, CollectingObserver, EngineObs, Observer, Registry, SharedObserver, SweepProgress,
+    };
     pub use plc_phy::{ChannelModel, PbErrorModel, PhyRate, ToneMap};
     pub use plc_sim::{
         BurstPolicy, EarlyStop, PaperSim, Quantity, SimReport, Simulation, StepOutcome, SweepGrid,
