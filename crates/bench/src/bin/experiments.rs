@@ -12,7 +12,8 @@
 //!   --timings  print per-phase timings after each experiment
 //!   NAME       any of: table1 figure1 table2 figure2 throughput
 //!              priorities boost fairness mme_overhead bursts models
-//!              (default: all, in order)
+//!              errors delay load coexistence aggregation adaptation
+//!              chaos (default: all, in order)
 //!
 //! bench-snapshot times the pinned engine workloads and writes
 //! BENCH_<date>.json into DIR (default: the current directory); with

@@ -31,7 +31,7 @@ pub fn measure(opts: &RunOpts, policy: BurstPolicy, seed: u64) -> Result<Histogr
     faifa.set_sniffer(d, true)?;
     strip.run_test();
     let captures = faifa.collect(d)?;
-    Ok(burst_size_histogram(&group_bursts(&captures)))
+    Ok(burst_size_histogram(&group_bursts(&captures)?))
 }
 
 /// Render the experiment.

@@ -41,7 +41,7 @@ pub fn measure(opts: &RunOpts, n: usize, mme_rate: f64, seed: u64) -> Result<Ove
     faifa.set_sniffer(d, true)?;
     strip.run_test();
     let captures = faifa.collect(d)?;
-    let bursts = group_bursts(&captures);
+    let bursts = group_bursts(&captures)?;
     let data = bursts.iter().filter(|b| b.is_data()).count();
     let mme = bursts.iter().filter(|b| !b.is_data()).count();
     Ok(OverheadPoint {
@@ -125,7 +125,7 @@ mod tests {
         faifa.set_sniffer(d, true).unwrap();
         strip.run_test();
         let captures = faifa.collect(d).unwrap();
-        for b in group_bursts(&captures) {
+        for b in group_bursts(&captures).unwrap() {
             if b.is_data() {
                 assert!(matches!(b.priority, Priority::CA0 | Priority::CA1));
             } else {

@@ -5,6 +5,7 @@ pub mod adaptation;
 pub mod aggregation;
 pub mod boost;
 pub mod bursts;
+pub mod chaos;
 pub mod coexistence;
 pub mod delay;
 pub mod errors;

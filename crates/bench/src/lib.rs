@@ -27,6 +27,7 @@
 //! | [`exp::coexistence`] | E11 — mixed default/boosted populations |
 //! | [`exp::aggregation`] | E12 — Ethernet→PLC frame aggregation |
 //! | [`exp::adaptation`] | E13 — tone-map adaptation vs channel drift |
+//! | [`exp::chaos`] | E14 — Table 2 under deterministic fault injection |
 //!
 //! ## Errors and observability
 //!
@@ -152,6 +153,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("coexistence", exp::coexistence::run),
         ("aggregation", exp::aggregation::run),
         ("adaptation", exp::adaptation::run),
+        ("chaos", exp::chaos::run),
     ]
 }
 
@@ -166,7 +168,7 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len());
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
     }
 
     #[test]

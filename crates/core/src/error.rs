@@ -5,12 +5,14 @@ use core::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = core::result::Result<T, Error>;
 
-/// All the ways configuration or parsing can fail in `plc-core`.
+/// All the ways configuration, parsing or a measurement harness can fail.
 ///
-/// The simulator crates deliberately keep their own richer error types;
-/// this enum covers the foundational layer only: invalid CSMA parameter
-/// tables, malformed frames and malformed management messages.
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so adding failure modes (as the fault-injection layer
+/// did with [`Timeout`](Error::Timeout) and friends) is not a breaking
+/// change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// A CSMA/CA configuration was structurally invalid.
     InvalidConfig {
@@ -56,6 +58,36 @@ pub enum Error {
         /// What failed, human-readable.
         context: String,
     },
+    /// A management transaction (or another bounded wait) did not
+    /// complete in time — the error a tool sees when a request or
+    /// confirm leg is lost on the bus.
+    Timeout {
+        /// What timed out (e.g. `"ampstat read"`).
+        what: String,
+        /// The timeout that expired, µs (integral so the error stays
+        /// `Eq`-comparable).
+        after_us: u64,
+    },
+    /// A retrying client exhausted its attempt budget. `last` is the
+    /// failure of the final attempt (also reported via
+    /// [`std::error::Error::source`]).
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The final attempt's error.
+        last: Box<Error>,
+    },
+    /// A monotone firmware counter moved backwards between consecutive
+    /// reads with no fault plan to explain it — a device reset or wrap
+    /// the caller was not prepared to stitch over.
+    CounterDiscontinuity {
+        /// Which counter (e.g. `"station 2 acked"`).
+        counter: String,
+        /// Value at the previous read.
+        prev: u64,
+        /// Value at the current read.
+        got: u64,
+    },
 }
 
 impl Error {
@@ -71,6 +103,21 @@ impl Error {
         Error::Runtime {
             context: context.into(),
         }
+    }
+
+    /// Shorthand for timeouts.
+    pub fn timeout(what: impl Into<String>, after_us: f64) -> Self {
+        Error::Timeout {
+            what: what.into(),
+            after_us: after_us.max(0.0) as u64,
+        }
+    }
+
+    /// True for failures a retry can plausibly clear (lost or delayed
+    /// transactions). Parse errors, unknown devices and config mistakes
+    /// are permanent — retrying them only hides bugs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Timeout { .. })
     }
 }
 
@@ -102,11 +149,30 @@ impl fmt::Display for Error {
                 )
             }
             Error::Runtime { context } => write!(f, "runtime failure: {context}"),
+            Error::Timeout { what, after_us } => {
+                write!(f, "{what} timed out after {after_us} us")
+            }
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            Error::CounterDiscontinuity { counter, prev, got } => {
+                write!(
+                    f,
+                    "counter discontinuity: {counter} went backwards ({prev} -> {got})"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -158,6 +224,43 @@ mod tests {
     fn errors_are_comparable_and_clonable() {
         let e = Error::UnknownDelimiter(0xFF);
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn timeout_and_retry_variants() {
+        let t = Error::timeout("ampstat read", 1000.5);
+        assert_eq!(
+            t,
+            Error::Timeout {
+                what: "ampstat read".into(),
+                after_us: 1000,
+            }
+        );
+        assert!(t.is_retryable());
+        assert!(!Error::UnknownMmtype(0xA030).is_retryable());
+        let gave_up = Error::RetriesExhausted {
+            attempts: 10,
+            last: Box::new(t.clone()),
+        };
+        assert!(gave_up.to_string().contains("10 attempts"));
+        assert!(gave_up.to_string().contains("ampstat read"));
+        // source() exposes the final attempt's failure.
+        let src = std::error::Error::source(&gave_up).expect("has source");
+        assert_eq!(src.to_string(), t.to_string());
+        assert!(std::error::Error::source(&t).is_none());
+    }
+
+    #[test]
+    fn counter_discontinuity_display() {
+        let e = Error::CounterDiscontinuity {
+            counter: "station 2 acked".into(),
+            prev: 900,
+            got: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("station 2 acked"));
+        assert!(s.contains("900"));
+        assert!(s.contains("-> 5"));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # plc-faults — deterministic fault injection
+//!
+//! The paper's measurement methodology (§3.2–3.3) runs over vendor
+//! firmware and a shared medium that are unreliable in practice: ampstat
+//! confirmations get lost, INT6300-class devices brown out and clear
+//! their counters mid-test, impulse noise wipes out whole slots. This
+//! crate makes those failures *schedulable and reproducible*:
+//!
+//! * [`FaultPlan`] — a seeded, serializable description of every fault a
+//!   run should see: MME request/confirm loss and delay on the management
+//!   bus, device brownouts (firmware counters cleared), counter wrap
+//!   modulus, and impulse-noise slot bursts for the slotted engine.
+//! * [`FaultRng`] — the plan's own SplitMix64 stream. Fault decisions
+//!   never touch a simulation RNG, so `(master_seed, FaultPlan)` →
+//!   byte-identical results, with or without instrumentation, on any
+//!   worker count.
+//! * [`MmeFaults`] — the per-run injector the `MgmtBus` consults before
+//!   routing each management transaction.
+//! * [`RetryPolicy`] — bounded exponential backoff with deterministic
+//!   jitter, used by the resilient `ampstat`/`faifa` clients.
+//!
+//! ```
+//! use plc_faults::FaultPlan;
+//!
+//! let plan = FaultPlan::builder()
+//!     .seed(7)
+//!     .mme_loss(0.2)
+//!     .device_reset_at(0, 120.0e6) // station 0 browns out at t = 120 s
+//!     .counter_wrap_u32()
+//!     .build();
+//! assert!(!plan.is_benign());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mme;
+pub mod plan;
+pub mod retry;
+pub mod rng;
+
+pub use mme::{MmeFate, MmeFaults};
+pub use plan::{DeviceReset, FaultPlan, FaultPlanBuilder, NoiseBurst};
+pub use retry::RetryPolicy;
+pub use rng::FaultRng;

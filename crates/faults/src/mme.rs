@@ -1,0 +1,175 @@
+//! The management-bus fault injector.
+//!
+//! Every management transaction (ampstat read/reset, sniffer control,
+//! capture collection) asks the injector for a fate before the bus routes
+//! it. The decision stream is a dedicated [`FaultRng`] derived from the
+//! plan seed — transaction k always gets the same fate, no matter what
+//! the simulation did in between.
+
+use crate::plan::FaultPlan;
+use crate::rng::FaultRng;
+
+/// Sub-stream tag of the MME decision sequence (see [`FaultRng::derive`]).
+const STREAM_MME: u64 = 0x4D4D_4520; // "MME "
+
+/// What happens to one management transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MmeFate {
+    /// Both legs deliver; the confirm arrives after `delay_us` (0 for the
+    /// undelayed common case). Delays beyond the client timeout surface
+    /// as a timeout whose device-side effects already applied.
+    Deliver {
+        /// Confirm latency, µs.
+        delay_us: f64,
+    },
+    /// The request leg was lost: the device never saw it.
+    RequestLost,
+    /// The confirm leg was lost: the device processed the request (side
+    /// effects applied) but the client times out anyway.
+    ConfirmLost,
+}
+
+/// Per-run injector state: the decision stream plus optional fault
+/// counters (observability only — counters never affect fates).
+#[derive(Debug, Clone)]
+pub struct MmeFaults {
+    rng: FaultRng,
+    loss: f64,
+    delay_prob: f64,
+    delay_us: f64,
+    timeout_us: f64,
+    obs: Option<MmeFaultObs>,
+}
+
+#[derive(Clone)]
+struct MmeFaultObs {
+    lost_request: plc_obs::Counter,
+    lost_confirm: plc_obs::Counter,
+    delayed: plc_obs::Counter,
+}
+
+impl std::fmt::Debug for MmeFaultObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MmeFaultObs")
+    }
+}
+
+impl MmeFaults {
+    /// Injector for one run of `plan`.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        MmeFaults {
+            rng: FaultRng::derive(plan.seed, STREAM_MME),
+            loss: plan.mme_loss,
+            delay_prob: plan.mme_delay_prob,
+            delay_us: plan.mme_delay_us,
+            timeout_us: plan.mme_timeout_us,
+            obs: None,
+        }
+    }
+
+    /// Count injected faults into `registry` (`faults.mme.lost_request`,
+    /// `faults.mme.lost_confirm`, `faults.mme.delayed`).
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        self.obs = Some(MmeFaultObs {
+            lost_request: registry.counter("faults.mme.lost_request"),
+            lost_confirm: registry.counter("faults.mme.lost_confirm"),
+            delayed: registry.counter("faults.mme.delayed"),
+        });
+    }
+
+    /// The client timeout the plan prescribes, µs.
+    pub fn timeout_us(&self) -> f64 {
+        self.timeout_us
+    }
+
+    /// Decide the fate of the next transaction. Exactly three draws per
+    /// call (request leg, confirm leg, delay), so the decision stream
+    /// stays aligned whatever probabilities the plan sets.
+    pub fn next_fate(&mut self) -> MmeFate {
+        let req_lost = self.rng.chance(self.loss);
+        let cnf_lost = self.rng.chance(self.loss);
+        let delayed = self.rng.chance(self.delay_prob);
+        if req_lost {
+            if let Some(o) = &self.obs {
+                o.lost_request.inc();
+            }
+            return MmeFate::RequestLost;
+        }
+        if cnf_lost {
+            if let Some(o) = &self.obs {
+                o.lost_confirm.inc();
+            }
+            return MmeFate::ConfirmLost;
+        }
+        if delayed {
+            if let Some(o) = &self.obs {
+                o.delayed.inc();
+            }
+            return MmeFate::Deliver {
+                delay_us: self.delay_us,
+            };
+        }
+        MmeFate::Deliver { delay_us: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_always_delivers() {
+        let mut f = MmeFaults::from_plan(&FaultPlan::default());
+        for _ in 0..200 {
+            assert_eq!(f.next_fate(), MmeFate::Deliver { delay_us: 0.0 });
+        }
+    }
+
+    #[test]
+    fn fates_replay_exactly() {
+        let plan = FaultPlan::builder().seed(5).mme_loss(0.3).build();
+        let mut a = MmeFaults::from_plan(&plan);
+        let mut b = MmeFaults::from_plan(&plan);
+        for _ in 0..500 {
+            assert_eq!(a.next_fate(), b.next_fate());
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let plan = FaultPlan::builder().seed(1).mme_loss(0.2).build();
+        let mut f = MmeFaults::from_plan(&plan);
+        let lost = (0..10_000)
+            .filter(|_| !matches!(f.next_fate(), MmeFate::Deliver { .. }))
+            .count();
+        // Per-transaction failure ≈ 1 - 0.8² = 0.36.
+        assert!((3200..4000).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn registry_counts_faults_without_changing_them() {
+        let plan = FaultPlan::builder().seed(2).mme_loss(0.5).build();
+        let mut plain = MmeFaults::from_plan(&plan);
+        let mut counted = MmeFaults::from_plan(&plan);
+        let registry = plc_obs::Registry::new();
+        counted.attach_registry(&registry);
+        let fates: Vec<MmeFate> = (0..100).map(|_| plain.next_fate()).collect();
+        let counted_fates: Vec<MmeFate> = (0..100).map(|_| counted.next_fate()).collect();
+        assert_eq!(fates, counted_fates, "counters must not perturb fates");
+        let snap = registry.snapshot();
+        let req = snap.counter("faults.mme.lost_request").unwrap_or(0);
+        let cnf = snap.counter("faults.mme.lost_confirm").unwrap_or(0);
+        let total = fates
+            .iter()
+            .filter(|f| !matches!(f, MmeFate::Deliver { .. }))
+            .count() as u64;
+        assert_eq!(req + cnf, total);
+    }
+
+    #[test]
+    fn delay_fires_with_delay_us() {
+        let plan = FaultPlan::builder().seed(3).mme_delay(1.0, 123.0).build();
+        let mut f = MmeFaults::from_plan(&plan);
+        assert_eq!(f.next_fate(), MmeFate::Deliver { delay_us: 123.0 });
+    }
+}

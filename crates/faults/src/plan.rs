@@ -1,0 +1,295 @@
+//! The fault plan: everything that will go wrong, decided up front.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled device brownout: at `at_us` (simulated time) the
+/// station's firmware restarts and its statistics counters, sniffer state
+/// and pending captures are cleared — what a real INT6300 reset does to a
+/// running §3.2 measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReset {
+    /// Index of the transmitting station (0-based, as in
+    /// `PowerStrip::station_mac`).
+    pub station: usize,
+    /// Simulated time of the reset, µs.
+    pub at_us: f64,
+}
+
+/// One impulse-noise burst on the medium: while active, every physical
+/// block of every transmitted MPDU errors (delimiters stay decodable —
+/// impulse noise at these durations wipes payloads, not the robustly
+/// modulated preamble).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseBurst {
+    /// Burst start, µs of simulated time.
+    pub start_us: f64,
+    /// Burst duration, µs.
+    pub duration_us: f64,
+}
+
+impl NoiseBurst {
+    /// End of the burst, µs.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.duration_us
+    }
+
+    /// Whether `t_us` falls inside the burst.
+    pub fn contains(&self, t_us: f64) -> bool {
+        t_us >= self.start_us && t_us < self.end_us()
+    }
+}
+
+/// A seeded, serializable schedule of faults.
+///
+/// The plan is pure data: injectors ([`crate::MmeFaults`], the testbed's
+/// reset hook, the engine's noise hook) derive their own
+/// [`FaultRng`](crate::FaultRng) streams from `seed`, so the same plan
+/// replays the same faults byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of every fault stream (decorrelated from simulation seeds by
+    /// construction — fault draws never touch a simulation RNG).
+    pub seed: u64,
+    /// Probability that one *leg* (request or confirm) of a management
+    /// transaction is lost. The paper's tools see this as a timeout.
+    pub mme_loss: f64,
+    /// Probability that a delivered confirm is delayed.
+    pub mme_delay_prob: f64,
+    /// Delay applied when `mme_delay_prob` fires, µs. Delays beyond
+    /// `mme_timeout_us` surface as timeouts with device side effects
+    /// already applied.
+    pub mme_delay_us: f64,
+    /// The management client's timeout, µs.
+    pub mme_timeout_us: f64,
+    /// Scheduled device brownouts.
+    pub device_resets: Vec<DeviceReset>,
+    /// Firmware counter modulus (`Some(2^32)` models the real chips' u32
+    /// counters wrapping during long tests); `None` = unbounded.
+    pub counter_wrap: Option<u64>,
+    /// Impulse-noise bursts for the slotted engine.
+    pub noise: Vec<NoiseBurst>,
+}
+
+impl Default for FaultPlan {
+    /// A benign plan: no loss, no delay, no resets, no wrap, no noise.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            mme_loss: 0.0,
+            mme_delay_prob: 0.0,
+            mme_delay_us: 0.0,
+            mme_timeout_us: 1000.0,
+            device_resets: Vec::new(),
+            counter_wrap: None,
+            noise: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Start building a plan.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan::default(),
+        }
+    }
+
+    /// True when the plan injects nothing: no loss, no delay, no resets,
+    /// no wrap, no noise. A benign plan's injectors are exact no-ops.
+    pub fn is_benign(&self) -> bool {
+        self.mme_loss == 0.0
+            && self.mme_delay_prob == 0.0
+            && self.device_resets.is_empty()
+            && self.counter_wrap.is_none()
+            && self.noise.is_empty()
+    }
+
+    /// The reset schedule for one station, sorted by time.
+    pub fn resets_for(&self, station: usize) -> Vec<DeviceReset> {
+        let mut r: Vec<DeviceReset> = self
+            .device_resets
+            .iter()
+            .copied()
+            .filter(|r| r.station == station)
+            .collect();
+        r.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+        r
+    }
+}
+
+/// Builder for [`FaultPlan`].
+///
+/// ```
+/// use plc_faults::FaultPlan;
+///
+/// let plan = FaultPlan::builder()
+///     .mme_loss(0.2)
+///     .device_reset_at(1, 5.0e6)
+///     .build();
+/// assert_eq!(plan.device_resets.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Seed of the fault streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.plan.seed = seed;
+        self
+    }
+
+    /// Per-leg MME loss probability (each transaction has a request and a
+    /// confirm leg, lost independently).
+    pub fn mme_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.plan.mme_loss = p;
+        self
+    }
+
+    /// Delay `delay_us` applied to the confirm with probability `p`.
+    pub fn mme_delay(mut self, p: f64, delay_us: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "delay probability must be in [0, 1]"
+        );
+        assert!(delay_us >= 0.0, "delay must be non-negative");
+        self.plan.mme_delay_prob = p;
+        self.plan.mme_delay_us = delay_us;
+        self
+    }
+
+    /// The management client's timeout, µs.
+    pub fn mme_timeout_us(mut self, t: f64) -> Self {
+        assert!(t > 0.0, "timeout must be positive");
+        self.plan.mme_timeout_us = t;
+        self
+    }
+
+    /// Schedule a brownout of `station` at `at_us` of simulated time.
+    /// Repeatable.
+    pub fn device_reset_at(mut self, station: usize, at_us: f64) -> Self {
+        assert!(at_us >= 0.0, "reset time must be non-negative");
+        self.plan.device_resets.push(DeviceReset { station, at_us });
+        self
+    }
+
+    /// Wrap firmware counters at 2³² (the real chips' register width).
+    pub fn counter_wrap_u32(self) -> Self {
+        self.counter_wrap(1 << 32)
+    }
+
+    /// Wrap firmware counters at an arbitrary modulus (small values let
+    /// tests exercise wrap stitching in seconds).
+    pub fn counter_wrap(mut self, modulus: u64) -> Self {
+        assert!(modulus > 1, "wrap modulus must exceed 1");
+        self.plan.counter_wrap = Some(modulus);
+        self
+    }
+
+    /// Add an impulse-noise burst. Repeatable.
+    pub fn noise_burst(mut self, start_us: f64, duration_us: f64) -> Self {
+        assert!(start_us >= 0.0 && duration_us > 0.0, "invalid noise burst");
+        self.plan.noise.push(NoiseBurst {
+            start_us,
+            duration_us,
+        });
+        self
+    }
+
+    /// Finish the plan. Reset and noise schedules are sorted by time so
+    /// injectors can consume them with a monotone cursor.
+    pub fn build(mut self) -> FaultPlan {
+        self.plan
+            .device_resets
+            .sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+        self.plan
+            .noise
+            .sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_benign() {
+        assert!(FaultPlan::default().is_benign());
+        assert!(FaultPlan::builder().build().is_benign());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let plan = FaultPlan::builder()
+            .seed(9)
+            .mme_loss(0.2)
+            .mme_delay(0.1, 50.0)
+            .mme_timeout_us(500.0)
+            .device_reset_at(2, 1.0e6)
+            .device_reset_at(0, 2.0e5)
+            .counter_wrap_u32()
+            .noise_burst(3.0e5, 1.0e4)
+            .build();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.mme_loss, 0.2);
+        assert_eq!(plan.mme_delay_prob, 0.1);
+        assert_eq!(plan.mme_timeout_us, 500.0);
+        assert_eq!(plan.counter_wrap, Some(1 << 32));
+        assert!(!plan.is_benign());
+        // Sorted by time.
+        assert_eq!(plan.device_resets[0].station, 0);
+        assert_eq!(plan.device_resets[1].station, 2);
+    }
+
+    #[test]
+    fn resets_for_filters_and_sorts() {
+        let plan = FaultPlan::builder()
+            .device_reset_at(1, 9.0)
+            .device_reset_at(0, 5.0)
+            .device_reset_at(1, 3.0)
+            .build();
+        let r = plan.resets_for(1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].at_us, 3.0);
+        assert_eq!(r[1].at_us, 9.0);
+        assert!(plan.resets_for(7).is_empty());
+    }
+
+    #[test]
+    fn noise_burst_containment() {
+        let b = NoiseBurst {
+            start_us: 10.0,
+            duration_us: 5.0,
+        };
+        assert!(!b.contains(9.9));
+        assert!(b.contains(10.0));
+        assert!(b.contains(14.9));
+        assert!(!b.contains(15.0));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::builder()
+            .seed(3)
+            .mme_loss(0.25)
+            .device_reset_at(1, 7.0)
+            .counter_wrap(1000)
+            .noise_burst(1.0, 2.0)
+            .build();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn builder_rejects_bad_loss() {
+        let _ = FaultPlan::builder().mme_loss(1.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! The fault layer's own random stream.
+//!
+//! Fault decisions must be deterministic *and* independent of the
+//! simulation: drawing them from an engine or process RNG would shift
+//! every subsequent backoff draw and silently change the experiment being
+//! measured. [`FaultRng`] is a self-contained SplitMix64 sequence — the
+//! same mixer the sweep engine uses for seed derivation — so a
+//! `(seed, stream)` pair always replays the exact same fault sequence.
+
+/// The SplitMix64 finalizer: one full avalanche round (a bijection on
+/// `u64`).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic SplitMix64 generator dedicated to fault decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Generator seeded directly.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// Generator for a named sub-stream of `seed`. Distinct `stream`
+    /// values yield decorrelated sequences (the pair is pushed through
+    /// the finalizer, a bijection, before use), so the MME injector and a
+    /// retry client can both derive from one plan seed without sharing
+    /// draws.
+    pub fn derive(seed: u64, stream: u64) -> Self {
+        FaultRng {
+            state: mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+                ^ mix(stream.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Next uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits, the standard u64 → f64 construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`. Always consumes
+    /// exactly one draw, even for `p = 0` — fault streams stay aligned no
+    /// matter which probabilities a plan sets.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = FaultRng::derive(42, 0);
+        let mut b = FaultRng::derive(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "derived streams must not track each other");
+    }
+
+    #[test]
+    fn unit_interval_and_chance_edges() {
+        let mut rng = FaultRng::new(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert!(!rng.chance(0.0), "p = 0 never fires");
+        let mut rng = FaultRng::new(8);
+        assert!(rng.chance(1.0), "p = 1 always fires");
+    }
+
+    #[test]
+    fn chance_consumes_one_draw_regardless_of_p() {
+        let mut a = FaultRng::new(3);
+        let mut b = FaultRng::new(3);
+        a.chance(0.0);
+        b.chance(0.9);
+        assert_eq!(a.next_u64(), b.next_u64(), "streams must stay aligned");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = FaultRng::new(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.2)).count();
+        assert!((1600..2400).contains(&hits), "p=0.2 over 10k draws: {hits}");
+    }
+}

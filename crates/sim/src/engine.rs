@@ -100,6 +100,10 @@ pub struct EngineConfig {
     pub emit_wire_events: bool,
     /// Optional beacon schedule (`None` = the paper's pure-CSMA model).
     pub beacons: Option<BeaconSchedule>,
+    /// Impulse-noise bursts (sorted by start time): while one is active,
+    /// every physical block of every transmitted MPDU errors, without
+    /// consuming channel-RNG draws. Empty = the paper's clean medium.
+    pub noise: Vec<plc_faults::NoiseBurst>,
 }
 
 impl EngineConfig {
@@ -115,6 +119,7 @@ impl EngineConfig {
             emit_snapshots: false,
             emit_wire_events: true,
             beacons: None,
+            noise: Vec::new(),
         }
     }
 
@@ -214,6 +219,9 @@ pub struct SlottedEngine<P: BackoffProcess> {
     steps: u64,
     observers: Vec<ObserverSlot>,
     timers: Option<EngineTimers>,
+    /// Cursor into `cfg.noise` (time is monotone, so passed bursts never
+    /// come back).
+    noise_idx: usize,
 }
 
 impl<P: BackoffProcess> SlottedEngine<P> {
@@ -259,6 +267,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             steps: 0,
             observers: Vec::new(),
             timers: None,
+            noise_idx: 0,
         }
     }
 
@@ -334,6 +343,25 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             }
         }
         errored
+    }
+
+    /// Whether an impulse-noise burst is active at `t`. Advances a
+    /// monotone cursor; zero cost (one slice-length check) when the
+    /// config has no noise.
+    fn noise_active(&mut self, t: Microseconds) -> bool {
+        let t = t.as_micros();
+        while self
+            .cfg
+            .noise
+            .get(self.noise_idx)
+            .is_some_and(|b| t >= b.end_us())
+        {
+            self.noise_idx += 1;
+        }
+        self.cfg
+            .noise
+            .get(self.noise_idx)
+            .is_some_and(|b| b.contains(t))
     }
 
     /// Update station `i`'s per-link PB error probability mid-run — the
@@ -497,6 +525,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 let available = retx_ready.saturating_add(fresh_ready).min(MAX_BURST);
                 let burst = self.cfg.burst.draw(&mut self.rng, available);
                 let dur = self.cfg.timing.burst_duration(burst);
+                // Impulse noise wipes every PB of the transmission without
+                // consuming channel-RNG draws (the fault layer never
+                // touches simulation streams).
+                let jammed = self.noise_active(t0);
 
                 // Per-MPDU channel outcome (selective-ACK granularity).
                 let mut fresh_consumed = 0usize;
@@ -510,7 +542,11 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                             (self.stations[w].num_pbs, true)
                         }
                     };
-                    let errored = self.sample_pb_errors(w, pbs);
+                    let errored = if jammed {
+                        pbs
+                    } else {
+                        self.sample_pb_errors(w, pbs)
+                    };
                     outcomes.push((pbs, errored));
                     let s = &mut self.metrics.per_station[w];
                     s.pbs_delivered += (pbs - errored) as u64;
@@ -1045,5 +1081,51 @@ mod tests {
         // And the per-frame payload credit is consistent with goodput.
         assert!(m.payload_delivered_us > 0.0);
         assert!((m.payload_delivered_us - 2050.0 * s.pbs_delivered as f64 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_burst_covering_horizon_jams_everything() {
+        let mut cfg = quick_cfg(1e6);
+        cfg.noise = vec![plc_faults::NoiseBurst {
+            start_us: 0.0,
+            duration_us: 2e6,
+        }];
+        let mut e = SlottedEngine::new(cfg, stations_1901(1, 31), 31);
+        let m = e.run().clone();
+        let s = &m.per_station[0];
+        assert!(s.pbs_errored > 0, "the jammer must error PBs");
+        assert_eq!(s.pbs_delivered, 0, "nothing survives a full-horizon burst");
+        assert_eq!(m.frames_completed, 0);
+    }
+
+    #[test]
+    fn empty_noise_schedule_changes_nothing() {
+        let mut cfg = quick_cfg(2e6);
+        cfg.noise = Vec::new();
+        let mut e = SlottedEngine::new(cfg, stations_1901(3, 32), 32);
+        let jam_free = e.run().clone();
+        let mut e2 = SlottedEngine::new(quick_cfg(2e6), stations_1901(3, 32), 32);
+        assert_eq!(&jam_free, e2.run());
+    }
+
+    #[test]
+    fn bounded_noise_burst_only_hits_its_window() {
+        // A burst over the first half of the horizon: errors happen, but
+        // the second half still completes frames.
+        let mut cfg = quick_cfg(2e6);
+        cfg.noise = vec![plc_faults::NoiseBurst {
+            start_us: 0.0,
+            duration_us: 1e6,
+        }];
+        let mut e = SlottedEngine::new(cfg, stations_1901(1, 33), 33);
+        let m = e.run().clone();
+        let s = &m.per_station[0];
+        assert!(s.pbs_errored > 0);
+        assert!(m.frames_completed > 0, "clean half must deliver frames");
+        let clean = {
+            let mut e2 = SlottedEngine::new(quick_cfg(2e6), stations_1901(1, 33), 33);
+            e2.run().frames_completed
+        };
+        assert!(m.frames_completed < clean);
     }
 }

@@ -50,8 +50,8 @@ pub use metrics::{Metrics, StationMetrics};
 pub use paper::{PaperSim, PaperSimResult};
 pub use runner::{ReplicationSummary, SimReport, Simulation};
 pub use sweep::{
-    parallel_map, parallel_map_with_progress, EarlyStop, Quantity, SweepGrid, SweepPointResult,
-    SweepResults,
+    parallel_map, parallel_map_observed, parallel_map_with_progress, EarlyStop, Quantity,
+    SweepGrid, SweepPoint, SweepPointResult, SweepResults,
 };
 pub use trace::{StationId, SuccessTrace, TraceEvent, TraceSink, VecTraceSink};
 pub use traffic::TrafficModel;

@@ -51,6 +51,7 @@ pub struct Simulation {
     traffic: TrafficModel,
     pb_error_prob: f64,
     beacons: Option<crate::engine::BeaconSchedule>,
+    noise: Vec<plc_faults::NoiseBurst>,
     snapshots: bool,
     sinks: Vec<SharedSink>,
     observers: Vec<(SharedObserver, u64)>,
@@ -71,6 +72,7 @@ impl std::fmt::Debug for Simulation {
             .field("traffic", &self.traffic)
             .field("pb_error_prob", &self.pb_error_prob)
             .field("beacons", &self.beacons)
+            .field("noise", &self.noise.len())
             .field("snapshots", &self.snapshots)
             .field("sinks", &self.sinks.len())
             .field("observers", &self.observers.len())
@@ -95,6 +97,7 @@ impl Simulation {
             traffic: TrafficModel::Saturated,
             pb_error_prob: 0.0,
             beacons: None,
+            noise: Vec::new(),
             snapshots: false,
             sinks: Vec::new(),
             observers: Vec::new(),
@@ -176,6 +179,16 @@ impl Simulation {
         self
     }
 
+    /// Schedule impulse-noise bursts (see
+    /// [`plc_faults::NoiseBurst`]): while one is active, every PB of
+    /// every transmission errors. Typically taken from a
+    /// [`plc_faults::FaultPlan`]'s `noise` schedule.
+    pub fn noise(mut self, bursts: impl IntoIterator<Item = plc_faults::NoiseBurst>) -> Self {
+        self.noise.extend(bursts);
+        self.noise.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        self
+    }
+
     /// Emit per-station [`TraceEvent::Snapshot`](crate::trace::TraceEvent)
     /// events after every step (Figure 1-style backoff traces; costly on
     /// long runs).
@@ -239,6 +252,7 @@ impl Simulation {
             emit_snapshots: self.snapshots,
             emit_wire_events: true,
             beacons: self.beacons,
+            noise: self.noise.clone(),
         };
         let mut engine = SlottedEngine::new(cfg, stations, self.seed);
         for s in &self.sinks {
@@ -262,9 +276,14 @@ impl Simulation {
     }
 
     /// Build with the given sinks attached, run, and summarize.
+    ///
+    /// Deprecated: every internal call site now goes through
+    /// [`sink`](Simulation::sink) + [`run`](Simulation::run); only the
+    /// compatibility test below still calls this. It will be **removed in
+    /// 0.2.0** along with its test.
     #[deprecated(
         since = "0.1.0",
-        note = "attach sinks with Simulation::sink(...) and call run()"
+        note = "attach sinks with Simulation::sink(...) and call run(); removal planned for 0.2.0"
     )]
     pub fn run_with_sinks(&self, sinks: Vec<SharedSink>) -> SimReport {
         let mut with = self.clone();

@@ -17,6 +17,10 @@
 //! * per-point [`Welford`] accumulators are merged in replication order into
 //!   a [`ReplicationSummary`] grid, optionally stopping a point early once
 //!   its 95% CI half-width undercuts a target;
+//! * panics inside a replication are **contained** per point
+//!   ([`SweepPointResult::Failed`]), and
+//!   [`SweepGrid::run_with_checkpoint`] persists finished points so an
+//!   interrupted sweep resumes instead of restarting;
 //! * [`SweepResults`] serializes to JSON through
 //!   [`export::sweep_results_json`](crate::export::sweep_results_json).
 //!
@@ -31,7 +35,7 @@
 //!     .workers(2)
 //!     .run();
 //! assert_eq!(results.points.len(), 2);
-//! assert_eq!(results.points[0].summary.collision_probability.count, 2);
+//! assert_eq!(results.points[0].summary().unwrap().collision_probability.count, 2);
 //! ```
 
 use crate::runner::{ReplicationSummary, SimReport, Simulation};
@@ -118,6 +122,34 @@ where
     F: Fn(usize, I) -> T + Sync,
     P: FnMut(usize),
 {
+    let mut done = 0usize;
+    parallel_map_observed(workers, items, f, |_, _| {
+        done += 1;
+        on_done(done);
+    })
+}
+
+/// The worker-pool core every `parallel_map` variant builds on: evaluate
+/// `f(index, item)` on a fixed-size pool, calling `on_result(index,
+/// &result)` from the **calling thread** (the result collector) as each
+/// item completes, in completion order.
+///
+/// `on_result` sees results before input-order reassembly — this is the
+/// hook the sweep checkpointer uses to persist every finished point as it
+/// lands — but it receives only a shared reference, so it cannot perturb
+/// the returned vector, which stays bit-identical for any worker count.
+pub fn parallel_map_observed<I, T, F, P>(
+    workers: usize,
+    items: Vec<I>,
+    f: F,
+    mut on_result: P,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+    P: FnMut(usize, &T),
+{
     let total = items.len();
     if total == 0 {
         return Vec::new();
@@ -130,7 +162,7 @@ where
             .enumerate()
             .map(|(i, item)| {
                 let r = f(i, item);
-                on_done(i + 1);
+                on_result(i, &r);
                 r
             })
             .collect();
@@ -159,17 +191,26 @@ where
             });
         }
         drop(tx);
-        let mut done = 0usize;
         for (i, result) in rx {
+            on_result(i, &result);
             out[i] = Some(result);
-            done += 1;
-            on_done(done);
         }
     });
 
     out.into_iter()
         .map(|r| r.expect("worker pool produced every index"))
         .collect()
+}
+
+/// Render a caught panic payload as a human-readable reason string.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The per-point quantity an early-stopping rule watches.
@@ -300,10 +341,9 @@ impl SweepGrid {
         self.configs.len() * self.stations.len()
     }
 
-    /// Run the sweep on the worker pool and summarize every point.
-    pub fn run(&self) -> SweepResults {
-        let points: Vec<(usize, &str, &Simulation, usize)> = self
-            .configs
+    /// Row-major `(index, label, template, n)` tuples of the grid.
+    fn grid_points(&self) -> Vec<(usize, &str, &Simulation, usize)> {
+        self.configs
             .iter()
             .flat_map(|(label, template)| {
                 self.stations
@@ -312,71 +352,111 @@ impl SweepGrid {
             })
             .enumerate()
             .map(|(idx, (label, template, n))| (idx, label, template, n))
-            .collect();
+            .collect()
+    }
 
-        // Progress is observed from the collector thread (wall-clock ETA,
-        // completion order); it cannot feed back into the results.
-        let started = std::time::Instant::now();
-        let observers = &self.observers;
-        let notify = |done: usize, total: usize| {
-            if observers.is_empty() {
-                return;
-            }
-            let elapsed = started.elapsed().as_secs_f64();
-            let eta = if done > 0 && done < total {
-                elapsed / done as f64 * (total - done) as f64
-            } else {
-                0.0
-            };
-            let progress = plc_obs::SweepProgress {
-                completed: done,
-                total,
-                elapsed_secs: elapsed,
-                eta_secs: eta,
-            };
-            for o in observers {
-                o.lock().on_sweep_progress(&progress);
-            }
+    /// Progress callback shared by [`run`](SweepGrid::run) and
+    /// [`run_with_checkpoint`](SweepGrid::run_with_checkpoint). Progress
+    /// is observed from the collector thread (wall-clock ETA, completion
+    /// order); it cannot feed back into the results.
+    fn notify(&self, started: std::time::Instant, done: usize, total: usize) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = if done > 0 && done < total {
+            elapsed / done as f64 * (total - done) as f64
+        } else {
+            0.0
         };
+        let progress = plc_obs::SweepProgress {
+            completed: done,
+            total,
+            elapsed_secs: elapsed,
+            eta_secs: eta,
+        };
+        for o in &self.observers {
+            o.lock().on_sweep_progress(&progress);
+        }
+    }
+
+    /// The instrumented single-cell runner both execution paths share.
+    fn timed_cell_fn(&self) -> impl Fn(&Simulation, usize, u64, u64, u64) -> SimReport + Sync + '_ {
         let cell_timer = self.registry.as_ref().map(|r| r.timer("sweep.cell"));
         let cell_counter = self.registry.as_ref().map(|r| r.counter("sweep.cells"));
-        let timed_cell = |template: &Simulation, n: usize, master: u64, idx: u64, rep: u64| {
+        move |template: &Simulation, n: usize, master: u64, idx: u64, rep: u64| {
             let _span = cell_timer.as_ref().map(|t| t.start());
             let report = run_cell(template, n, master, idx, rep);
             if let Some(c) = &cell_counter {
                 c.inc();
             }
             report
-        };
+        }
+    }
+
+    /// Evaluate one whole grid point (all its replications, early stopping
+    /// applied) with panic containment: a panicking replication yields
+    /// [`SweepPointResult::Failed`] instead of poisoning the pool.
+    fn run_point(
+        &self,
+        cell: &(dyn Fn(&Simulation, usize, u64, u64, u64) -> SimReport + Sync),
+        idx: usize,
+        label: &str,
+        template: &Simulation,
+        n: usize,
+    ) -> SweepPointResult {
+        let master = self.master_seed;
+        let max_reps = self.replications;
+        let early = self.early_stop;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut acc = PointAccumulator::new();
+            let mut reps_run = 0;
+            for rep in 0..max_reps {
+                let report = cell(template, n, master, idx as u64, rep);
+                acc.merge_report(&report);
+                reps_run = rep + 1;
+                if let Some(rule) = early {
+                    if reps_run >= rule.min_replications.max(2)
+                        && acc.ci95_half_width(rule.quantity) <= rule.ci95_half_width
+                    {
+                        break;
+                    }
+                }
+            }
+            acc.finish(label.to_string(), n, idx, reps_run)
+        }));
+        match caught {
+            Ok(point) => SweepPointResult::Ok(point),
+            Err(payload) => SweepPointResult::Failed {
+                config: label.to_string(),
+                n,
+                point_index: idx,
+                reason: panic_reason(payload),
+            },
+        }
+    }
+
+    /// Run the sweep on the worker pool and summarize every point.
+    ///
+    /// A panicking replication (a configuration whose engine asserts, a
+    /// numeric blow-up) is **contained**: the point it belongs to becomes
+    /// [`SweepPointResult::Failed`] carrying the panic message, and every
+    /// other point completes normally — one bad point no longer kills a
+    /// whole overnight sweep.
+    pub fn run(&self) -> SweepResults {
+        let points = self.grid_points();
+        let started = std::time::Instant::now();
+        let timed_cell = self.timed_cell_fn();
 
         let results = if self.early_stop.is_some() {
             // Early stopping makes a point's replication count depend on
             // its own running CI, so the unit of work is the whole point.
-            let early = self.early_stop;
-            let master = self.master_seed;
-            let max_reps = self.replications;
             let total_points = points.len();
             parallel_map_with_progress(
                 self.workers,
                 points,
-                move |_, (idx, label, template, n)| {
-                    let mut acc = PointAccumulator::new();
-                    let mut reps_run = 0;
-                    for rep in 0..max_reps {
-                        let report = timed_cell(template, n, master, idx as u64, rep);
-                        acc.merge_report(&report);
-                        reps_run = rep + 1;
-                        if let Some(rule) = early {
-                            if reps_run >= rule.min_replications.max(2)
-                                && acc.ci95_half_width(rule.quantity) <= rule.ci95_half_width
-                            {
-                                break;
-                            }
-                        }
-                    }
-                    acc.finish(label.to_string(), n, idx, reps_run)
-                },
-                |done| notify(done, total_points),
+                |_, (idx, label, template, n)| self.run_point(&timed_cell, idx, label, template, n),
+                |done| self.notify(started, done, total_points),
             )
         } else {
             // Fixed replication counts: fan out at (point, replication)
@@ -396,19 +476,36 @@ impl SweepGrid {
             let reports = parallel_map_with_progress(
                 self.workers,
                 cells,
-                move |_, (idx, _, template, n, rep)| {
-                    timed_cell(template, n, master, idx as u64, rep)
+                |_, (idx, _, template, n, rep)| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        timed_cell(template, n, master, idx as u64, rep)
+                    }))
+                    .map_err(panic_reason)
                 },
-                |done| notify(done, total_cells),
+                |done| self.notify(started, done, total_cells),
             );
             points
                 .iter()
                 .map(|&(idx, label, _, n)| {
                     let mut acc = PointAccumulator::new();
+                    let mut failure = None;
                     for rep in 0..reps as usize {
-                        acc.merge_report(&reports[idx * reps as usize + rep]);
+                        match &reports[idx * reps as usize + rep] {
+                            Ok(report) => acc.merge_report(report),
+                            Err(reason) => {
+                                failure.get_or_insert_with(|| reason.clone());
+                            }
+                        }
                     }
-                    acc.finish(label.to_string(), n, idx, reps)
+                    match failure {
+                        None => SweepPointResult::Ok(acc.finish(label.to_string(), n, idx, reps)),
+                        Some(reason) => SweepPointResult::Failed {
+                            config: label.to_string(),
+                            n,
+                            point_index: idx,
+                            reason,
+                        },
+                    }
                 })
                 .collect()
         };
@@ -419,6 +516,122 @@ impl SweepGrid {
             points: results,
         }
     }
+
+    /// [`run`](SweepGrid::run) with crash recovery: every finished point is
+    /// appended to `path` as it lands, and a later call with the same grid
+    /// resumes from the points already on disk instead of recomputing them.
+    ///
+    /// The file is one JSON header line (master seed, replication budget,
+    /// point count — a stale or mismatching checkpoint is discarded, never
+    /// merged) followed by one JSON line per completed
+    /// [`SweepPointResult`], and is **deleted on success**. Because each
+    /// point's result is a pure function of `(master_seed, point_index)`,
+    /// a resumed sweep is bit-identical to an uninterrupted one — which is
+    /// also why this path evaluates at point granularity: the pointwise
+    /// merge is pinned byte-identical to `run`'s fan-out merge.
+    pub fn run_with_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<SweepResults> {
+        use std::io::Write;
+
+        let path = path.as_ref();
+        let points = self.grid_points();
+        let header = CheckpointHeader {
+            master_seed: self.master_seed,
+            replications: self.replications,
+            num_points: points.len() as u64,
+        };
+
+        // Load whatever a previous interrupted run left behind, if it was
+        // running the same grid. A torn final line (the crash happened
+        // mid-write) parses as garbage and is simply dropped.
+        let mut done: std::collections::BTreeMap<usize, SweepPointResult> =
+            std::collections::BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines();
+            let compatible = lines
+                .next()
+                .and_then(|l| serde_json::from_str::<CheckpointHeader>(l).ok())
+                .is_some_and(|h| h == header);
+            if compatible {
+                for line in lines {
+                    if let Ok(p) = serde_json::from_str::<SweepPointResult>(line) {
+                        done.insert(p.point_index(), p);
+                    }
+                }
+            }
+        }
+
+        // Rewrite the file from the known-good state: header plus every
+        // recovered point. This truncates stale headers and torn tails.
+        let mut file = std::fs::File::create(path)?;
+        writeln!(
+            file,
+            "{}",
+            serde_json::to_string(&header).expect("header serializes")
+        )?;
+        for p in done.values() {
+            writeln!(
+                file,
+                "{}",
+                serde_json::to_string(p).expect("point serializes")
+            )?;
+        }
+        file.flush()?;
+
+        let todo: Vec<(usize, &str, &Simulation, usize)> = points
+            .iter()
+            .copied()
+            .filter(|(idx, ..)| !done.contains_key(idx))
+            .collect();
+        let started = std::time::Instant::now();
+        let timed_cell = self.timed_cell_fn();
+        let total = points.len();
+        let preloaded = done.len();
+        let mut io_error: Option<std::io::Error> = None;
+        let mut completed = 0usize;
+        let fresh = parallel_map_observed(
+            self.workers,
+            todo,
+            |_, (idx, label, template, n)| self.run_point(&timed_cell, idx, label, template, n),
+            |_, point: &SweepPointResult| {
+                if io_error.is_none() {
+                    let line = serde_json::to_string(point).expect("point serializes");
+                    if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+                        io_error = Some(e);
+                    }
+                }
+                completed += 1;
+                self.notify(started, preloaded + completed, total);
+            },
+        );
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        drop(file);
+
+        for p in fresh {
+            done.insert(p.point_index(), p);
+        }
+        let results = SweepResults {
+            master_seed: self.master_seed,
+            replications: self.replications,
+            points: done.into_values().collect(),
+        };
+        debug_assert_eq!(results.points.len(), total);
+        std::fs::remove_file(path)?;
+        Ok(results)
+    }
+}
+
+/// First line of a checkpoint file: identifies the grid so a resume never
+/// splices points from a different sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CheckpointHeader {
+    master_seed: u64,
+    replications: u64,
+    num_points: u64,
 }
 
 /// Run one (point, replication) cell with its derived seed.
@@ -470,8 +683,8 @@ impl PointAccumulator {
         w.ci_half_width(0.95)
     }
 
-    fn finish(self, config: String, n: usize, point_index: usize, reps: u64) -> SweepPointResult {
-        SweepPointResult {
+    fn finish(self, config: String, n: usize, point_index: usize, reps: u64) -> SweepPoint {
+        SweepPoint {
             config,
             n,
             point_index,
@@ -485,9 +698,9 @@ impl PointAccumulator {
     }
 }
 
-/// The summarized outcome of one grid point.
+/// The summarized outcome of one grid point that ran to completion.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SweepPointResult {
+pub struct SweepPoint {
     /// Label of the configuration template.
     pub config: String,
     /// Station count.
@@ -499,6 +712,79 @@ pub struct SweepPointResult {
     pub replications_run: u64,
     /// Mean ± CI summaries over the replications.
     pub summary: ReplicationSummary,
+}
+
+/// One grid point's recorded outcome: a summary, or a contained failure.
+///
+/// A replication that panics (an engine assertion, a numeric blow-up in a
+/// pathological configuration) is caught at the worker boundary and
+/// recorded as [`Failed`](SweepPointResult::Failed) with the panic
+/// message; the rest of the sweep is unaffected. The JSON export keeps
+/// both variants, so a sweep artifact always accounts for every point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepPointResult {
+    /// The point ran every scheduled replication.
+    Ok(SweepPoint),
+    /// A replication of this point panicked; `reason` is the panic
+    /// message. No summary exists — partial accumulators are discarded so
+    /// a `Failed` point can never masquerade as a clean one.
+    Failed {
+        /// Label of the configuration template.
+        config: String,
+        /// Station count.
+        n: usize,
+        /// Row-major index of the point in the grid.
+        point_index: usize,
+        /// The panic message of the first failing replication.
+        reason: String,
+    },
+}
+
+impl SweepPointResult {
+    /// Label of the configuration template.
+    pub fn config(&self) -> &str {
+        match self {
+            SweepPointResult::Ok(p) => &p.config,
+            SweepPointResult::Failed { config, .. } => config,
+        }
+    }
+
+    /// Station count.
+    pub fn n(&self) -> usize {
+        match self {
+            SweepPointResult::Ok(p) => p.n,
+            SweepPointResult::Failed { n, .. } => *n,
+        }
+    }
+
+    /// Row-major index of the point in the grid.
+    pub fn point_index(&self) -> usize {
+        match self {
+            SweepPointResult::Ok(p) => p.point_index,
+            SweepPointResult::Failed { point_index, .. } => *point_index,
+        }
+    }
+
+    /// The completed point, if this one did not fail.
+    pub fn ok(&self) -> Option<&SweepPoint> {
+        match self {
+            SweepPointResult::Ok(p) => Some(p),
+            SweepPointResult::Failed { .. } => None,
+        }
+    }
+
+    /// The point's summary, if it completed.
+    pub fn summary(&self) -> Option<&ReplicationSummary> {
+        self.ok().map(|p| &p.summary)
+    }
+
+    /// The contained panic message, if the point failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            SweepPointResult::Ok(_) => None,
+            SweepPointResult::Failed { reason, .. } => Some(reason),
+        }
+    }
 }
 
 /// All points of a finished sweep, in grid order.
@@ -515,7 +801,21 @@ pub struct SweepResults {
 impl SweepResults {
     /// The point for (config label, n), if present.
     pub fn point(&self, config: &str, n: usize) -> Option<&SweepPointResult> {
-        self.points.iter().find(|p| p.config == config && p.n == n)
+        self.points
+            .iter()
+            .find(|p| p.config() == config && p.n() == n)
+    }
+
+    /// The completed points, skipping contained failures.
+    pub fn ok_points(&self) -> impl Iterator<Item = &SweepPoint> + '_ {
+        self.points.iter().filter_map(SweepPointResult::ok)
+    }
+
+    /// The failed points as `(point, reason)` — empty for a clean sweep.
+    pub fn failures(&self) -> impl Iterator<Item = (&SweepPointResult, &str)> + '_ {
+        self.points
+            .iter()
+            .filter_map(|p| p.failure().map(|r| (p, r)))
     }
 
     /// Serialize to a compact JSON document (see
@@ -579,14 +879,17 @@ mod tests {
             .workers(2)
             .run();
         assert_eq!(results.points.len(), 6);
-        assert_eq!(results.points[0].config, "a");
-        assert_eq!(results.points[0].n, 2);
-        assert_eq!(results.points[5].config, "b");
-        assert_eq!(results.points[5].n, 4);
+        assert_eq!(results.points[0].config(), "a");
+        assert_eq!(results.points[0].n(), 2);
+        assert_eq!(results.points[5].config(), "b");
+        assert_eq!(results.points[5].n(), 4);
+        assert_eq!(results.ok_points().count(), 6);
+        assert_eq!(results.failures().count(), 0);
         for (i, p) in results.points.iter().enumerate() {
-            assert_eq!(p.point_index, i);
-            assert_eq!(p.replications_run, 2);
-            assert_eq!(p.summary.collision_probability.count, 2);
+            assert_eq!(p.point_index(), i);
+            let ok = p.ok().expect("clean grid has no failures");
+            assert_eq!(ok.replications_run, 2);
+            assert_eq!(ok.summary.collision_probability.count, 2);
         }
         assert!(results.point("b", 3).is_some());
         assert!(results.point("c", 3).is_none());
@@ -618,7 +921,7 @@ mod tests {
             .replications(10)
             .early_stop(rule)
             .run();
-        assert_eq!(results.points[0].replications_run, 2);
+        assert_eq!(results.points[0].ok().unwrap().replications_run, 2);
 
         // An unattainable target (0) runs the full budget.
         let strict = EarlyStop {
@@ -631,7 +934,7 @@ mod tests {
             .replications(4)
             .early_stop(strict)
             .run();
-        assert_eq!(full.points[0].replications_run, 4);
+        assert_eq!(full.points[0].ok().unwrap().replications_run, 4);
     }
 
     #[test]
@@ -711,5 +1014,158 @@ mod tests {
         let text = results.to_json();
         let back: SweepResults = serde_json::from_str(&text).expect("parse");
         assert_eq!(back, results);
+    }
+
+    /// A template whose engine asserts at construction (`invalid
+    /// MacTiming`) — the sweep-level stand-in for any panicking
+    /// replication.
+    fn broken_sim() -> Simulation {
+        let mut bad = plc_core::timing::MacTiming::paper_default();
+        bad.slot = plc_core::units::Microseconds(-1.0);
+        Simulation::ieee1901(1).horizon_us(1e5).timing(bad)
+    }
+
+    #[test]
+    fn panicking_point_is_contained() {
+        // The good config comes first so its point_index matches the
+        // single-config control sweep below.
+        let grid = SweepGrid::new(17)
+            .config("good", Simulation::ieee1901(1).horizon_us(1e5))
+            .config("bad", broken_sim())
+            .stations([2])
+            .replications(2)
+            .workers(2);
+        let results = grid.run();
+        assert_eq!(results.points.len(), 2);
+        let good = results.point("good", 2).expect("good point present");
+        assert!(good.ok().is_some());
+        let bad = results.point("bad", 2).expect("bad point present");
+        let reason = bad.failure().expect("bad config must fail");
+        assert!(reason.contains("MacTiming"), "reason: {reason}");
+        assert_eq!(results.ok_points().count(), 1);
+        assert_eq!(results.failures().count(), 1);
+        // The surviving point is bit-identical to a fault-free sweep's.
+        let clean = SweepGrid::new(17)
+            .config("good", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2])
+            .replications(2)
+            .run();
+        assert_eq!(good.ok(), clean.points[0].ok());
+        // The failure stays on record through the JSON export.
+        let text = results.to_json();
+        assert!(text.contains("Failed"));
+        let back: SweepResults = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, results);
+    }
+
+    #[test]
+    fn panicking_point_contained_under_early_stop() {
+        let results = SweepGrid::new(19)
+            .config("good", Simulation::ieee1901(1).horizon_us(1e5))
+            .config("bad", broken_sim())
+            .stations([2])
+            .replications(3)
+            .early_stop(EarlyStop {
+                quantity: Quantity::CollisionProbability,
+                ci95_half_width: 0.0,
+                min_replications: 2,
+            })
+            .workers(2)
+            .run();
+        assert!(results.point("good", 2).unwrap().ok().is_some());
+        assert!(results.point("bad", 2).unwrap().failure().is_some());
+    }
+
+    fn temp_ckpt(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("plc_sweep_{}_{}.ckpt", name, std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_cleans_up() {
+        let grid = SweepGrid::new(23)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2, 3])
+            .replications(2)
+            .workers(2);
+        let plain = grid.run();
+        let path = temp_ckpt("full");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = grid.run_with_checkpoint(&path).expect("checkpointed run");
+        assert_eq!(plain, ckpt);
+        assert_eq!(plain.to_json(), ckpt.to_json());
+        assert!(!path.exists(), "checkpoint must be deleted on success");
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_points_and_matches() {
+        let grid = SweepGrid::new(29)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2, 3])
+            .replications(2)
+            .workers(1);
+        let plain = grid.run();
+        let path = temp_ckpt("resume");
+        // Simulate an interrupted run: header plus the first point only.
+        let header = serde_json::to_string(&CheckpointHeader {
+            master_seed: 29,
+            replications: 2,
+            num_points: 2,
+        })
+        .unwrap();
+        let first = serde_json::to_string(&plain.points[0]).unwrap();
+        std::fs::write(&path, format!("{header}\n{first}\n")).unwrap();
+        let registry = plc_obs::Registry::new();
+        let resumed = grid
+            .clone()
+            .registry(&registry)
+            .run_with_checkpoint(&path)
+            .expect("resumed run");
+        assert_eq!(resumed, plain, "resume must be bit-identical");
+        assert!(!path.exists());
+        // Only the missing point's cells ran: 1 point × 2 replications.
+        assert_eq!(registry.snapshot().counter("sweep.cells"), Some(2));
+    }
+
+    #[test]
+    fn stale_or_torn_checkpoint_is_discarded() {
+        let grid = SweepGrid::new(31)
+            .config("ca1", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2])
+            .replications(2)
+            .workers(1);
+        let plain = grid.run();
+        let path = temp_ckpt("stale");
+        // A checkpoint from a different sweep (wrong master seed) with a
+        // torn final line: both must be ignored, all cells recomputed.
+        let stale_header = serde_json::to_string(&CheckpointHeader {
+            master_seed: 9999,
+            replications: 2,
+            num_points: 1,
+        })
+        .unwrap();
+        std::fs::write(&path, format!("{stale_header}\n{{\"point_in")).unwrap();
+        let registry = plc_obs::Registry::new();
+        let results = grid
+            .clone()
+            .registry(&registry)
+            .run_with_checkpoint(&path)
+            .expect("run over stale checkpoint");
+        assert_eq!(results, plain);
+        assert!(!path.exists());
+        assert_eq!(registry.snapshot().counter("sweep.cells"), Some(2));
+    }
+
+    #[test]
+    fn failed_points_are_checkpointed_not_retried() {
+        let grid = SweepGrid::new(37)
+            .config("bad", broken_sim())
+            .stations([2])
+            .replications(1)
+            .workers(1);
+        let path = temp_ckpt("failed");
+        let _ = std::fs::remove_file(&path);
+        let first = grid.run_with_checkpoint(&path).expect("first run");
+        assert_eq!(first.failures().count(), 1);
+        assert!(!path.exists(), "a fully-accounted sweep still cleans up");
     }
 }

@@ -153,7 +153,7 @@ fn cmd_faifa(args: &[String]) {
     for ind in captures.iter().take(20) {
         println!("  {}", Faifa::format_sof(ind));
     }
-    let bursts = group_bursts(&captures);
+    let bursts = group_bursts(&captures).expect("finite capture timestamps");
     let data = bursts.iter().filter(|b| b.is_data()).count();
     println!(
         "\n{} bursts total ({data} data, {} management)",

@@ -12,23 +12,44 @@ use parking_lot::Mutex;
 use plc_core::addr::MacAddr;
 use plc_core::error::{Error, Result};
 use plc_core::mme::MmeHeader;
+use plc_faults::{MmeFate, MmeFaults};
 use std::sync::Arc;
 
 /// Shared handle to the devices on the strip.
 pub type DeviceTable = Arc<Mutex<Vec<Device>>>;
 
-/// The management bus. Cheap to clone; all clones see the same devices.
+/// Shared handle to a management-bus fault injector.
+pub type SharedMmeFaults = Arc<Mutex<MmeFaults>>;
+
+/// The management bus. Cheap to clone; all clones see the same devices
+/// (and, when fault injection is on, the same injector — the fate stream
+/// is one per bus, not one per clone).
 #[derive(Clone)]
 pub struct MgmtBus {
     devices: DeviceTable,
     /// The measurement host's MAC (source address of tool requests).
     host: MacAddr,
+    faults: Option<SharedMmeFaults>,
 }
 
 impl MgmtBus {
     /// A bus over an existing device table.
     pub fn new(devices: DeviceTable, host: MacAddr) -> Self {
-        MgmtBus { devices, host }
+        MgmtBus {
+            devices,
+            host,
+            faults: None,
+        }
+    }
+
+    /// Inject management-transaction faults: every [`send`](MgmtBus::send)
+    /// and [`collect_indications`](MgmtBus::collect_indications) first
+    /// asks the injector for a fate. Lost legs surface as
+    /// [`Error::Timeout`] after the plan's timeout, which
+    /// [`Error::is_retryable`] marks for the retrying tools.
+    pub fn with_faults(mut self, faults: SharedMmeFaults) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The measurement host's MAC address.
@@ -36,9 +57,8 @@ impl MgmtBus {
         self.host
     }
 
-    /// Send one raw MME request; returns the device's raw confirm.
-    pub fn send(&self, raw: &[u8]) -> Result<Vec<u8>> {
-        let header = MmeHeader::decode(raw)?;
+    /// Route one decoded request to its device (the fault-free path).
+    fn route(&self, header: &MmeHeader, raw: &[u8]) -> Result<Vec<u8>> {
         let mut devices = self.devices.lock();
         let dev = devices
             .iter_mut()
@@ -47,9 +67,73 @@ impl MgmtBus {
         dev.handle_mme(raw)
     }
 
+    /// Send one raw MME request; returns the device's raw confirm.
+    ///
+    /// Under fault injection a transaction can time out with the request
+    /// never reaching the device, or — the nasty case — time out *after*
+    /// the device applied its side effects (the confirm leg was lost, or
+    /// the confirm was delayed past the client timeout). Callers must
+    /// treat a timeout as "effect unknown", which is safe here because
+    /// every ampstat/faifa operation is idempotent.
+    pub fn send(&self, raw: &[u8]) -> Result<Vec<u8>> {
+        // Garbage is rejected before fate is consumed: a malformed frame
+        // never reaches the wire, so it must not advance the fate stream.
+        let header = MmeHeader::decode(raw)?;
+        let fate = self.faults.as_ref().map(|f| f.lock().next_fate());
+        match fate {
+            None => self.route(&header, raw),
+            Some(MmeFate::RequestLost) => Err(self.timeout_for(&header)),
+            Some(MmeFate::ConfirmLost) => {
+                // The device processed the request; only the reply died.
+                let _ = self.route(&header, raw)?;
+                Err(self.timeout_for(&header))
+            }
+            Some(MmeFate::Deliver { delay_us }) => {
+                let reply = self.route(&header, raw)?;
+                let timeout_us = self
+                    .faults
+                    .as_ref()
+                    .map(|f| f.lock().timeout_us())
+                    .unwrap_or(f64::INFINITY);
+                if delay_us > timeout_us {
+                    // Delivered, but after the client stopped listening.
+                    Err(self.timeout_for(&header))
+                } else {
+                    Ok(reply)
+                }
+            }
+        }
+    }
+
+    fn timeout_for(&self, header: &MmeHeader) -> Error {
+        let after = self
+            .faults
+            .as_ref()
+            .map(|f| f.lock().timeout_us())
+            .unwrap_or(0.0);
+        Error::timeout(
+            format!("MME 0x{:04X} to {}", header.mmtype, header.oda),
+            after,
+        )
+    }
+
     /// Collect (and drain) the sniffer indications of the device at `mac`,
     /// as raw indication MMEs addressed to the host.
+    ///
+    /// Under fault injection the *poll* can fail (any non-clean fate times
+    /// out), but the device's capture buffer is left untouched, so a retry
+    /// collects everything — indications are device-buffered until a poll
+    /// actually completes.
     pub fn collect_indications(&self, mac: MacAddr) -> Result<Vec<Vec<u8>>> {
+        if let Some(f) = &self.faults {
+            let (fate, after) = {
+                let mut f = f.lock();
+                (f.next_fate(), f.timeout_us())
+            };
+            if !matches!(fate, MmeFate::Deliver { delay_us } if delay_us <= after) {
+                return Err(Error::timeout(format!("sniffer poll of {mac}"), after));
+            }
+        }
         let mut devices = self.devices.lock();
         let dev = devices
             .iter_mut()
@@ -144,5 +228,165 @@ mod tests {
         let tei = bus.with_device(MacAddr::station(1), |d| d.tei()).unwrap();
         assert_eq!(tei, Tei::station(1));
         assert!(bus.with_device(MacAddr::station(9), |_| ()).is_err());
+    }
+
+    fn read_req(bus: &MgmtBus, target: MacAddr) -> Vec<u8> {
+        AmpStatReq {
+            control: StatsControl::Read,
+            direction: Direction::Tx,
+            priority: Priority::CA1,
+            peer: MacAddr::station(9),
+        }
+        .encode(&MmeHeader::request(target, bus.host_mac(), MMTYPE_STATS))
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        let bus = setup();
+        let faults = Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+            &plc_faults::FaultPlan::default(),
+        )));
+        let faulty = bus.clone().with_faults(faults);
+        let raw = read_req(&bus, MacAddr::station(0));
+        assert_eq!(bus.send(&raw).unwrap(), faulty.send(&raw).unwrap());
+    }
+
+    #[test]
+    fn total_loss_always_times_out_retryably() {
+        let plan = plc_faults::FaultPlan::builder()
+            .seed(1)
+            .mme_loss(1.0)
+            .build();
+        let bus = setup().with_faults(Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+            &plan,
+        ))));
+        let raw = read_req(&bus, MacAddr::station(0));
+        for _ in 0..20 {
+            let err = bus.send(&raw).unwrap_err();
+            assert!(err.is_retryable(), "loss must look like a timeout: {err}");
+        }
+    }
+
+    #[test]
+    fn garbage_does_not_consume_a_fate() {
+        let plan = plc_faults::FaultPlan::builder()
+            .seed(2)
+            .mme_loss(0.5)
+            .build();
+        let faults = Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(&plan)));
+        let bus = setup().with_faults(faults.clone());
+        // Malformed frames are rejected before the injector is asked…
+        assert!(!bus.send(&[0u8; 4]).unwrap_err().is_retryable());
+        // …so the fate stream replays exactly against a fresh injector.
+        let mut reference = plc_faults::MmeFaults::from_plan(&plan);
+        let raw = read_req(&bus, MacAddr::station(0));
+        for _ in 0..50 {
+            let expect_ok = matches!(reference.next_fate(), plc_faults::MmeFate::Deliver { .. });
+            assert_eq!(bus.send(&raw).is_ok(), expect_ok);
+        }
+    }
+
+    #[test]
+    fn confirm_loss_applies_device_side_effects() {
+        // Find a seed whose first fate is ConfirmLost, deterministically.
+        let plan_for = |seed| {
+            plc_faults::FaultPlan::builder()
+                .seed(seed)
+                .mme_loss(0.5)
+                .build()
+        };
+        let seed = (0..200u64)
+            .find(|&s| {
+                matches!(
+                    plc_faults::MmeFaults::from_plan(&plan_for(s)).next_fate(),
+                    plc_faults::MmeFate::ConfirmLost
+                )
+            })
+            .expect("some seed opens with ConfirmLost");
+        let clean = setup();
+        // Record activity, then send a reset whose confirm gets lost.
+        {
+            let devices = clean.devices.clone();
+            devices.lock()[0].record_tx_ack(MacAddr::station(9), Priority::CA1, false);
+        }
+        let faulty =
+            clean
+                .clone()
+                .with_faults(Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+                    &plan_for(seed),
+                ))));
+        let reset = AmpStatReq {
+            control: StatsControl::Reset,
+            direction: Direction::Tx,
+            priority: Priority::CA1,
+            peer: MacAddr::station(9),
+        }
+        .encode(&MmeHeader::request(
+            MacAddr::station(0),
+            clean.host_mac(),
+            MMTYPE_STATS,
+        ));
+        let err = faulty.send(&reset).unwrap_err();
+        assert!(err.is_retryable());
+        // The tool saw a timeout, but the device really did reset.
+        let reply = clean.send(&read_req(&clean, MacAddr::station(0))).unwrap();
+        let cnf = plc_core::mme::AmpStatCnf::decode(&reply).unwrap();
+        assert_eq!(cnf, plc_core::mme::AmpStatCnf::default());
+    }
+
+    #[test]
+    fn delay_beyond_timeout_is_a_timeout() {
+        let plan = plc_faults::FaultPlan::builder()
+            .seed(3)
+            .mme_delay(1.0, 5000.0)
+            .mme_timeout_us(1000.0)
+            .build();
+        let bus = setup().with_faults(Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+            &plan,
+        ))));
+        let raw = read_req(&bus, MacAddr::station(0));
+        let err = bus.send(&raw).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("1000 us"), "{err}");
+    }
+
+    #[test]
+    fn faulty_poll_leaves_captures_buffered() {
+        use plc_core::frame::SofDelimiter;
+        let plan = plc_faults::FaultPlan::builder()
+            .seed(4)
+            .mme_loss(1.0)
+            .build();
+        let clean = setup();
+        let faulty =
+            clean
+                .clone()
+                .with_faults(Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+                    &plan,
+                ))));
+        {
+            let mut devices = clean.devices.lock();
+            let raw_on = plc_core::mme::SnifferReq { enable: true }.encode(&MmeHeader::request(
+                MacAddr::station(0),
+                clean.host_mac(),
+                plc_core::mme::MMTYPE_SNIFFER,
+            ));
+            devices[0].handle_mme(&raw_on).unwrap();
+            devices[0].sense_sof(
+                1.0,
+                SofDelimiter {
+                    src: Tei(2),
+                    dst: Tei(1),
+                    priority: Priority::CA1,
+                    mpdu_cnt: 0,
+                    num_pbs: 4,
+                    fl_units: 1602,
+                },
+            );
+        }
+        assert!(faulty.collect_indications(MacAddr::station(0)).is_err());
+        // The failed poll did not drain the buffer.
+        let frames = clean.collect_indications(MacAddr::station(0)).unwrap();
+        assert_eq!(frames.len(), 1);
     }
 }

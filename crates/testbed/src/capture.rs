@@ -15,6 +15,7 @@
 //!   for the fairness study of the paper's prior work \[4\].
 
 use plc_core::addr::Tei;
+use plc_core::error::{Error, Result};
 use plc_core::mme::SnifferInd;
 use plc_core::priority::Priority;
 use plc_stats::hist::Histogram;
@@ -49,37 +50,73 @@ impl BurstRecord {
 /// reassembled independently. Completed bursts are returned ordered by
 /// their first delimiter's timestamp; bursts still open when the capture
 /// ends are flushed as observed.
-pub fn group_bursts(captures: &[SnifferInd]) -> Vec<BurstRecord> {
+///
+/// A capture with a non-finite device timestamp (a corrupted sniffer
+/// indication) is an error; use [`group_bursts_lossy`] to skip and count
+/// such records instead.
+pub fn group_bursts(captures: &[SnifferInd]) -> Result<Vec<BurstRecord>> {
+    for (i, ind) in captures.iter().enumerate() {
+        if !ind.timestamp_us.is_finite() {
+            return Err(Error::runtime(format!(
+                "sniffer capture {i} has non-finite timestamp {}",
+                ind.timestamp_us
+            )));
+        }
+    }
+    Ok(group_finite(captures.iter()))
+}
+
+/// [`group_bursts`] for untrusted captures: records with non-finite
+/// timestamps are dropped (counted into `registry` as
+/// `testbed.capture.dropped`) instead of failing the whole grouping.
+pub fn group_bursts_lossy(
+    captures: &[SnifferInd],
+    registry: &plc_obs::Registry,
+) -> Vec<BurstRecord> {
+    let dropped = registry.counter("testbed.capture.dropped");
+    let bursts = group_finite(captures.iter().filter(|ind| {
+        let ok = ind.timestamp_us.is_finite();
+        if !ok {
+            dropped.inc();
+        }
+        ok
+    }));
+    bursts
+}
+
+/// Grouping core over captures already known to carry finite timestamps.
+fn group_finite<'a>(captures: impl Iterator<Item = &'a SnifferInd>) -> Vec<BurstRecord> {
     let mut out: Vec<BurstRecord> = Vec::new();
     // Open bursts per (src, priority); linear scan is fine — a contention
     // domain holds at most 254 stations and usually far fewer are mid-burst.
     let mut open: Vec<BurstRecord> = Vec::new();
     for ind in captures {
         let key = (ind.sof.src, ind.sof.priority);
-        let slot = open.iter_mut().find(|b| (b.src, b.priority) == key);
-        match slot {
-            Some(b) => b.mpdus += 1,
-            None => open.push(BurstRecord {
-                src: ind.sof.src,
-                priority: ind.sof.priority,
-                mpdus: 1,
-                start_us: ind.timestamp_us,
-            }),
-        }
-        if ind.sof.is_last_of_burst() {
-            let pos = open
-                .iter()
-                .position(|b| (b.src, b.priority) == key)
-                .expect("burst in progress");
-            out.push(open.remove(pos));
+        let last = ind.sof.is_last_of_burst();
+        match open.iter().position(|b| (b.src, b.priority) == key) {
+            Some(pos) => {
+                open[pos].mpdus += 1;
+                if last {
+                    out.push(open.remove(pos));
+                }
+            }
+            None => {
+                let b = BurstRecord {
+                    src: ind.sof.src,
+                    priority: ind.sof.priority,
+                    mpdus: 1,
+                    start_us: ind.timestamp_us,
+                };
+                if last {
+                    out.push(b);
+                } else {
+                    open.push(b);
+                }
+            }
         }
     }
     out.extend(open);
-    out.sort_by(|a, b| {
-        a.start_us
-            .partial_cmp(&b.start_us)
-            .expect("finite timestamps")
-    });
+    out.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
     out
 }
 
@@ -143,7 +180,7 @@ mod tests {
             ind(2, Priority::CA1, 1, 6000.0),
             ind(2, Priority::CA1, 0, 8500.0),
         ];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(bursts.len(), 2);
         assert_eq!(bursts[0].src, Tei(1));
         assert_eq!(bursts[0].mpdus, 2);
@@ -154,7 +191,7 @@ mod tests {
     #[test]
     fn single_mpdu_bursts() {
         let caps = vec![ind(1, Priority::CA2, 0, 0.0), ind(2, Priority::CA1, 0, 1.0)];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(bursts.len(), 2);
         assert_eq!(bursts[0].mpdus, 1);
         assert!(!bursts[0].is_data());
@@ -171,7 +208,7 @@ mod tests {
             ind(1, Priority::CA1, 0, 2500.0),
             ind(2, Priority::CA1, 0, 2500.0),
         ];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(bursts.len(), 2);
         assert!(bursts.iter().all(|b| b.mpdus == 2));
         assert!(bursts.iter().any(|b| b.src == Tei(1)));
@@ -187,7 +224,7 @@ mod tests {
             ind(1, Priority::CA1, 2, 1.0),
             ind(2, Priority::CA1, 0, 2.0),
         ];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(bursts.len(), 2);
         assert_eq!(bursts[0].src, Tei(1));
         assert_eq!(bursts[0].mpdus, 2);
@@ -197,14 +234,14 @@ mod tests {
     #[test]
     fn trailing_open_burst_is_kept() {
         let caps = vec![ind(1, Priority::CA1, 1, 0.0)];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(bursts.len(), 1);
         assert_eq!(bursts[0].mpdus, 1);
     }
 
     #[test]
     fn empty_capture() {
-        assert!(group_bursts(&[]).is_empty());
+        assert!(group_bursts(&[]).unwrap().is_empty());
         assert!(mme_overhead(&[]).is_nan());
     }
 
@@ -220,7 +257,7 @@ mod tests {
             ind(2, Priority::CA2, 0, 4.0),
             ind(3, Priority::CA3, 0, 5.0),
         ];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(mme_overhead(&bursts), 2.0);
     }
 
@@ -231,7 +268,7 @@ mod tests {
             ind(9, Priority::CA2, 0, 1.0),
             ind(2, Priority::CA1, 0, 2.0),
         ];
-        let bursts = group_bursts(&caps);
+        let bursts = group_bursts(&caps).unwrap();
         assert_eq!(source_trace(&bursts, true), vec![Tei(1), Tei(2)]);
         assert_eq!(source_trace(&bursts, false), vec![Tei(1), Tei(9), Tei(2)]);
     }
@@ -245,9 +282,57 @@ mod tests {
             ind(2, Priority::CA1, 0, 3.0),
             ind(3, Priority::CA1, 0, 4.0),
         ];
-        let h = burst_size_histogram(&group_bursts(&caps));
+        let h = burst_size_histogram(&group_bursts(&caps).unwrap());
         assert_eq!(h.count(2), 2);
         assert_eq!(h.count(1), 1);
         assert_eq!(h.mode(), Some(2));
+    }
+
+    #[test]
+    fn non_finite_timestamp_is_an_error_not_a_panic() {
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(1, Priority::CA1, 0, f64::NAN),
+        ];
+        let err = group_bursts(&caps).unwrap_err();
+        assert!(matches!(err, Error::Runtime { .. }));
+        assert!(err.to_string().contains("capture 1"));
+        assert!(group_bursts(&[ind(1, Priority::CA1, 0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn lossy_grouping_drops_and_counts_bad_captures() {
+        let registry = plc_obs::Registry::new();
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(2, Priority::CA1, 0, f64::NAN),
+            ind(1, Priority::CA1, 0, 2500.0),
+        ];
+        let bursts = group_bursts_lossy(&caps, &registry);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].src, Tei(1));
+        assert_eq!(bursts[0].mpdus, 2);
+        assert_eq!(
+            registry.snapshot().counter("testbed.capture.dropped"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lossy_grouping_matches_strict_on_clean_captures() {
+        let registry = plc_obs::Registry::new();
+        let caps = vec![
+            ind(1, Priority::CA1, 1, 0.0),
+            ind(1, Priority::CA1, 0, 1.0),
+            ind(2, Priority::CA2, 0, 2.0),
+        ];
+        assert_eq!(
+            group_bursts_lossy(&caps, &registry),
+            group_bursts(&caps).unwrap()
+        );
+        assert_eq!(
+            registry.snapshot().counter("testbed.capture.dropped"),
+            Some(0)
+        );
     }
 }

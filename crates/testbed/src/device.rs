@@ -60,6 +60,11 @@ pub struct Device {
     sniffer_enabled: bool,
     captured: Vec<SnifferInd>,
     obs: Option<DeviceObs>,
+    /// Firmware counters count modulo this when set (a real chip's u32
+    /// registers wrap; `None` models an ideal unbounded counter).
+    wrap_modulus: Option<u64>,
+    /// Brownout/reset events survived since construction.
+    resets: u64,
 }
 
 impl Device {
@@ -72,7 +77,32 @@ impl Device {
             sniffer_enabled: false,
             captured: Vec::new(),
             obs: None,
+            wrap_modulus: None,
+            resets: 0,
         }
+    }
+
+    /// Make the statistics counters wrap modulo `modulus` (e.g. `1 << 32`
+    /// for a chip with u32 registers). `None` restores unbounded counting.
+    pub fn set_counter_wrap(&mut self, modulus: Option<u64>) {
+        assert!(modulus.is_none_or(|m| m > 1), "modulus must exceed 1");
+        self.wrap_modulus = modulus;
+    }
+
+    /// Brownout: the firmware reboots mid-experiment. Statistics counters
+    /// clear, sniffer mode drops to its power-on default (off) and any
+    /// uncollected captures are gone. Addresses and the wrap modulus are
+    /// non-volatile.
+    pub fn reset_firmware(&mut self) {
+        self.stats.clear();
+        self.sniffer_enabled = false;
+        self.captured.clear();
+        self.resets += 1;
+    }
+
+    /// How many firmware resets this device has survived.
+    pub fn reset_count(&self) -> u64 {
+        self.resets
     }
 
     /// Mirror this device's transmit-side firmware counters into
@@ -112,6 +142,7 @@ impl Device {
     /// error (the MPDU collided but its delimiter was decodable) — both
     /// counters tick, matching the observed `ΣAᵢ` growth with N.
     pub fn record_tx_ack(&mut self, peer: MacAddr, priority: Priority, collided: bool) {
+        let wrap = self.wrap_modulus;
         let e = self
             .stats
             .entry(StatKey {
@@ -120,9 +151,9 @@ impl Device {
                 direction: Direction::Tx,
             })
             .or_default();
-        e.acked += 1;
+        e.acked = wrapped(e.acked + 1, wrap);
         if collided {
-            e.collided += 1;
+            e.collided = wrapped(e.collided + 1, wrap);
         }
         if let Some(obs) = &self.obs {
             obs.tx_acked.inc();
@@ -135,6 +166,7 @@ impl Device {
     /// Firmware hook: an MPDU from `peer` was received (receive-side
     /// counters, kept for completeness of the ampstat interface).
     pub fn record_rx(&mut self, peer: MacAddr, priority: Priority, collided: bool) {
+        let wrap = self.wrap_modulus;
         let e = self
             .stats
             .entry(StatKey {
@@ -143,9 +175,9 @@ impl Device {
                 direction: Direction::Rx,
             })
             .or_default();
-        e.acked += 1;
+        e.acked = wrapped(e.acked + 1, wrap);
         if collided {
-            e.collided += 1;
+            e.collided = wrapped(e.collided + 1, wrap);
         }
     }
 
@@ -228,6 +260,14 @@ impl Device {
             .into_iter()
             .map(|ind| ind.encode(&header))
             .collect()
+    }
+}
+
+/// Apply the optional counter wrap.
+fn wrapped(v: u64, modulus: Option<u64>) -> u64 {
+    match modulus {
+        Some(m) => v % m,
+        None => v,
     }
 }
 
@@ -448,6 +488,60 @@ mod tests {
             d.handle_mme(&raw),
             Err(Error::UnknownMmtype(0xA1C0))
         ));
+    }
+
+    #[test]
+    fn firmware_reset_clears_volatile_state() {
+        let mut d = dev();
+        let peer = MacAddr::station(9);
+        d.record_tx_ack(peer, Priority::CA1, true);
+        d.handle_mme(&SnifferReq { enable: true }.encode(&MmeHeader::request(
+            d.mac(),
+            host(),
+            MMTYPE_SNIFFER,
+        )))
+        .unwrap();
+        d.sense_sof(1.0, sof(2));
+        assert_eq!(d.pending_captures(), 1);
+        d.reset_firmware();
+        assert_eq!(d.reset_count(), 1);
+        assert_eq!(
+            d.stats(&StatKey {
+                peer,
+                priority: Priority::CA1,
+                direction: Direction::Tx,
+            }),
+            AmpStatCnf::default(),
+            "counters cleared"
+        );
+        assert!(!d.sniffer_enabled(), "sniffer back to power-on default");
+        assert_eq!(d.pending_captures(), 0, "capture buffer gone");
+        assert_eq!(d.mac(), MacAddr::station(0), "addresses survive");
+    }
+
+    #[test]
+    fn counters_wrap_at_modulus() {
+        let mut d = dev();
+        d.set_counter_wrap(Some(5));
+        let peer = MacAddr::station(9);
+        for _ in 0..7 {
+            d.record_tx_ack(peer, Priority::CA1, false);
+        }
+        let key = StatKey {
+            peer,
+            priority: Priority::CA1,
+            direction: Direction::Tx,
+        };
+        assert_eq!(d.stats(&key).acked, 2, "7 mod 5");
+        // Rx wraps too.
+        for _ in 0..6 {
+            d.record_rx(peer, Priority::CA1, false);
+        }
+        let rx = StatKey {
+            direction: Direction::Rx,
+            ..key
+        };
+        assert_eq!(d.stats(&rx).acked, 1, "6 mod 5");
     }
 
     #[test]

@@ -12,13 +12,40 @@
 //! and the derived probability (Figure 2's measurement series). The whole
 //! path — reset MMEs, test traffic, query MMEs, reply-byte parsing — is
 //! the same one a hardware test would take.
+//!
+//! # Robust measurement under faults
+//!
+//! On real hardware the methodology has two failure modes the end-only
+//! read cannot survive: a device that browns out mid-test comes back with
+//! cleared counters, and a 32-bit firmware counter silently wraps during
+//! a long test. Both make the final read an undercount with no way to
+//! tell. The experiment therefore supports **checkpointed reads**
+//! ([`CollisionExperiment::checkpoints`]): the engine pauses `k` times
+//! (the last pause exactly at the horizon), the retrying ampstat client
+//! reads every station at each pause, and the per-interval deltas are
+//! **stitched** back into monotone totals:
+//!
+//! * `cur ≥ prev` — normal interval, delta is `cur − prev`;
+//! * `cur < prev` with a wrap modulus `m` in the fault plan and
+//!   `prev > m/2` — the counter wrapped, delta is `cur + m − prev`;
+//! * `cur < prev` with device resets in the plan — the device rebooted,
+//!   delta is `cur` (the counts between the previous checkpoint and the
+//!   reset are lost — checkpoint density bounds that loss);
+//! * otherwise the discontinuity has no scheduled explanation and the run
+//!   fails with [`Error::CounterDiscontinuity`] rather than silently
+//!   undercounting.
+//!
+//! Every stitched discontinuity is tallied in
+//! [`ExperimentOutcome::discontinuities`].
 
 use crate::powerstrip::{PowerStrip, TestbedConfig};
 use crate::tools::AmpStat;
-use plc_core::error::Result;
+use plc_core::addr::MacAddr;
+use plc_core::error::{Error, Result};
 use plc_core::mme::{AmpStatCnf, Direction};
 use plc_core::priority::Priority;
 use plc_core::units::Microseconds;
+use plc_faults::{FaultPlan, RetryPolicy};
 use plc_sim::bursting::BurstPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +74,14 @@ pub struct CollisionExperiment {
     pub burst: BurstPolicy,
     /// Management-message background rate per device (frames/µs).
     pub mme_rate_per_us: f64,
+    /// Fault plan forwarded to the testbed (`None` = ideal conditions).
+    pub faults: Option<FaultPlan>,
+    /// Retry policy of the measurement tools (dormant on a clean bus).
+    pub retry: RetryPolicy,
+    /// Number of counter reads, evenly spaced with the last exactly at
+    /// the horizon. `1` is the paper's end-only read; raise it to stitch
+    /// over device resets and counter wrap (see the module docs).
+    pub checkpoints: u32,
 }
 
 impl CollisionExperiment {
@@ -58,6 +93,9 @@ impl CollisionExperiment {
             seed,
             burst: BurstPolicy::INT6300,
             mme_rate_per_us: 2e-6,
+            faults: None,
+            retry: RetryPolicy::default(),
+            checkpoints: 1,
         }
     }
 
@@ -69,34 +107,105 @@ impl CollisionExperiment {
         }
     }
 
-    /// Run one test: reset → traffic → query → `ΣCᵢ / ΣAᵢ`.
+    /// Run one test: reset → traffic (pausing at each checkpoint to read
+    /// counters) → stitch → `ΣCᵢ / ΣAᵢ`.
     pub fn run(&self) -> Result<ExperimentOutcome> {
+        self.run_inner(None)
+    }
+
+    /// [`run`](CollisionExperiment::run) with the testbed and tools
+    /// mirrored into `registry` (`testbed.*`, `faults.*`, engine timers).
+    /// Observability only — the outcome is identical with or without it.
+    pub fn run_observed(&self, registry: &plc_obs::Registry) -> Result<ExperimentOutcome> {
+        self.run_inner(Some(registry))
+    }
+
+    fn run_inner(&self, registry: Option<&plc_obs::Registry>) -> Result<ExperimentOutcome> {
+        assert!(self.checkpoints >= 1, "need at least the final read");
         let cfg = TestbedConfig {
             n_stations: self.n,
             duration: self.duration,
             seed: self.seed,
             burst: self.burst,
             mme_rate_per_us: self.mme_rate_per_us,
+            faults: self.faults.clone(),
             ..Default::default()
         };
         let mut strip = PowerStrip::new(cfg);
-        let tool = AmpStat::new(strip.bus());
+        if let Some(reg) = registry {
+            strip.attach_registry(reg);
+        }
+        let mut tool = AmpStat::new(strip.bus()).with_retry(self.retry);
+        if let Some(reg) = registry {
+            tool.attach_registry(reg);
+        }
         let dst = strip.destination_mac();
+        let macs: Vec<MacAddr> = (0..self.n).map(|i| strip.station_mac(i)).collect();
 
         // Reset the transmit statistics of all stations.
-        for i in 0..self.n {
-            tool.reset(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)?;
+        for &mac in &macs {
+            tool.reset(mac, dst, Priority::CA1, Direction::Tx)?;
         }
 
-        // Run the traffic for the test duration.
-        strip.run_test();
+        // Evenly spaced checkpoints; the last coincides with the horizon,
+        // so the final reading happens after all traffic has been served.
+        let k = self.checkpoints as usize;
+        let breaks: Vec<Microseconds> = (1..=k)
+            .map(|j| {
+                if j == k {
+                    self.duration
+                } else {
+                    Microseconds(self.duration.as_micros() * j as f64 / k as f64)
+                }
+            })
+            .collect();
 
-        // Query the counters.
-        let mut per_station = Vec::with_capacity(self.n);
-        for i in 0..self.n {
-            per_station.push(tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)?);
+        // Run the traffic, reading every station at each checkpoint. The
+        // tool holds its own handle on the bus, so the reads borrow
+        // nothing from the strip the engine is running in.
+        let mut readings: Vec<Vec<AmpStatCnf>> = Vec::with_capacity(k);
+        strip.run_test_with_breaks(&breaks, |_| {
+            let snap = macs
+                .iter()
+                .map(|&mac| tool.get(mac, dst, Priority::CA1, Direction::Tx))
+                .collect::<Result<Vec<_>>>()?;
+            readings.push(snap);
+            Ok(())
+        })?;
+
+        // Stitch the per-interval deltas into monotone totals.
+        let wrap = self.faults.as_ref().and_then(|p| p.counter_wrap);
+        let resets_possible = self
+            .faults
+            .as_ref()
+            .is_some_and(|p| !p.device_resets.is_empty());
+        let mut discontinuities = 0u64;
+        let mut totals = vec![AmpStatCnf::default(); self.n];
+        let mut prev = vec![AmpStatCnf::default(); self.n];
+        for snap in &readings {
+            for (i, cur) in snap.iter().enumerate() {
+                totals[i].acked += stitch(
+                    &format!("station {i} acked"),
+                    prev[i].acked,
+                    cur.acked,
+                    wrap,
+                    resets_possible,
+                    &mut discontinuities,
+                )?;
+                totals[i].collided += stitch(
+                    &format!("station {i} collided"),
+                    prev[i].collided,
+                    cur.collided,
+                    wrap,
+                    resets_possible,
+                    &mut discontinuities,
+                )?;
+                prev[i] = *cur;
+            }
         }
-        Ok(ExperimentOutcome::from_counters(per_station))
+        let mut outcome = ExperimentOutcome::from_counters(totals);
+        outcome.discontinuities = discontinuities;
+        Ok(outcome)
     }
 
     /// Run `repeats` tests with derived seeds (Figure 2 averages 10) and
@@ -114,10 +223,44 @@ impl CollisionExperiment {
     }
 }
 
+/// One checkpoint-to-checkpoint counter delta, repaired against the
+/// discontinuities the fault plan can explain (see the module docs for
+/// the three rules). Unexplained backwards movement is an error.
+fn stitch(
+    counter: &str,
+    prev: u64,
+    cur: u64,
+    wrap: Option<u64>,
+    resets_possible: bool,
+    discontinuities: &mut u64,
+) -> Result<u64> {
+    if cur >= prev {
+        return Ok(cur - prev);
+    }
+    *discontinuities += 1;
+    if let Some(m) = wrap {
+        // A wrapped counter sits within one interval's growth below the
+        // modulus; a reset one near zero. `prev > m/2` separates the two
+        // as long as an interval's traffic stays under half the modulus.
+        if prev > m / 2 {
+            return Ok(cur + m - prev);
+        }
+    }
+    if resets_possible {
+        return Ok(cur);
+    }
+    Err(Error::CounterDiscontinuity {
+        counter: counter.to_string(),
+        prev,
+        got: cur,
+    })
+}
+
 /// The measured counters and derived probability of one test.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOutcome {
-    /// Per-station `(Aᵢ, Cᵢ)` counters, as read via ampstat.
+    /// Per-station `(Aᵢ, Cᵢ)` counters, as read via ampstat (stitched
+    /// totals when the experiment ran with checkpoints).
     pub per_station: Vec<AmpStatCnf>,
     /// `ΣCᵢ`.
     pub sum_collided: u64,
@@ -126,6 +269,10 @@ pub struct ExperimentOutcome {
     pub sum_acked: u64,
     /// `ΣCᵢ / ΣAᵢ`.
     pub collision_probability: f64,
+    /// Number of counter discontinuities (wraps, resets) stitched over.
+    /// `0` on a clean run.
+    #[serde(default)]
+    pub discontinuities: u64,
 }
 
 impl ExperimentOutcome {
@@ -142,6 +289,7 @@ impl ExperimentOutcome {
             } else {
                 sum_collided as f64 / sum_acked as f64
             },
+            discontinuities: 0,
         }
     }
 }
@@ -219,6 +367,7 @@ mod tests {
         assert_eq!(out.sum_acked, 150);
         assert_eq!(out.sum_collided, 15);
         assert!((out.collision_probability - 0.1).abs() < 1e-12);
+        assert_eq!(out.discontinuities, 0);
         assert_eq!(
             ExperimentOutcome::from_counters(vec![]).collision_probability,
             0.0
@@ -229,5 +378,156 @@ mod tests {
     fn repeats_use_different_seeds() {
         let outs = CollisionExperiment::quick(2, 5).run_repeated(2).unwrap();
         assert_ne!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn outcome_json_tolerates_missing_discontinuities() {
+        // Pre-fault-layer outcome JSON has no `discontinuities` field.
+        let legacy = r#"{"per_station":[],"sum_collided":0,"sum_acked":0,
+                         "collision_probability":0.0}"#;
+        let out: ExperimentOutcome = serde_json::from_str(legacy).unwrap();
+        assert_eq!(out.discontinuities, 0);
+    }
+
+    #[test]
+    fn stitch_rules() {
+        let mut d = 0;
+        // Monotone: plain delta, no discontinuity.
+        assert_eq!(stitch("a", 10, 15, None, false, &mut d).unwrap(), 5);
+        assert_eq!(d, 0);
+        // Wrap: prev near the modulus.
+        assert_eq!(stitch("a", 90, 10, Some(100), false, &mut d).unwrap(), 20);
+        assert_eq!(d, 1);
+        // Reset: counts restart from zero.
+        assert_eq!(stitch("a", 10, 5, None, true, &mut d).unwrap(), 5);
+        assert_eq!(d, 2);
+        // Wrap modulus set but prev too low to be a wrap, resets possible:
+        // treated as a reset.
+        assert_eq!(stitch("a", 40, 5, Some(100), true, &mut d).unwrap(), 5);
+        assert_eq!(d, 3);
+        // No scheduled explanation: error.
+        let err = stitch("a", 10, 5, None, false, &mut d).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::CounterDiscontinuity {
+                prev: 10,
+                got: 5,
+                ..
+            }
+        ));
+        assert!(stitch("a", 40, 5, Some(100), false, &mut d).is_err());
+    }
+
+    #[test]
+    fn checkpointed_clean_run_matches_end_only_read() {
+        let end_only = CollisionExperiment::quick(2, 6).run().unwrap();
+        let mut exp = CollisionExperiment::quick(2, 6);
+        exp.checkpoints = 5;
+        let checkpointed = exp.run().unwrap();
+        assert_eq!(end_only, checkpointed, "stitching clean deltas is exact");
+        assert_eq!(checkpointed.discontinuities, 0);
+    }
+
+    #[test]
+    fn lossy_bus_with_retries_matches_clean_exactly() {
+        let clean = CollisionExperiment::quick(2, 13).run().unwrap();
+        let mut exp = CollisionExperiment::quick(2, 13);
+        exp.faults = Some(FaultPlan::builder().seed(3).mme_loss(0.2).build());
+        exp.retry = RetryPolicy::with_attempts(32);
+        let out = exp.run().unwrap();
+        // MME loss hits only the management bus, never the wire, and all
+        // tool operations are idempotent — retried reads converge to the
+        // exact clean counters.
+        assert_eq!(out.per_station, clean.per_station);
+        assert_eq!(out.collision_probability, clean.collision_probability);
+    }
+
+    #[test]
+    fn wrap_stitch_recovers_exact_totals() {
+        let clean = CollisionExperiment::quick(1, 11).run().unwrap();
+        let total = clean.per_station[0].acked;
+        assert!(total > 16, "need enough traffic to wrap: {total}");
+        // Wraps exactly once mid-test; each checkpoint interval carries
+        // well under m/2 counts, so the wrap heuristic is unambiguous.
+        let m = 2 * total / 3;
+        let mut exp = CollisionExperiment::quick(1, 11);
+        exp.checkpoints = 16;
+        exp.faults = Some(FaultPlan::builder().seed(1).counter_wrap(m).build());
+        let out = exp.run().unwrap();
+        assert_eq!(out.per_station[0].acked, clean.per_station[0].acked);
+        assert_eq!(out.per_station[0].collided, clean.per_station[0].collided);
+        assert!(out.discontinuities >= 1, "the wrap must have been stitched");
+    }
+
+    #[test]
+    fn reset_stitch_bounds_the_loss_to_one_interval() {
+        let clean = CollisionExperiment::quick(2, 12).run().unwrap();
+        let mut exp = CollisionExperiment::quick(2, 12);
+        exp.checkpoints = 8;
+        exp.faults = Some(
+            FaultPlan::builder()
+                .seed(2)
+                .device_reset_at(0, Microseconds::from_secs(5.3).as_micros())
+                .build(),
+        );
+        let out = exp.run().unwrap();
+        assert!(out.discontinuities >= 1);
+        // Station 1 never reset: stitched totals are exact.
+        assert_eq!(out.per_station[1], clean.per_station[1]);
+        // Station 0 loses only the counts between its last checkpoint and
+        // the reset — at most one of the 8 intervals.
+        assert!(out.per_station[0].acked <= clean.per_station[0].acked);
+        assert!(
+            out.per_station[0].acked as f64 >= clean.per_station[0].acked as f64 * 0.8,
+            "loss must be bounded by checkpoint density: {} vs {}",
+            out.per_station[0].acked,
+            clean.per_station[0].acked
+        );
+        assert!(
+            (out.collision_probability - clean.collision_probability).abs() < 0.02,
+            "stitched probability must stay in the Figure 2 envelope: {} vs {}",
+            out.collision_probability,
+            clean.collision_probability
+        );
+    }
+
+    #[test]
+    fn unexplained_reset_with_end_only_read_undercounts_silently() {
+        // The failure mode the checkpoints exist for: with a single
+        // end-of-test read, a mid-test reset is invisible (the lone read
+        // starts from prev = 0, so nothing ever moves backwards) and the
+        // experiment silently loses everything before the reset.
+        let clean = CollisionExperiment::quick(2, 14).run().unwrap();
+        let mut exp = CollisionExperiment::quick(2, 14);
+        exp.faults = Some(
+            FaultPlan::builder()
+                .seed(4)
+                .device_reset_at(0, Microseconds::from_secs(8.0).as_micros())
+                .build(),
+        );
+        let out = exp.run().unwrap();
+        assert_eq!(out.discontinuities, 0, "end-only read cannot see the reset");
+        assert!(
+            (out.per_station[0].acked as f64) < clean.per_station[0].acked as f64 * 0.5,
+            "the undercount the stitching repairs: {} vs {}",
+            out.per_station[0].acked,
+            clean.per_station[0].acked
+        );
+    }
+
+    #[test]
+    fn observed_chaos_run_counts_retries() {
+        let registry = plc_obs::Registry::new();
+        let mut exp = CollisionExperiment::quick(2, 15);
+        exp.checkpoints = 4;
+        exp.faults = Some(FaultPlan::builder().seed(5).mme_loss(0.3).build());
+        exp.retry = RetryPolicy::with_attempts(32);
+        let control = exp.run().unwrap();
+        let observed = exp.run_observed(&registry).unwrap();
+        assert_eq!(control, observed, "observation must not perturb results");
+        let snap = registry.snapshot();
+        assert!(snap.counter("testbed.mme.retries").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("testbed.mme.gave_up"), Some(0));
+        assert!(snap.counter("faults.mme.lost_request").unwrap_or(0) > 0);
     }
 }

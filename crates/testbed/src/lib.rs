@@ -33,6 +33,12 @@
 //!   `ΣCᵢ / ΣAᵢ` — generating Table 2 and the measurement series of
 //!   Figure 2.
 //!
+//! The whole stack is fault-aware: a [`plc_faults::FaultPlan`] on the
+//! [`TestbedConfig`] injects deterministic MME loss/delay on the bus,
+//! device brownouts and counter wrap, while the tools retry with bounded
+//! backoff and the experiment layer stitches counter discontinuities (see
+//! [`experiment`]'s module docs).
+//!
 //! Everything a real measurement would see — counter values, reply bytes,
 //! captured delimiter fields — passes through the same wire formats as on
 //! hardware, so the analysis code cannot cheat.
@@ -48,9 +54,9 @@ pub mod experiment;
 pub mod powerstrip;
 pub mod tools;
 
-pub use bus::MgmtBus;
-pub use capture::{group_bursts, mme_overhead, source_trace, BurstRecord};
+pub use bus::{MgmtBus, SharedMmeFaults};
+pub use capture::{group_bursts, group_bursts_lossy, mme_overhead, source_trace, BurstRecord};
 pub use device::{Device, StatKey};
-pub use experiment::{CollisionExperiment, ExperimentOutcome};
+pub use experiment::{mean_collision_probability, CollisionExperiment, ExperimentOutcome};
 pub use powerstrip::{PowerStrip, TestbedConfig};
 pub use tools::{AmpStat, Faifa};

@@ -52,6 +52,10 @@ pub struct TestbedConfig {
     pub mme_rate_per_us: f64,
     /// Channel timing.
     pub timing: MacTiming,
+    /// Deterministic fault plan: MME loss/delay on the management bus,
+    /// device brownouts, counter wrap, impulse noise. `None` is the ideal
+    /// testbed of the paper.
+    pub faults: Option<plc_faults::FaultPlan>,
 }
 
 impl Default for TestbedConfig {
@@ -65,6 +69,7 @@ impl Default for TestbedConfig {
             burst: BurstPolicy::INT6300,
             mme_rate_per_us: 2e-6,
             timing: MacTiming::paper_default(),
+            faults: None,
         }
     }
 }
@@ -75,6 +80,9 @@ pub struct PowerStrip {
     devices: DeviceTable,
     host: MacAddr,
     registry: Option<plc_obs::Registry>,
+    /// Shared MME fault injector, built from the config's plan; all buses
+    /// handed out by [`bus`](PowerStrip::bus) consume one fate stream.
+    mme_faults: Option<crate::bus::SharedMmeFaults>,
 }
 
 /// The measurement host's MAC address (the PC the tools run on).
@@ -89,14 +97,21 @@ impl PowerStrip {
             cfg.n_stations >= 1,
             "need at least one transmitting station"
         );
-        let devices: Vec<Device> = (0..=cfg.n_stations as u32)
+        let mut devices: Vec<Device> = (0..=cfg.n_stations as u32)
             .map(|i| Device::new(MacAddr::station(i), Tei::station(i)))
             .collect();
+        let mme_faults = cfg.faults.as_ref().map(|plan| {
+            for d in devices.iter_mut() {
+                d.set_counter_wrap(plan.counter_wrap);
+            }
+            Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(plan)))
+        });
         PowerStrip {
             cfg,
             devices: Arc::new(Mutex::new(devices)),
             host: HOST_MAC,
             registry: None,
+            mme_faults,
         }
     }
 
@@ -110,11 +125,25 @@ impl PowerStrip {
         for d in self.devices.lock().iter_mut() {
             d.attach_registry(registry);
         }
+        if let Some(f) = &self.mme_faults {
+            f.lock().attach_registry(registry);
+        }
         self.registry = Some(registry.clone());
     }
 
-    /// The management bus the tools plug into.
+    /// The management bus the tools plug into (fault-injected when the
+    /// config carries a plan).
     pub fn bus(&self) -> MgmtBus {
+        let bus = MgmtBus::new(self.devices.clone(), self.host);
+        match &self.mme_faults {
+            Some(f) => bus.with_faults(f.clone()),
+            None => bus,
+        }
+    }
+
+    /// A bus that bypasses fault injection (assertions and ground-truth
+    /// reads in tests).
+    pub fn clean_bus(&self) -> MgmtBus {
         MgmtBus::new(self.devices.clone(), self.host)
     }
 
@@ -143,6 +172,26 @@ impl PowerStrip {
     /// ground-truth metrics (the measured counters live in the devices and
     /// are read through the tools, as on hardware).
     pub fn run_test(&mut self) -> Metrics {
+        self.run_test_with_breaks(&[], |_| Ok(()))
+            .expect("a break-free test cannot fail")
+    }
+
+    /// [`run_test`](PowerStrip::run_test), pausing the engine at each time
+    /// in `breaks` to invoke `on_break(index)` — the hook the experiment
+    /// layer uses to read counters mid-test (checkpointed reads are what
+    /// make reset/wrap stitching possible). Device brownouts scheduled in
+    /// the fault plan are applied at their times as well; a reset
+    /// coinciding with a break is applied first, so the break observes the
+    /// post-reset counters.
+    ///
+    /// The engine performs the exact same sequence of rounds as an
+    /// unsegmented run — pausing is observationally free — so for an empty
+    /// plan and no breaks this is byte-identical to [`run_test`].
+    pub fn run_test_with_breaks(
+        &mut self,
+        breaks: &[Microseconds],
+        mut on_break: impl FnMut(usize) -> plc_core::error::Result<()>,
+    ) -> plc_core::error::Result<Metrics> {
         let n = self.cfg.n_stations;
         let dst = self.destination_tei();
         let mut proc_rng = SmallRng::seed_from_u64(self.cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -190,7 +239,43 @@ impl PowerStrip {
         }
         let sink = Arc::new(Mutex::new(FirmwareSink::new(self.devices.clone())));
         engine.add_sink(sink);
-        engine.run().clone()
+
+        // Boundary schedule: fault-plan brownouts merged with the caller's
+        // breaks. The stable sort keeps resets ahead of breaks that share
+        // a timestamp (resets were pushed first).
+        enum Boundary {
+            Reset(usize),
+            Break(usize),
+        }
+        let horizon = self.cfg.duration;
+        let n_devices = self.devices.lock().len();
+        let mut bounds: Vec<(f64, Boundary)> = Vec::new();
+        if let Some(plan) = &self.cfg.faults {
+            for r in &plan.device_resets {
+                if r.at_us < horizon.as_micros() && r.station < n_devices {
+                    bounds.push((r.at_us, Boundary::Reset(r.station)));
+                }
+            }
+        }
+        for (j, b) in breaks.iter().enumerate() {
+            bounds.push((b.as_micros(), Boundary::Break(j)));
+        }
+        bounds.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        for (t, boundary) in bounds {
+            let target = Microseconds(t.min(horizon.as_micros()));
+            while engine.time() <= target {
+                engine.round();
+            }
+            match boundary {
+                Boundary::Reset(station) => self.devices.lock()[station].reset_firmware(),
+                Boundary::Break(j) => on_break(j)?,
+            }
+        }
+        while engine.time() <= horizon {
+            engine.round();
+        }
+        Ok(engine.metrics().clone())
     }
 }
 
@@ -418,5 +503,102 @@ mod tests {
             n_stations: 0,
             ..Default::default()
         });
+    }
+
+    fn counters(strip: &PowerStrip, n: usize) -> Vec<plc_core::mme::AmpStatCnf> {
+        let tool = AmpStat::new(strip.clean_bus());
+        let dst = strip.destination_mac();
+        (0..n)
+            .map(|i| {
+                tool.get(strip.station_mac(i), dst, Priority::CA1, Direction::Tx)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pausing_at_breaks_is_observationally_free() {
+        let mut plain = PowerStrip::new(quick_cfg(2, 6));
+        let m_plain = plain.run_test();
+        let mut paused = PowerStrip::new(quick_cfg(2, 6));
+        let breaks = [
+            Microseconds::from_secs(1.0),
+            Microseconds::from_secs(2.5),
+            Microseconds::from_secs(5.0),
+        ];
+        let mut visits = 0;
+        let m_paused = paused
+            .run_test_with_breaks(&breaks, |_| {
+                visits += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(visits, 3);
+        assert_eq!(m_plain, m_paused, "pausing must not perturb the engine");
+        assert_eq!(counters(&plain, 2), counters(&paused, 2));
+    }
+
+    #[test]
+    fn break_errors_propagate() {
+        let mut strip = PowerStrip::new(quick_cfg(1, 6));
+        let err = strip
+            .run_test_with_breaks(&[Microseconds::from_secs(1.0)], |_| {
+                Err(plc_core::error::Error::timeout("checkpoint read", 7.0))
+            })
+            .unwrap_err();
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn scheduled_brownout_clears_counters_mid_test() {
+        let mut cfg = quick_cfg(2, 7);
+        cfg.faults = Some(
+            plc_faults::FaultPlan::builder()
+                .seed(7)
+                .device_reset_at(0, Microseconds::from_secs(2.5).as_micros())
+                .build(),
+        );
+        let mut strip = PowerStrip::new(cfg);
+        strip.run_test();
+        let reset_count = strip
+            .clean_bus()
+            .with_device(strip.station_mac(0), |d| d.reset_count())
+            .unwrap();
+        assert_eq!(reset_count, 1);
+        // Compare against a fault-free control with the same seed: the
+        // engine traffic is identical (resets touch only firmware state),
+        // so station 0's counters lost their first 2.5 s while station 1's
+        // are untouched.
+        let mut control = PowerStrip::new(quick_cfg(2, 7));
+        control.run_test();
+        let faulted = counters(&strip, 2);
+        let clean = counters(&control, 2);
+        assert!(
+            faulted[0].acked < clean[0].acked,
+            "reset must lose counts: {} vs {}",
+            faulted[0].acked,
+            clean[0].acked
+        );
+        assert_eq!(faulted[1], clean[1], "other station unaffected");
+    }
+
+    #[test]
+    fn counter_wrap_applies_from_the_plan() {
+        let mut cfg = quick_cfg(2, 8);
+        cfg.faults = Some(
+            plc_faults::FaultPlan::builder()
+                .seed(8)
+                .counter_wrap(100)
+                .build(),
+        );
+        let mut strip = PowerStrip::new(cfg);
+        strip.run_test();
+        let mut control = PowerStrip::new(quick_cfg(2, 8));
+        control.run_test();
+        let wrappedc = counters(&strip, 2);
+        let clean = counters(&control, 2);
+        assert!(clean[0].acked >= 100, "5 s saturated must exceed 100 MPDUs");
+        assert_eq!(wrappedc[0].acked, clean[0].acked % 100);
+        assert_eq!(wrappedc[0].collided, clean[0].collided % 100);
     }
 }

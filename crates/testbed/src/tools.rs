@@ -11,25 +11,131 @@
 //!
 //! Both speak raw wire-format MMEs over the [`MgmtBus`]; nothing here
 //! peeks inside the device structs.
+//!
+//! Both tools are **retrying clients**: a transaction that times out (a
+//! lost request or confirm leg under fault injection) is retried with
+//! bounded exponential backoff and deterministic jitter, up to the
+//! [`RetryPolicy`]'s attempt budget. Every tool operation is idempotent —
+//! reads read, resets reset, sniffer control sets an absolute state — so
+//! retrying a transaction whose side effects may or may not have applied
+//! is always safe. Backoff delays are *virtual*: they are accounted (see
+//! the `testbed.mme.backoff_us` counter) but never slept, keeping tests
+//! fast and deterministic.
 
 use crate::bus::MgmtBus;
+use parking_lot::Mutex;
 use plc_core::addr::MacAddr;
-use plc_core::error::Result;
+use plc_core::error::{Error, Result};
 use plc_core::mme::{
     AmpStatCnf, AmpStatReq, Direction, MmeHeader, SnifferInd, SnifferReq, StatsControl,
     MMTYPE_SNIFFER, MMTYPE_STATS,
 };
 use plc_core::priority::Priority;
+use plc_faults::{FaultRng, RetryPolicy};
+
+/// Retry-metric counters (`testbed.mme.*`). Observability only: attaching
+/// them never changes which transactions succeed.
+struct MmeClientObs {
+    attempts: plc_obs::Counter,
+    retries: plc_obs::Counter,
+    gave_up: plc_obs::Counter,
+    backoff_us: plc_obs::Counter,
+}
+
+/// The transaction layer the tools share: a bus plus retry state.
+struct MmeClient {
+    bus: MgmtBus,
+    retry: RetryPolicy,
+    jitter: Mutex<FaultRng>,
+    obs: Option<MmeClientObs>,
+}
+
+impl MmeClient {
+    fn new(bus: MgmtBus) -> Self {
+        let retry = RetryPolicy::default();
+        MmeClient {
+            bus,
+            jitter: Mutex::new(retry.jitter_rng()),
+            retry,
+            obs: None,
+        }
+    }
+
+    fn set_retry(&mut self, retry: RetryPolicy) {
+        self.jitter = Mutex::new(retry.jitter_rng());
+        self.retry = retry;
+    }
+
+    fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        self.obs = Some(MmeClientObs {
+            attempts: registry.counter("testbed.mme.attempts"),
+            retries: registry.counter("testbed.mme.retries"),
+            gave_up: registry.counter("testbed.mme.gave_up"),
+            backoff_us: registry.counter("testbed.mme.backoff_us"),
+        });
+    }
+
+    /// Run one idempotent transaction with retries. Non-retryable errors
+    /// (parse failures, unknown devices) surface immediately; timeouts are
+    /// retried until the budget is spent, then reported as
+    /// [`Error::RetriesExhausted`] wrapping the final timeout.
+    fn transact<T>(&self, mut op: impl FnMut(&MgmtBus) -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            if let Some(o) = &self.obs {
+                o.attempts.inc();
+            }
+            match op(&self.bus) {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        if let Some(o) = &self.obs {
+                            o.gave_up.inc();
+                        }
+                        return Err(Error::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    let backoff = self.retry.backoff_us(attempt - 1, &mut self.jitter.lock());
+                    if let Some(o) = &self.obs {
+                        o.retries.inc();
+                        o.backoff_us.add(backoff as u64);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// The statistics tool.
 pub struct AmpStat {
-    bus: MgmtBus,
+    client: MmeClient,
 }
 
 impl AmpStat {
-    /// Tool over a bus.
+    /// Tool over a bus, with the default [`RetryPolicy`] (on a fault-free
+    /// bus nothing ever times out, so retries are dormant).
     pub fn new(bus: MgmtBus) -> Self {
-        AmpStat { bus }
+        AmpStat {
+            client: MmeClient::new(bus),
+        }
+    }
+
+    /// Replace the retry policy ([`RetryPolicy::none`] restores the
+    /// fail-fast behaviour of a bare tool).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.client.set_retry(retry);
+        self
+    }
+
+    /// Count transaction attempts, retries, give-ups and total virtual
+    /// backoff into `registry` (`testbed.mme.attempts` / `.retries` /
+    /// `.gave_up` / `.backoff_us`).
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        self.client.attach_registry(registry);
     }
 
     fn request(
@@ -48,11 +154,13 @@ impl AmpStat {
         };
         let raw = req.encode(&MmeHeader::request(
             device,
-            self.bus.host_mac(),
+            self.client.bus.host_mac(),
             MMTYPE_STATS,
         ));
-        let reply = self.bus.send(&raw)?;
-        AmpStatCnf::decode(&reply)
+        self.client.transact(|bus| {
+            let reply = bus.send(&raw)?;
+            AmpStatCnf::decode(&reply)
+        })
     }
 
     /// Reset the counters of a link (the start-of-test step of §3.2).
@@ -81,32 +189,53 @@ impl AmpStat {
 
 /// The sniffer tool.
 pub struct Faifa {
-    bus: MgmtBus,
+    client: MmeClient,
 }
 
 impl Faifa {
-    /// Tool over a bus.
+    /// Tool over a bus, with the default [`RetryPolicy`].
     pub fn new(bus: MgmtBus) -> Self {
-        Faifa { bus }
+        Faifa {
+            client: MmeClient::new(bus),
+        }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.client.set_retry(retry);
+        self
+    }
+
+    /// Count transaction attempts, retries, give-ups and total virtual
+    /// backoff into `registry` (`testbed.mme.*`, shared with [`AmpStat`]).
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+        self.client.attach_registry(registry);
     }
 
     /// Enable or disable the sniffer mode of `device`; returns the state
-    /// the device confirms.
+    /// the device confirms. Idempotent (the request carries an absolute
+    /// state, not a toggle), so retrying is safe.
     pub fn set_sniffer(&self, device: MacAddr, enable: bool) -> Result<bool> {
         let raw = SnifferReq { enable }.encode(&MmeHeader::request(
             device,
-            self.bus.host_mac(),
+            self.client.bus.host_mac(),
             MMTYPE_SNIFFER,
         ));
-        let reply = self.bus.send(&raw)?;
-        Ok(SnifferReq::decode(&reply)?.enable)
+        self.client.transact(|bus| {
+            let reply = bus.send(&raw)?;
+            Ok(SnifferReq::decode(&reply)?.enable)
+        })
     }
 
     /// Collect (and drain) the delimiters captured by `device`, decoding
-    /// each indication MME.
+    /// each indication MME. A failed poll leaves the device's buffer
+    /// intact (see [`MgmtBus::collect_indications`]), so a retried collect
+    /// loses nothing.
     pub fn collect(&self, device: MacAddr) -> Result<Vec<SnifferInd>> {
-        let frames = self.bus.collect_indications(device)?;
-        frames.iter().map(|f| SnifferInd::decode(f)).collect()
+        self.client.transact(|bus| {
+            let frames = bus.collect_indications(device)?;
+            frames.iter().map(|f| SnifferInd::decode(f)).collect()
+        })
     }
 
     /// Render one captured delimiter the way faifa prints SoF fields.
@@ -242,5 +371,125 @@ mod tests {
         let ghost = MacAddr::station(42);
         assert!(amp.get(ghost, ghost, Priority::CA1, Direction::Tx).is_err());
         assert!(faifa.set_sniffer(ghost, true).is_err());
+    }
+
+    fn lossy(bus: &MgmtBus, seed: u64, loss: f64) -> MgmtBus {
+        let plan = plc_faults::FaultPlan::builder()
+            .seed(seed)
+            .mme_loss(loss)
+            .build();
+        bus.clone()
+            .with_faults(Arc::new(Mutex::new(plc_faults::MmeFaults::from_plan(
+                &plan,
+            ))))
+    }
+
+    #[test]
+    fn retrying_ampstat_reads_exact_counters_through_lossy_bus() {
+        let (bus, devices) = setup();
+        let dev = MacAddr::station(0);
+        let peer = MacAddr::station(1);
+        for k in 0..57 {
+            devices.lock()[0].record_tx_ack(peer, Priority::CA1, k % 5 == 0);
+        }
+        let clean = AmpStat::new(bus.clone())
+            .get(dev, peer, Priority::CA1, Direction::Tx)
+            .unwrap();
+        let tool = AmpStat::new(lossy(&bus, 11, 0.3)).with_retry(RetryPolicy::with_attempts(64));
+        for _ in 0..20 {
+            let s = tool.get(dev, peer, Priority::CA1, Direction::Tx).unwrap();
+            assert_eq!(s, clean, "retries must converge to the exact counters");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_final_timeout() {
+        let (bus, _) = setup();
+        let tool = AmpStat::new(lossy(&bus, 12, 1.0)).with_retry(RetryPolicy::with_attempts(3));
+        let err = tool
+            .get(
+                MacAddr::station(0),
+                MacAddr::station(1),
+                Priority::CA1,
+                Direction::Tx,
+            )
+            .unwrap_err();
+        let plc_core::error::Error::RetriesExhausted { attempts, last } = &err else {
+            panic!("expected RetriesExhausted, got {err}");
+        };
+        assert_eq!(*attempts, 3);
+        assert!(last.is_retryable(), "the final failure was a timeout");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn retry_metrics_count_without_perturbing() {
+        let (bus, devices) = setup();
+        let dev = MacAddr::station(0);
+        let peer = MacAddr::station(1);
+        devices.lock()[0].record_tx_ack(peer, Priority::CA1, false);
+        let plain = AmpStat::new(lossy(&bus, 13, 0.4)).with_retry(RetryPolicy::with_attempts(32));
+        let registry = plc_obs::Registry::new();
+        let mut counted =
+            AmpStat::new(lossy(&bus, 13, 0.4)).with_retry(RetryPolicy::with_attempts(32));
+        counted.attach_registry(&registry);
+        let a = plain.get(dev, peer, Priority::CA1, Direction::Tx).unwrap();
+        let b = counted
+            .get(dev, peer, Priority::CA1, Direction::Tx)
+            .unwrap();
+        assert_eq!(a, b);
+        let snap = registry.snapshot();
+        let attempts = snap.counter("testbed.mme.attempts").unwrap_or(0);
+        let retries = snap.counter("testbed.mme.retries").unwrap_or(0);
+        assert!(attempts >= 1);
+        assert_eq!(retries, attempts - 1, "every attempt but the last retried");
+        assert_eq!(snap.counter("testbed.mme.gave_up"), Some(0));
+    }
+
+    #[test]
+    fn faifa_retries_collect_losslessly() {
+        use plc_core::frame::SofDelimiter;
+        let (bus, devices) = setup();
+        let dev = MacAddr::station(0);
+        {
+            let mut d = devices.lock();
+            d[0].handle_mme(&SnifferReq { enable: true }.encode(&MmeHeader::request(
+                dev,
+                bus.host_mac(),
+                MMTYPE_SNIFFER,
+            )))
+            .unwrap();
+            for k in 0..5u8 {
+                d[0].sense_sof(
+                    k as f64,
+                    SofDelimiter {
+                        src: Tei(k + 1),
+                        dst: Tei(9),
+                        priority: Priority::CA1,
+                        mpdu_cnt: 0,
+                        num_pbs: 4,
+                        fl_units: 1602,
+                    },
+                );
+            }
+        }
+        let tool = Faifa::new(lossy(&bus, 14, 0.5)).with_retry(RetryPolicy::with_attempts(64));
+        let caps = tool.collect(dev).unwrap();
+        assert_eq!(caps.len(), 5, "no capture may be lost to a failed poll");
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        // An unknown device is permanent: the retrying client must not
+        // burn its attempt budget on it.
+        let (bus, _) = setup();
+        let registry = plc_obs::Registry::new();
+        let mut tool = AmpStat::new(bus).with_retry(RetryPolicy::with_attempts(10));
+        tool.attach_registry(&registry);
+        let ghost = MacAddr::station(42);
+        assert!(tool
+            .get(ghost, ghost, Priority::CA1, Direction::Tx)
+            .is_err());
+        assert_eq!(registry.snapshot().counter("testbed.mme.attempts"), Some(1));
     }
 }

@@ -67,7 +67,7 @@ fn main() {
         println!("  {}", Faifa::format_sof(ind));
     }
 
-    let bursts = group_bursts(&captures);
+    let bursts = group_bursts(&captures).expect("finite capture timestamps");
     let hist = plc_testbed::capture::burst_size_histogram(&bursts);
     println!("\nburst-size frequencies (§3.1; devices measured bursts of 2):");
     for (size, count) in hist.iter() {

@@ -20,6 +20,7 @@
 //! | [`testbed`] | `plc-testbed` | emulated devices, MME bus, ampstat/faifa, §3.2 methodology |
 //! | [`stats`] | `plc-stats` | summaries, confidence intervals, fairness, histograms |
 //! | [`obs`] | `plc-obs` | counters/gauges/histograms/span-timers, engine & sweep observers |
+//! | [`faults`] | `plc-faults` | deterministic fault plans: MME loss/delay, brownouts, wrap, noise, retry policies |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ struct ReadmeDoctests;
 
 pub use plc_analysis as analysis;
 pub use plc_core as core;
+pub use plc_faults as faults;
 pub use plc_mac as mac;
 pub use plc_obs as obs;
 pub use plc_phy as phy;

@@ -24,22 +24,25 @@ fn engine_mean_collision_probability_tracks_coupled_model() {
         .run();
 
     for point in &results.points {
-        let predicted = model.solve(point.n).collision_probability;
-        let summary = &point.summary.collision_probability;
+        let predicted = model.solve(point.n()).collision_probability;
+        let summary = &point
+            .summary()
+            .expect("fault-free validation sweep cannot fail")
+            .collision_probability;
         let std_err = summary.std_dev / (summary.count as f64).sqrt();
         eprintln!(
             "N={:2}: engine {:.5} ± {:.5} (se), model {:.5}, |Δ|/se = {:.2}",
-            point.n,
+            point.n(),
             summary.mean,
             std_err,
             predicted,
             (summary.mean - predicted).abs() / std_err
         );
-        assert!(std_err > 0.0, "replications collapsed at N={}", point.n);
+        assert!(std_err > 0.0, "replications collapsed at N={}", point.n());
         assert!(
             (summary.mean - predicted).abs() <= 3.0 * std_err,
             "N={}: engine mean {:.5} outside model {:.5} ± 3·se ({:.5})",
-            point.n,
+            point.n(),
             summary.mean,
             predicted,
             3.0 * std_err

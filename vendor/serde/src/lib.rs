@@ -313,6 +313,19 @@ pub mod __private {
         }
     }
 
+    /// Like [`field`], but a missing field yields `Default::default()`
+    /// (`#[serde(default)]`). Present-but-malformed fields still error.
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, val)) => T::from_value(val)
+                    .map_err(|e| DeError::custom(format!("field {name:?}: {}", e.0))),
+                None => Ok(T::default()),
+            },
+            other => Err(DeError::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+
     /// Extract and deserialize the `idx`-th element of a tuple array.
     pub fn element<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
         match v {

@@ -3,12 +3,13 @@
 //! `syn`/`quote`) and emits `serde::Serialize` / `serde::Deserialize` impls
 //! over the in-tree value-tree serde. Supports non-generic structs (named,
 //! tuple, unit) and enums (unit, newtype, tuple, struct variants, with
-//! optional explicit discriminants). `#[serde(...)]` attributes are not
-//! supported — none are used in this workspace.
+//! optional explicit discriminants). Of the `#[serde(...)]` attributes only
+//! `#[serde(default)]` on named fields is supported (a missing field
+//! deserializes to `Default::default()`); anything else is ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -16,7 +17,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -30,10 +31,17 @@ struct Item {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present: deserialize a missing field to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -45,7 +53,7 @@ enum VariantKind {
     Unit,
     Newtype,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -103,17 +111,21 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
-/// Field names of a named-fields body (`{ a: T, pub b: U, ... }`).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Fields of a named-fields body (`{ a: T, #[serde(default)] pub b: U }`).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
-        // Skip attributes/docs and visibility before the field name.
+        // Skip attributes/docs and visibility before the field name,
+        // remembering whether one of them was `#[serde(default)]`.
+        let mut default = false;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        default |= is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -130,7 +142,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         let TokenTree::Ident(field) = tok else {
             panic!("expected field name, found {tok:?}");
         };
-        fields.push(field.to_string());
+        fields.push(Field {
+            name: field.to_string(),
+            default,
+        });
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("expected `:` after field name, found {other:?}"),
@@ -162,6 +177,22 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Whether an attribute's bracketed stream is `serde(... default ...)`.
+fn is_serde_default(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
 }
 
 /// Number of fields in a tuple body (`(T, U, ...)`).
@@ -254,6 +285,7 @@ fn gen_serialize(item: &Item) -> String {
         Kind::NamedStruct(fields) => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "__fields.push((\"{f}\".to_string(), \
                      ::serde::Serialize::to_value(&self.{f})));\n"
@@ -299,9 +331,14 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut pushes = String::new();
                         for f in fields {
+                            let f = &f.name;
                             pushes.push_str(&format!(
                                 "__fields.push((\"{f}\".to_string(), \
                                  ::serde::Serialize::to_value({f})));\n"
@@ -328,14 +365,21 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
+/// One `name: ...?` initializer of a named field read from value `src`.
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::__private::field_or_default({src}, \"{name}\")?")
+    } else {
+        format!("{name}: ::serde::__private::field({src}, \"{name}\")?")
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::field(__v, \"{f}\")?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "__v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Kind::TupleStruct(1) => {
@@ -371,10 +415,8 @@ fn gen_deserialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: ::serde::__private::field(__inner, \"{f}\")?"))
-                            .collect();
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| field_init(f, "__inner")).collect();
                         tagged_arms.push_str(&format!(
                             "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
                             inits.join(", ")
