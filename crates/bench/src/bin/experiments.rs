@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [--smoke|--full] [--timings] [NAME...]
 //! experiments bench-snapshot [--check] [--out DIR]
+//!                            [--gate BASELINE.json [--tolerance FRAC]]
 //!
 //!   --smoke    tiny horizons: exercise every pipeline in seconds
 //!              (integration-test mode; artifacts are noise)
@@ -18,7 +19,9 @@
 //! bench-snapshot times the pinned engine workloads and writes
 //! BENCH_<date>.json into DIR (default: the current directory); with
 //! --check it reruns them at a reduced horizon, validates the schema and
-//! writes nothing.
+//! writes nothing. --gate additionally compares the fresh snapshot
+//! against a committed baseline and exits nonzero when any shared
+//! workload regresses beyond the tolerance (default 0.15 = 15%).
 //!
 //! Any experiment failure is reported on stderr and the process exits
 //! nonzero — no panics.
@@ -143,20 +146,36 @@ fn run_bench_snapshot(args: &[String]) -> i32 {
     }
 }
 
-fn bench_snapshot(args: &[String]) -> Result<()> {
-    let check = args.iter().any(|a| a == "--check");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
+/// Parse `--flag VALUE` out of `args`; `Ok(None)` when absent.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>> {
+    args.iter()
+        .position(|a| a == flag)
         .map(|i| {
             args.get(i + 1)
                 .cloned()
-                .ok_or_else(|| Error::runtime("--out requires a directory argument"))
+                .ok_or_else(|| Error::runtime(format!("{flag} requires an argument")))
+        })
+        .transpose()
+}
+
+fn bench_snapshot(args: &[String]) -> Result<()> {
+    let check = args.iter().any(|a| a == "--check");
+    let out_dir = flag_value(args, "--out")?.unwrap_or_else(|| ".".to_string());
+    let gate = flag_value(args, "--gate")?;
+    let tolerance = flag_value(args, "--tolerance")?
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| Error::runtime(format!("--tolerance must be a number: {e}")))
         })
         .transpose()?
-        .unwrap_or_else(|| ".".to_string());
+        .unwrap_or(0.15);
 
     if check {
+        if gate.is_some() {
+            return Err(Error::runtime(
+                "--gate needs full-scale timings; drop --check",
+            ));
+        }
         // Reduced horizons: validate the pipeline and schema quickly.
         let snap = snapshot::collect(0.05)?;
         snapshot::check(&snap)?;
@@ -177,6 +196,18 @@ fn bench_snapshot(args: &[String]) -> Result<()> {
         println!(
             "  {:<24} {:>9.3} s  {:>12} slots  {:>12.0} slots/s",
             w.name, w.wall_secs, w.slots, w.slots_per_sec
+        );
+    }
+
+    if let Some(baseline_path) = gate {
+        let baseline_json = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| Error::runtime(format!("cannot read baseline {baseline_path}: {e}")))?;
+        let baseline = snapshot::BenchSnapshot::from_json(&baseline_json)?;
+        snapshot::compare(&snap, &baseline, tolerance)?;
+        println!(
+            "bench-snapshot --gate OK: within {:.0}% of {}",
+            tolerance * 100.0,
+            baseline_path
         );
     }
     Ok(())

@@ -170,6 +170,16 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
                 .run()
         });
     }));
+    // Saturated N=50: the deepest-backoff workload, where the idle-slot
+    // fast-forward matters most. Gated in CI against the committed
+    // baseline (see `compare`).
+    workloads.push(time_workload("engine_1901_n50_sat_500s", &registry, || {
+        Simulation::ieee1901(50)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
 
     Ok(BenchSnapshot {
         schema: SCHEMA.to_string(),
@@ -202,6 +212,55 @@ pub fn check(snap: &BenchSnapshot) -> Result<()> {
     Ok(())
 }
 
+/// Regression gate: compare a fresh snapshot against a committed
+/// baseline, failing if any workload present in both regressed by more
+/// than `tolerance` (e.g. `0.15` = a 15% slots/sec drop fails).
+///
+/// Workloads are matched by name; ones only present on one side are
+/// ignored (new workloads have no baseline yet, retired ones no current
+/// number). Improvements never fail the gate.
+pub fn compare(current: &BenchSnapshot, baseline: &BenchSnapshot, tolerance: f64) -> Result<()> {
+    if !(tolerance.is_finite() && (0.0..1.0).contains(&tolerance)) {
+        return Err(Error::runtime(format!(
+            "tolerance must be in [0, 1), got {tolerance}"
+        )));
+    }
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for base in &baseline.workloads {
+        let Some(cur) = current.workloads.iter().find(|w| w.name == base.name) else {
+            continue;
+        };
+        matched += 1;
+        if base.slots_per_sec <= 0.0 {
+            continue;
+        }
+        let ratio = cur.slots_per_sec / base.slots_per_sec;
+        if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "{}: {:.3e} slots/s vs baseline {:.3e} ({:.1}%)",
+                base.name,
+                cur.slots_per_sec,
+                base.slots_per_sec,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        return Err(Error::runtime(
+            "no workloads in common between snapshot and baseline",
+        ));
+    }
+    if !regressions.is_empty() {
+        return Err(Error::runtime(format!(
+            "perf regression beyond {:.0}% tolerance: {}",
+            tolerance * 100.0,
+            regressions.join("; ")
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,7 +286,7 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 5);
+        assert_eq!(snap.workloads.len(), 6);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);
@@ -238,5 +297,61 @@ mod tests {
     fn from_json_rejects_wrong_schema() {
         let bad = r#"{"schema":"other/v9","date":"2026-01-01","workloads":[]}"#;
         assert!(BenchSnapshot::from_json(bad).is_err());
+    }
+
+    fn snap_with(workloads: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            schema: SCHEMA.to_string(),
+            date: "2026-01-01".to_string(),
+            workloads: workloads
+                .iter()
+                .map(|&(name, sps)| WorkloadResult {
+                    name: name.to_string(),
+                    wall_secs: 1.0,
+                    slots: sps as u64,
+                    slots_per_sec: sps,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = snap_with(&[("a", 1.0e6), ("b", 2.0e6)]);
+        let cur = snap_with(&[("a", 0.9e6), ("b", 2.5e6)]);
+        compare(&cur, &base, 0.15).unwrap();
+    }
+
+    #[test]
+    fn compare_fails_on_regression() {
+        let base = snap_with(&[("a", 1.0e6)]);
+        let cur = snap_with(&[("a", 0.5e6)]);
+        let err = compare(&cur, &base, 0.15).unwrap_err().to_string();
+        assert!(err.contains("regression"), "{err}");
+        assert!(err.contains('a'), "{err}");
+    }
+
+    #[test]
+    fn compare_ignores_unmatched_workloads() {
+        // A brand-new workload has no baseline; a retired one no current
+        // number. Neither may trip the gate.
+        let base = snap_with(&[("a", 1.0e6), ("retired", 9.9e6)]);
+        let cur = snap_with(&[("a", 1.0e6), ("brand_new", 0.1e6)]);
+        compare(&cur, &base, 0.15).unwrap();
+    }
+
+    #[test]
+    fn compare_rejects_disjoint_snapshots() {
+        let base = snap_with(&[("a", 1.0e6)]);
+        let cur = snap_with(&[("b", 1.0e6)]);
+        assert!(compare(&cur, &base, 0.15).is_err());
+    }
+
+    #[test]
+    fn compare_rejects_bad_tolerance() {
+        let s = snap_with(&[("a", 1.0e6)]);
+        assert!(compare(&s, &s, 1.0).is_err());
+        assert!(compare(&s, &s, -0.1).is_err());
+        compare(&s, &s, 0.0).unwrap();
     }
 }

@@ -68,13 +68,15 @@ impl MmeFaults {
     }
 
     /// Count injected faults into `registry` (`faults.mme.lost_request`,
-    /// `faults.mme.lost_confirm`, `faults.mme.delayed`).
-    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+    /// `faults.mme.lost_confirm`, `faults.mme.delayed`). Fails if any of
+    /// those names is already registered as a non-counter.
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) -> plc_core::error::Result<()> {
         self.obs = Some(MmeFaultObs {
-            lost_request: registry.counter("faults.mme.lost_request"),
-            lost_confirm: registry.counter("faults.mme.lost_confirm"),
-            delayed: registry.counter("faults.mme.delayed"),
+            lost_request: registry.try_counter("faults.mme.lost_request")?,
+            lost_confirm: registry.try_counter("faults.mme.lost_confirm")?,
+            delayed: registry.try_counter("faults.mme.delayed")?,
         });
+        Ok(())
     }
 
     /// The client timeout the plan prescribes, µs.
@@ -152,7 +154,7 @@ mod tests {
         let mut plain = MmeFaults::from_plan(&plan);
         let mut counted = MmeFaults::from_plan(&plan);
         let registry = plc_obs::Registry::new();
-        counted.attach_registry(&registry);
+        counted.attach_registry(&registry).unwrap();
         let fates: Vec<MmeFate> = (0..100).map(|_| plain.next_fate()).collect();
         let counted_fates: Vec<MmeFate> = (0..100).map(|_| counted.next_fate()).collect();
         assert_eq!(fates, counted_fates, "counters must not perturb fates");

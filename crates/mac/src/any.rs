@@ -63,6 +63,14 @@ impl BackoffProcess for AnyBackoff {
         delegate!(self, b => b.on_tx_failure(rng))
     }
 
+    fn idle_skip(&self) -> Option<u32> {
+        delegate!(self, b => b.idle_skip())
+    }
+
+    fn consume_idle_slots(&mut self, n: u32) {
+        delegate!(self, b => b.consume_idle_slots(n))
+    }
+
     fn protocol(&self) -> Protocol {
         delegate!(self, b => b.protocol())
     }

@@ -159,6 +159,16 @@ impl BackoffProcess for Backoff1901 {
         self.redraw(rng);
     }
 
+    fn idle_skip(&self) -> Option<u32> {
+        // DC only moves on busy slots, so BC idle slots are pure countdown.
+        Some(self.bc)
+    }
+
+    fn consume_idle_slots(&mut self, n: u32) {
+        debug_assert!(n <= self.bc, "cannot skip past BC = 0");
+        self.bc -= n;
+    }
+
     fn protocol(&self) -> Protocol {
         Protocol::Ieee1901
     }

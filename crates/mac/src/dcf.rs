@@ -108,6 +108,15 @@ impl BackoffProcess for BackoffDcf {
         self.enter_stage(self.stage + 1, rng);
     }
 
+    fn idle_skip(&self) -> Option<u32> {
+        Some(self.bc)
+    }
+
+    fn consume_idle_slots(&mut self, n: u32) {
+        debug_assert!(n <= self.bc, "cannot skip past BC = 0");
+        self.bc -= n;
+    }
+
     fn protocol(&self) -> Protocol {
         Protocol::Dcf80211
     }

@@ -94,6 +94,39 @@ pub trait BackoffProcess {
         self.on_tx_success(rng);
     }
 
+    /// How many consecutive idle slots this process can absorb as pure
+    /// `BC` decrements — without consuming RNG draws, touching the
+    /// deferral counter, or changing any other state. Engines use this to
+    /// fast-forward runs of idle slots in one jump; `None` (the default)
+    /// opts out and forces per-slot stepping.
+    ///
+    /// # Contract
+    ///
+    /// `Some(bc)` must report the *current* backoff counter, with
+    /// `wants_tx()` equivalent to `bc == 0` — engines cache `idle_skip`
+    /// values across a step to both bound the fast-forward jump and
+    /// predict the next slot's transmitter set without rescanning. A
+    /// process whose transmit decision involves more than `BC == 0` must
+    /// return `None`.
+    ///
+    /// Both implemented protocols return `Some(BC)`: in 1901 the DC only
+    /// moves on *busy* slots, and in 802.11 idle slots are plain
+    /// countdowns, so `BC` idle slots in a row are fully predictable.
+    fn idle_skip(&self) -> Option<u32> {
+        None
+    }
+
+    /// Absorb `n` idle slots at once. Must be equivalent to `n` calls to
+    /// [`on_idle_slot`](BackoffProcess::on_idle_slot); engines only call
+    /// it with `n ≤` the last [`idle_skip`](BackoffProcess::idle_skip)
+    /// value, and only when that returned `Some`.
+    fn consume_idle_slots(&mut self, n: u32) {
+        debug_assert!(
+            n == 0,
+            "consume_idle_slots used on a process that opted out of idle_skip"
+        );
+    }
+
     /// Which protocol this process implements.
     fn protocol(&self) -> Protocol;
 

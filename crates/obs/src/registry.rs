@@ -14,6 +14,7 @@
 //! observability is off.
 
 use parking_lot::Mutex;
+use plc_core::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,34 +113,32 @@ impl Registry {
         self.inner.enabled.store(enabled, Ordering::Relaxed);
     }
 
-    fn resolve<T>(
+    fn try_resolve<T>(
         &self,
         name: &str,
         make: impl FnOnce() -> (Metric, T),
         reuse: impl FnOnce(&Metric) -> Option<T>,
-    ) -> T {
+    ) -> Result<T> {
         let mut metrics = self.inner.metrics.lock();
         if let Some(existing) = metrics.get(name) {
-            return reuse(existing).unwrap_or_else(|| {
-                panic!(
+            return reuse(existing).ok_or_else(|| {
+                Error::runtime(format!(
                     "metric {name:?} already registered as a {}",
                     existing.kind()
-                )
+                ))
             });
         }
         let (metric, handle) = make();
         metrics.insert(name.to_string(), metric);
-        handle
+        Ok(handle)
     }
 
-    /// Get or create the counter `name`.
-    ///
-    /// # Panics
-    ///
-    /// If `name` is already registered as a different metric kind.
-    pub fn counter(&self, name: &str) -> Counter {
-        let enabled = self.inner.clone();
-        self.resolve(
+    /// Get or create the counter `name`, or fail with a typed error if
+    /// `name` is already registered as a different metric kind. Library
+    /// code instrumenting caller-supplied registries should prefer this
+    /// over [`counter`](Registry::counter).
+    pub fn try_counter(&self, name: &str) -> Result<Counter> {
+        self.try_resolve(
             name,
             || {
                 let cell = Arc::new(AtomicU64::new(0));
@@ -147,7 +146,7 @@ impl Registry {
                     Metric::Counter(cell.clone()),
                     Counter {
                         cell,
-                        owner: enabled,
+                        owner: self.inner.clone(),
                     },
                 )
             },
@@ -161,13 +160,10 @@ impl Registry {
         )
     }
 
-    /// Get or create the gauge `name`.
-    ///
-    /// # Panics
-    ///
-    /// If `name` is already registered as a different metric kind.
-    pub fn gauge(&self, name: &str) -> Gauge {
-        self.resolve(
+    /// Get or create the gauge `name`, or fail with a typed error if
+    /// `name` is already registered as a different metric kind.
+    pub fn try_gauge(&self, name: &str) -> Result<Gauge> {
+        self.try_resolve(
             name,
             || {
                 let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
@@ -189,13 +185,10 @@ impl Registry {
         )
     }
 
-    /// Get or create the histogram `name`.
-    ///
-    /// # Panics
-    ///
-    /// If `name` is already registered as a different metric kind.
-    pub fn histogram(&self, name: &str) -> Histogram {
-        self.resolve(
+    /// Get or create the histogram `name`, or fail with a typed error if
+    /// `name` is already registered as a different metric kind.
+    pub fn try_histogram(&self, name: &str) -> Result<Histogram> {
+        self.try_resolve(
             name,
             || {
                 let data = Arc::new(Mutex::new(HistData::default()));
@@ -217,13 +210,10 @@ impl Registry {
         )
     }
 
-    /// Get or create the span timer `name`.
-    ///
-    /// # Panics
-    ///
-    /// If `name` is already registered as a different metric kind.
-    pub fn timer(&self, name: &str) -> SpanTimer {
-        self.resolve(
+    /// Get or create the span timer `name`, or fail with a typed error if
+    /// `name` is already registered as a different metric kind.
+    pub fn try_timer(&self, name: &str) -> Result<SpanTimer> {
+        self.try_resolve(
             name,
             || {
                 let data = Arc::new(TimerData {
@@ -246,6 +236,47 @@ impl Registry {
                 _ => None,
             },
         )
+    }
+
+    /// Get or create the counter `name`. Convenience wrapper around
+    /// [`try_counter`](Registry::try_counter) for application code that
+    /// controls its own metric names.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.try_counter(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Get or create the gauge `name`. Convenience wrapper around
+    /// [`try_gauge`](Registry::try_gauge).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.try_gauge(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Get or create the histogram `name`. Convenience wrapper around
+    /// [`try_histogram`](Registry::try_histogram).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.try_histogram(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Get or create the span timer `name`. Convenience wrapper around
+    /// [`try_timer`](Registry::try_timer).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn timer(&self, name: &str) -> SpanTimer {
+        self.try_timer(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A point-in-time snapshot of every metric, names sorted, suitable
@@ -620,6 +651,26 @@ mod tests {
         let reg = Registry::new();
         let _ = reg.counter("name");
         let _ = reg.gauge("name");
+    }
+
+    #[test]
+    fn try_getters_return_typed_errors() {
+        let reg = Registry::new();
+        let c = reg.try_counter("name").expect("fresh name");
+        c.inc();
+        // Same kind → shared handle, not an error.
+        assert_eq!(reg.try_counter("name").expect("same kind").get(), 1);
+        // Different kinds → typed error naming the existing kind.
+        let err = match reg.try_gauge("name") {
+            Ok(_) => panic!("kind mismatch must fail"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("already registered as a counter"), "{msg}");
+        assert!(reg.try_histogram("name").is_err());
+        assert!(reg.try_timer("name").is_err());
+        // The failed lookups must not have clobbered the counter.
+        assert_eq!(reg.snapshot().counter("name"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Measures the idle-slot fast-forward win on the saturated N=50
+//! workload pinned by bench-snapshot (`engine_1901_n50_sat_500s`).
+//!
+//! ```console
+//! cargo run --release -p plc-sim --example ff_speedup
+//! ```
+
+use plc_sim::runner::Simulation;
+use std::time::Instant;
+
+fn time_run(n: usize, ff: bool) -> (f64, plc_sim::runner::SimReport) {
+    let started = Instant::now();
+    let report = Simulation::ieee1901(n)
+        .horizon_us(5.0e8)
+        .seed(1)
+        .fast_forward(ff)
+        .run();
+    (started.elapsed().as_secs_f64(), report)
+}
+
+fn main() {
+    time_run(5, true); // warm-up
+    for n in [1, 2, 5, 10, 20, 50] {
+        let (fast_secs, fast) = time_run(n, true);
+        let (slow_secs, slow) = time_run(n, false);
+        assert_eq!(fast, slow, "fast-forward must not change results");
+        println!(
+            "N={n:<3} ff on {fast_secs:7.3} s   ff off {slow_secs:7.3} s   speedup {:5.2}x",
+            slow_secs / fast_secs
+        );
+    }
+}

@@ -25,6 +25,7 @@ use crate::trace::{StationId, TraceEvent, TraceSink};
 use crate::traffic::{TrafficModel, TrafficState};
 use parking_lot::Mutex;
 use plc_core::addr::Tei;
+use plc_core::error::{Error, Result};
 use plc_core::frame::{SelectiveAck, SofDelimiter};
 use plc_core::priority::Priority;
 use plc_core::timing::{MacTiming, MAX_BURST, PREAMBLE, RIFS, SACK};
@@ -50,6 +51,8 @@ struct EngineTimers {
     step: plc_obs::SpanTimer,
     pb_draw: plc_obs::SpanTimer,
     steps: plc_obs::Counter,
+    steps_skipped: plc_obs::Counter,
+    fast_forward: plc_obs::SpanTimer,
 }
 
 /// Beacon scheduling: the CCo transmits one beacon per period; contention
@@ -100,10 +103,20 @@ pub struct EngineConfig {
     pub emit_wire_events: bool,
     /// Optional beacon schedule (`None` = the paper's pure-CSMA model).
     pub beacons: Option<BeaconSchedule>,
-    /// Impulse-noise bursts (sorted by start time): while one is active,
-    /// every physical block of every transmitted MPDU errors, without
-    /// consuming channel-RNG draws. Empty = the paper's clean medium.
+    /// Impulse-noise bursts: while one is active, every physical block of
+    /// every transmitted MPDU errors, without consuming channel-RNG
+    /// draws. Empty = the paper's clean medium. The engine sorts the list
+    /// by start time on construction and rejects overlapping or
+    /// non-finite bursts with [`Error::InvalidConfig`].
     pub noise: Vec<plc_faults::NoiseBurst>,
+    /// Fast-forward runs of idle slots in one jump (default `true`).
+    /// Byte-identical to per-slot stepping — idle slots consume no RNG
+    /// draws and never touch the deferral counter — and exercised against
+    /// it by the `fast_forward_equivalence` test suite; disable only to
+    /// cross-check the stepping path. [`emit_snapshots`]
+    /// (EngineConfig::emit_snapshots) and attached observers force the
+    /// per-slot path regardless, since both need every step materialized.
+    pub fast_forward: bool,
 }
 
 impl EngineConfig {
@@ -120,6 +133,7 @@ impl EngineConfig {
             emit_wire_events: true,
             beacons: None,
             noise: Vec::new(),
+            fast_forward: true,
         }
     }
 
@@ -202,6 +216,16 @@ pub enum StepOutcome {
     },
 }
 
+/// Lightweight step result used internally: the public [`StepOutcome`]
+/// (which owns the colliding-station list) is only materialized by
+/// [`SlottedEngine::step`], so the `run` hot loop never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Idle,
+    Success { station: StationId, burst: usize },
+    Collision,
+}
+
 /// The slotted single-contention-domain engine. See the [module
 /// docs](self).
 pub struct SlottedEngine<P: BackoffProcess> {
@@ -211,17 +235,37 @@ pub struct SlottedEngine<P: BackoffProcess> {
     t: Microseconds,
     metrics: Metrics,
     sinks: Vec<SharedSink>,
-    /// Scratch buffer of transmitting stations (avoids per-step allocation).
+    /// Scratch buffer of transmitting stations (avoids per-step
+    /// allocation); holds the last step's transmitter set after a step.
     tx_buf: Vec<StationId>,
+    /// Scratch buffer of per-MPDU (pbs, errored) outcomes of a success.
+    outcome_buf: Vec<(u16, u16)>,
+    /// Scratch buffer of per-station burst draws of a collision.
+    burst_buf: Vec<(usize, usize)>,
     /// Time of the next scheduled beacon, when beacons are enabled.
     next_beacon: Microseconds,
-    /// Steps executed so far (one per [`step`](Self::step) call).
+    /// Slots executed so far (skipped idle slots count one each).
     steps: u64,
     observers: Vec<ObserverSlot>,
     timers: Option<EngineTimers>,
     /// Cursor into `cfg.noise` (time is monotone, so passed bursts never
     /// come back).
     noise_idx: usize,
+    /// Every station saturated → the arrival loop is a no-op, skip it.
+    all_saturated: bool,
+    /// Contention-state cache for the fast-forward run loops: when
+    /// `hint_valid`, `zero_bc` holds exactly the backlogged stations whose
+    /// process transmits this slot (ascending station order — the same
+    /// order the contend scan produces) and `min_bc` the minimum backoff
+    /// counter over backlogged stations with `BC > 0` (`u32::MAX` when
+    /// none). Maintained by the `TRACK = true` step path by folding
+    /// [`BackoffProcess::idle_skip`] into the mutation loops it already
+    /// runs, so the per-step contention rescan disappears; any mutation
+    /// outside those loops (traffic reset, external `step()` calls)
+    /// invalidates it.
+    hint_valid: bool,
+    min_bc: u32,
+    zero_bc: Vec<StationId>,
 }
 
 impl<P: BackoffProcess> SlottedEngine<P> {
@@ -230,16 +274,64 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     /// were seeded by their own constructor RNGs, so construct them from
     /// the same master seed for full reproducibility (the
     /// [`crate::runner`] builder does this).
+    ///
+    /// # Panics
+    ///
+    /// On any configuration [`try_new`](Self::try_new) rejects.
     pub fn new(cfg: EngineConfig, stations: Vec<StationSpec<P>>, seed: u64) -> Self {
-        assert!(!stations.is_empty(), "need at least one station");
-        assert!(cfg.timing.is_valid(), "invalid MacTiming");
-        assert!(
-            (0.0..1.0).contains(&cfg.pb_error_prob),
-            "PB error probability must be in [0, 1)"
-        );
+        Self::try_new(cfg, stations, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new), returning configuration problems as
+    /// [`Error::InvalidConfig`] instead of panicking: an empty station
+    /// set, invalid timing, a PB error probability outside `[0, 1)`, or a
+    /// malformed noise schedule. Noise bursts are sorted by start time
+    /// here (callers may build them out of order); overlapping or
+    /// non-finite bursts are rejected since both would corrupt the
+    /// monotone noise cursor and the fast-forward clamp.
+    pub fn try_new(
+        mut cfg: EngineConfig,
+        stations: Vec<StationSpec<P>>,
+        seed: u64,
+    ) -> Result<Self> {
+        if stations.is_empty() {
+            return Err(Error::invalid_config("need at least one station"));
+        }
+        if !cfg.timing.is_valid() {
+            return Err(Error::invalid_config("invalid MacTiming"));
+        }
+        if !(0.0..1.0).contains(&cfg.pb_error_prob) {
+            return Err(Error::invalid_config(
+                "PB error probability must be in [0, 1)",
+            ));
+        }
+        for b in &cfg.noise {
+            if !(b.start_us.is_finite() && b.duration_us.is_finite())
+                || b.start_us < 0.0
+                || b.duration_us < 0.0
+            {
+                return Err(Error::invalid_config(format!(
+                    "noise burst (start {} µs, duration {} µs) must have \
+                     finite, non-negative start and duration",
+                    b.start_us, b.duration_us
+                )));
+            }
+        }
+        cfg.noise.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        for w in cfg.noise.windows(2) {
+            if w[1].start_us < w[0].end_us() {
+                return Err(Error::invalid_config(format!(
+                    "noise bursts overlap: [{}, {}) and [{}, {}) µs",
+                    w[0].start_us,
+                    w[0].end_us(),
+                    w[1].start_us,
+                    w[1].end_us()
+                )));
+            }
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = stations.len();
-        let stations = stations
+        let stations: Vec<StationCtx<P>> = stations
             .into_iter()
             .map(|s| StationCtx {
                 process: s.process,
@@ -255,7 +347,8 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             .beacons
             .map(|b| b.period)
             .unwrap_or(Microseconds(f64::INFINITY));
-        SlottedEngine {
+        let all_saturated = stations.iter().all(|s| s.traffic.is_saturated());
+        Ok(SlottedEngine {
             cfg,
             stations,
             rng,
@@ -263,12 +356,18 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             metrics: Metrics::new(n),
             sinks: Vec::new(),
             tx_buf: Vec::with_capacity(n),
+            outcome_buf: Vec::with_capacity(MAX_BURST),
+            burst_buf: Vec::with_capacity(n),
             next_beacon,
             steps: 0,
             observers: Vec::new(),
             timers: None,
             noise_idx: 0,
-        }
+            all_saturated,
+            hint_valid: false,
+            min_bc: u32::MAX,
+            zero_bc: Vec::with_capacity(n),
+        })
     }
 
     /// Subscribe a trace sink.
@@ -289,16 +388,24 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     }
 
     /// Install hot-path instrumentation into `registry`: the span timers
-    /// `engine.step` (whole-step wall time) and `engine.pb_draw`
-    /// (per-MPDU channel-error sampling), plus the counter
-    /// `engine.steps`. Without this call the hot loop pays a single
-    /// branch per step for observability.
-    pub fn instrument(&mut self, registry: &plc_obs::Registry) {
+    /// `engine.step` (whole-step wall time), `engine.pb_draw` (per-MPDU
+    /// channel-error sampling) and `engine.fast_forward` (idle-slot
+    /// skips), plus the counters `engine.steps` (every slot, skipped ones
+    /// included) and `engine.steps_skipped` (slots absorbed by
+    /// fast-forward). Without this call the hot loop pays a single branch
+    /// per step for observability.
+    ///
+    /// Fails with [`Error::Runtime`] if any of those names is already
+    /// registered as a different metric kind.
+    pub fn instrument(&mut self, registry: &plc_obs::Registry) -> Result<()> {
         self.timers = Some(EngineTimers {
-            step: registry.timer("engine.step"),
-            pb_draw: registry.timer("engine.pb_draw"),
-            steps: registry.counter("engine.steps"),
+            step: registry.try_timer("engine.step")?,
+            pb_draw: registry.try_timer("engine.pb_draw")?,
+            steps: registry.try_counter("engine.steps")?,
+            steps_skipped: registry.try_counter("engine.steps_skipped")?,
+            fast_forward: registry.try_timer("engine.fast_forward")?,
         });
+        Ok(())
     }
 
     /// Steps executed so far.
@@ -364,6 +471,111 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             .is_some_and(|b| b.contains(t))
     }
 
+    /// The next noise-burst boundary (start or end) strictly ahead of the
+    /// current time, `INFINITY` when none remain. Read-only: the monotone
+    /// cursor is only advanced by [`noise_active`](Self::noise_active).
+    fn next_noise_edge(&self) -> f64 {
+        let t = self.t.as_micros();
+        for b in &self.cfg.noise[self.noise_idx..] {
+            if t < b.start_us {
+                return b.start_us;
+            }
+            if t < b.end_us() {
+                return b.end_us();
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Fast-forward a run of guaranteed-idle slots, returning how many
+    /// were absorbed (0 = the next step must take the per-slot path).
+    ///
+    /// Validity: an idle slot consumes no RNG draws and never touches the
+    /// deferral counter in either protocol (see
+    /// [`BackoffProcess::idle_skip`]), so while every backlogged station
+    /// has `BC > 0` the next `min(BC)` slots are fully predictable. The
+    /// jump is clamped at the horizon, the next beacon, the next traffic
+    /// arrival/phase event (where `advance_to` would mutate state) and
+    /// the next noise-burst edge (belt and braces — idle slots never
+    /// sample the noise schedule). Time, `idle_slots` and `time_idle`
+    /// advance by per-slot `+=` in the original order, so the f64
+    /// accumulations — and any emitted `IdleSlot` events — are
+    /// bit-identical to the stepping path.
+    fn fast_forward_idle(&mut self) -> u64 {
+        let k = if self.hint_valid {
+            // The previous step's mutation loops already folded every
+            // backlogged station's BC: no rescan needed.
+            if !self.zero_bc.is_empty() {
+                return 0;
+            }
+            self.min_bc
+        } else {
+            let mut k = u32::MAX;
+            for st in &self.stations {
+                if st.traffic.has_frame() || !st.retx.is_empty() {
+                    match st.process.idle_skip() {
+                        Some(bc) if bc > 0 => k = k.min(bc),
+                        // A station transmits this slot, or its process
+                        // opted out of skipping: step normally.
+                        _ => return 0,
+                    }
+                }
+            }
+            k
+        };
+        if k == 0 {
+            return 0;
+        }
+        let slot = self.cfg.timing.slot;
+        let horizon = self.cfg.horizon.as_micros();
+        let next_beacon = self.next_beacon.as_micros();
+        let mut next_event = self.next_noise_edge();
+        if !self.all_saturated {
+            for st in &self.stations {
+                next_event = next_event.min(st.traffic.next_event_us());
+            }
+        }
+        let emitting = !self.sinks.is_empty();
+        let mut skipped: u64 = 0;
+        while skipped < k as u64 {
+            let t0 = self.t.as_micros();
+            if t0 > horizon || t0 >= next_beacon || t0 >= next_event {
+                break;
+            }
+            if emitting {
+                self.emit(TraceEvent::IdleSlot { t: self.t });
+            }
+            self.t += slot;
+            self.metrics.idle_slots += 1;
+            self.metrics.time_idle += slot;
+            skipped += 1;
+        }
+        if skipped > 0 {
+            // Consume the absorbed slots and refresh the hint in the same
+            // pass: every backlogged BC just dropped by `skipped`.
+            let mut zero = std::mem::take(&mut self.zero_bc);
+            zero.clear();
+            let mut min = u32::MAX;
+            let mut poisoned = false;
+            for (i, st) in self.stations.iter_mut().enumerate() {
+                if st.traffic.has_frame() || !st.retx.is_empty() {
+                    st.process.consume_idle_slots(skipped as u32);
+                    match st.process.idle_skip() {
+                        Some(0) => zero.push(i),
+                        Some(bc) => min = min.min(bc),
+                        None => poisoned = true,
+                    }
+                }
+            }
+            self.zero_bc = zero;
+            self.min_bc = min;
+            self.hint_valid = !poisoned;
+            self.metrics.elapsed = self.t;
+            self.steps += skipped;
+        }
+        skipped
+    }
+
     /// Update station `i`'s per-link PB error probability mid-run — the
     /// hook tone-map adaptation harnesses use to model channel drift and
     /// re-estimation.
@@ -398,23 +610,41 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     }
 
     /// Execute one step: idle slot, success or collision. Advances
-    /// simulated time accordingly.
+    /// simulated time accordingly. Always takes the per-slot path;
+    /// fast-forward only engages inside [`run`](Self::run).
     pub fn step(&mut self) -> StepOutcome {
         // Keep the uninstrumented path free of Drop locals (span guards)
         // so the optimizer sees the same hot loop as without
         // observability; it pays exactly this one branch.
-        if self.timers.is_none() && self.observers.is_empty() {
-            let outcome = self.step_inner();
+        let kind = if self.timers.is_none() && self.observers.is_empty() {
+            let kind = self.step_inner::<false>();
             self.steps += 1;
-            return outcome;
+            kind
+        } else {
+            self.step_instrumented::<false>()
+        };
+        // External stepping mutates station state without folding the
+        // contention cache; a later `run()` must rebuild it.
+        self.hint_valid = false;
+        self.materialize(kind)
+    }
+
+    /// Expand a [`StepKind`] into the public outcome; the colliding
+    /// station set lives in `tx_buf` until the next step begins.
+    fn materialize(&self, kind: StepKind) -> StepOutcome {
+        match kind {
+            StepKind::Idle => StepOutcome::Idle,
+            StepKind::Success { station, burst } => StepOutcome::Success { station, burst },
+            StepKind::Collision => StepOutcome::Collision {
+                stations: self.tx_buf.clone(),
+            },
         }
-        self.step_instrumented()
     }
 
     #[cold]
-    fn step_instrumented(&mut self) -> StepOutcome {
+    fn step_instrumented<const TRACK: bool>(&mut self) -> StepKind {
         let _step_span = self.timers.as_ref().map(|t| t.step.start());
-        let outcome = self.step_inner();
+        let kind = self.step_inner::<TRACK>();
         self.steps += 1;
         if let Some(t) = &self.timers {
             t.steps.inc();
@@ -422,7 +652,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         if !self.observers.is_empty() {
             self.notify_observers();
         }
-        outcome
+        kind
     }
 
     /// Build the plain-data snapshot observers receive.
@@ -467,8 +697,15 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     // Force-inlined into both `step` paths: with two call sites the
     // inliner otherwise outlines this hot body, costing ~5-15% engine
     // throughput (measured on the saturated-1901 workloads).
+    //
+    // `TRACK` selects the fast-forward run loop's variant, which consumes
+    // the `zero_bc`/`min_bc` contention cache instead of rescanning all
+    // stations and rebuilds it inside the mutation loops each branch
+    // already runs. With `TRACK = false` (the public `step()` path and
+    // the `fast_forward(false)` reference engine) every cache line
+    // compiles out and the body is the plain stepping loop.
     #[inline(always)]
-    fn step_inner(&mut self) -> StepOutcome {
+    fn step_inner<const TRACK: bool>(&mut self) -> StepKind {
         // The CCo's beacon takes the medium at its scheduled time;
         // contention is suspended (backoff state frozen) for its airtime.
         if let Some(b) = self.cfg.beacons {
@@ -480,41 +717,77 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 self.metrics.time_beacon += b.duration;
                 self.metrics.elapsed = self.t;
                 self.emit(TraceEvent::Beacon { t: tb });
-                return StepOutcome::Idle;
+                return StepKind::Idle;
             }
         }
         let t0 = self.t;
 
         // Deliver traffic arrivals up to now; newly-backlogged stations
         // start a fresh stage-0 backoff.
-        for st in &mut self.stations {
-            if !st.traffic.is_saturated() && st.traffic.advance_to(t0.as_micros(), &mut self.rng) {
-                st.process.reset(&mut self.rng);
+        if !self.all_saturated {
+            for st in &mut self.stations {
+                if !st.traffic.is_saturated()
+                    && st.traffic.advance_to(t0.as_micros(), &mut self.rng)
+                {
+                    st.process.reset(&mut self.rng);
+                    if TRACK {
+                        // The fresh stage-0 BC isn't folded into the
+                        // cache; rebuild it below.
+                        self.hint_valid = false;
+                    }
+                }
             }
         }
 
         // Who transmits this slot? A station contends while it has fresh
         // frames queued or errored PBs awaiting retransmission.
         self.tx_buf.clear();
-        for (i, st) in self.stations.iter().enumerate() {
-            if (st.traffic.has_frame() || !st.retx.is_empty()) && st.process.wants_tx() {
-                self.tx_buf.push(i);
+        if TRACK && self.hint_valid {
+            // `zero_bc` is exactly the contender set, in scan order.
+            std::mem::swap(&mut self.tx_buf, &mut self.zero_bc);
+        } else {
+            for (i, st) in self.stations.iter().enumerate() {
+                if (st.traffic.has_frame() || !st.retx.is_empty()) && st.process.wants_tx() {
+                    self.tx_buf.push(i);
+                }
             }
         }
         let tx = std::mem::take(&mut self.tx_buf);
 
+        // Every outcome branch below rebuilds the contention cache while
+        // it mutates station state, so the next step never rescans.
+        let mut zero = if TRACK {
+            let mut z = std::mem::take(&mut self.zero_bc);
+            z.clear();
+            z
+        } else {
+            Vec::new()
+        };
+        let mut min_bc = u32::MAX;
+        let mut poisoned = false;
+
+        // Wire events only matter when someone listens; with no sinks the
+        // SoF/SACK construction (and its allocations) is pure waste.
+        let emitting = !self.sinks.is_empty();
         let outcome = match tx.len() {
             0 => {
-                for st in &mut self.stations {
+                for (i, st) in self.stations.iter_mut().enumerate() {
                     if st.traffic.has_frame() || !st.retx.is_empty() {
                         st.process.on_idle_slot(&mut self.rng);
+                        if TRACK {
+                            match st.process.idle_skip() {
+                                Some(0) => zero.push(i),
+                                Some(bc) => min_bc = min_bc.min(bc),
+                                None => poisoned = true,
+                            }
+                        }
                     }
                 }
                 self.t += self.cfg.timing.slot;
                 self.metrics.idle_slots += 1;
                 self.metrics.time_idle += self.cfg.timing.slot;
                 self.emit(TraceEvent::IdleSlot { t: t0 });
-                StepOutcome::Idle
+                StepKind::Idle
             }
             1 => {
                 let w = tx[0];
@@ -533,7 +806,8 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 // Per-MPDU channel outcome (selective-ACK granularity).
                 let mut fresh_consumed = 0usize;
                 let mut clean_mpdus = 0usize;
-                let mut outcomes: Vec<(u16, u16)> = Vec::with_capacity(burst); // (pbs, errored)
+                let mut outcomes = std::mem::take(&mut self.outcome_buf); // (pbs, errored)
+                outcomes.clear();
                 for _ in 0..burst {
                     let (pbs, is_fresh) = match self.stations[w].retx.pop_front() {
                         Some(pbs) => (pbs, false),
@@ -572,7 +846,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     }
                 }
 
-                if self.cfg.emit_wire_events {
+                if self.cfg.emit_wire_events && emitting {
                     // One SoF per MPDU; SACK follows each payload after RIFS.
                     let mpdu_stride = self.cfg.timing.frame_length + RIFS + SACK;
                     for (k, &(pbs, errored)) in outcomes.iter().enumerate() {
@@ -604,17 +878,28 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     {
                         self.stations[i].process.on_busy(&mut self.rng);
                     }
+                    if TRACK {
+                        let st = &self.stations[i];
+                        if st.traffic.has_frame() || !st.retx.is_empty() {
+                            match st.process.idle_skip() {
+                                Some(0) => zero.push(i),
+                                Some(bc) => min_bc = min_bc.min(bc),
+                                None => poisoned = true,
+                            }
+                        }
+                    }
                 }
 
                 self.t += dur;
                 self.metrics.record_success(w, t0, clean_mpdus);
                 self.metrics.time_success += dur;
+                self.outcome_buf = outcomes;
                 self.emit(TraceEvent::Success {
                     t: t0,
                     station: w,
                     burst,
                 });
-                StepOutcome::Success { station: w, burst }
+                StepKind::Success { station: w, burst }
             }
             _ => {
                 // Every colliding station still transmits its full burst —
@@ -623,22 +908,21 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 // is acknowledged-with-errors. This is what keeps the
                 // testbed's per-MPDU ΣCᵢ/ΣAᵢ equal to the event-level
                 // collision probability despite 2-MPDU bursts.
-                let bursts: Vec<(usize, usize)> = tx
-                    .iter()
-                    .map(|&i| {
-                        let available = (self.stations[i].retx.len()
-                            + self.stations[i].traffic.backlog().min(MAX_BURST))
-                        .clamp(1, MAX_BURST);
-                        (i, self.cfg.burst.draw(&mut self.rng, available))
-                    })
-                    .collect();
+                let mut bursts = std::mem::take(&mut self.burst_buf);
+                bursts.clear();
+                bursts.extend(tx.iter().map(|&i| {
+                    let available = (self.stations[i].retx.len()
+                        + self.stations[i].traffic.backlog().min(MAX_BURST))
+                    .clamp(1, MAX_BURST);
+                    (i, self.cfg.burst.draw(&mut self.rng, available))
+                }));
                 let max_burst = bursts.iter().map(|&(_, b)| b).max().unwrap_or(1);
                 // The channel is occupied for the longest burst plus the
                 // collision-detection overhead (Tc − Ts); equals Tc for
                 // single-MPDU transmissions.
                 let dur = self.cfg.timing.burst_duration(max_burst) + self.cfg.timing.tc
                     - self.cfg.timing.ts;
-                if self.cfg.emit_wire_events {
+                if self.cfg.emit_wire_events && emitting {
                     // The colliding bursts overlap in time; emit MPDU slot
                     // by MPDU slot so capture timestamps stay monotone.
                     let mpdu_stride = self.cfg.timing.frame_length + RIFS + SACK;
@@ -669,8 +953,12 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     }
                 }
 
+                // `tx` is ascending (scan order), so a cursor replaces the
+                // O(|tx|) membership test per station.
+                let mut txi = 0usize;
                 for i in 0..self.stations.len() {
-                    if tx.contains(&i) {
+                    if txi < tx.len() && tx[txi] == i {
+                        txi += 1;
                         let dropped = self.stations[i].retry.record_failure(self.cfg.retry);
                         if dropped {
                             self.stations[i].retry = RetryState::new();
@@ -690,18 +978,29 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     {
                         self.stations[i].process.on_busy(&mut self.rng);
                     }
+                    if TRACK {
+                        let st = &self.stations[i];
+                        if st.traffic.has_frame() || !st.retx.is_empty() {
+                            match st.process.idle_skip() {
+                                Some(0) => zero.push(i),
+                                Some(bc) => min_bc = min_bc.min(bc),
+                                None => poisoned = true,
+                            }
+                        }
+                    }
                 }
 
                 self.t += dur;
                 self.metrics.record_collision(&bursts);
                 self.metrics.time_collision += dur;
-                self.emit(TraceEvent::Collision {
-                    t: t0,
-                    stations: tx.clone(),
-                });
-                StepOutcome::Collision {
-                    stations: tx.clone(),
+                self.burst_buf = bursts;
+                if emitting {
+                    self.emit(TraceEvent::Collision {
+                        t: t0,
+                        stations: tx.clone(),
+                    });
                 }
+                StepKind::Collision
             }
         };
 
@@ -716,28 +1015,81 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             }
         }
 
+        if TRACK {
+            self.zero_bc = zero;
+            self.min_bc = min_bc;
+            self.hint_valid = !poisoned;
+        }
+
+        // Keep the transmitter set for `materialize` (the public
+        // `step()` builds `StepOutcome::Collision` from it).
         self.tx_buf = tx;
-        self.tx_buf.clear();
         self.metrics.elapsed = self.t;
         outcome
     }
 
     /// Step until simulated time exceeds the horizon; returns the metrics.
+    ///
+    /// When [`EngineConfig::fast_forward`] is on (the default), runs of
+    /// guaranteed-idle slots are absorbed in one jump per run. Per-slot
+    /// snapshots ([`EngineConfig::emit_snapshots`]) and attached
+    /// observers force per-slot stepping, since both need every step
+    /// materialized.
     pub fn run(&mut self) -> &Metrics {
+        let fast = self.cfg.fast_forward && !self.cfg.emit_snapshots && self.observers.is_empty();
+        // External `step()` calls may have mutated station state since the
+        // cache was last folded.
+        self.hint_valid = false;
         // The instrumented-or-not decision is loop-invariant: hoist it so
         // the uninstrumented loop compiles exactly as it would without
         // observability support.
         if self.timers.is_none() && self.observers.is_empty() {
+            if fast {
+                while self.t <= self.cfg.horizon {
+                    if self.fast_forward_idle() == 0 {
+                        self.step_inner::<true>();
+                        self.steps += 1;
+                    }
+                }
+            } else {
+                while self.t <= self.cfg.horizon {
+                    self.step_inner::<false>();
+                    self.steps += 1;
+                }
+            }
+        } else if fast {
             while self.t <= self.cfg.horizon {
-                self.step_inner();
-                self.steps += 1;
+                if self.fast_forward_timed() > 0 {
+                    continue;
+                }
+                self.step_instrumented::<true>();
             }
         } else {
             while self.t <= self.cfg.horizon {
-                self.step_instrumented();
+                self.step_instrumented::<false>();
             }
         }
         &self.metrics
+    }
+
+    /// [`fast_forward_idle`](Self::fast_forward_idle) under the
+    /// `engine.fast_forward` span timer, crediting skipped slots to the
+    /// `engine.steps` and `engine.steps_skipped` counters.
+    fn fast_forward_timed(&mut self) -> u64 {
+        // Known busy slot: skip the clock read, nothing will be absorbed.
+        if self.hint_valid && !self.zero_bc.is_empty() {
+            return 0;
+        }
+        let started = std::time::Instant::now();
+        let skipped = self.fast_forward_idle();
+        if skipped > 0 {
+            if let Some(t) = &self.timers {
+                t.fast_forward.record(started.elapsed());
+                t.steps.add(skipped);
+                t.steps_skipped.add(skipped);
+            }
+        }
+        skipped
     }
 
     /// Step at most `max_steps` times (examples and tests).

@@ -92,6 +92,10 @@ pub struct MultiClassConfig {
     /// Emit [`TraceEvent::Sof`]/[`TraceEvent::Sack`] wire events (needed by
     /// the testbed sniffer).
     pub emit_wire_events: bool,
+    /// Fast-forward runs of idle slots inside a contention round (default
+    /// `true`); byte-identical to per-slot stepping, see
+    /// [`EngineConfig::fast_forward`](crate::engine::EngineConfig).
+    pub fast_forward: bool,
 }
 
 impl Default for MultiClassConfig {
@@ -101,6 +105,7 @@ impl Default for MultiClassConfig {
             horizon: plc_core::timing::DEFAULT_SIM_TIME,
             burst: BurstPolicy::Single,
             emit_wire_events: true,
+            fast_forward: true,
         }
     }
 }
@@ -159,12 +164,15 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
 
     /// Install hot-path instrumentation into `registry`: span timers
     /// `multiclass.round` (one full contention round) and
-    /// `multiclass.prs` (the priority-resolution phase).
-    pub fn instrument(&mut self, registry: &plc_obs::Registry) {
+    /// `multiclass.prs` (the priority-resolution phase). Fails with
+    /// [`plc_core::error::Error::Runtime`] if either name is already
+    /// registered as a different metric kind.
+    pub fn instrument(&mut self, registry: &plc_obs::Registry) -> plc_core::error::Result<()> {
         self.timers = Some(MultiClassTimers {
-            round: registry.timer("multiclass.round"),
-            prs: registry.timer("multiclass.prs"),
+            round: registry.try_timer("multiclass.round")?,
+            prs: registry.try_timer("multiclass.prs")?,
         });
+        Ok(())
     }
 
     /// Current simulated time.
@@ -255,16 +263,58 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
 
             match winners.len() {
                 0 => {
-                    let t0 = self.t;
-                    for st in &mut self.stations {
-                        if st.priority == res.winner && st.traffic.has_frame() {
-                            st.process.on_idle_slot(&mut self.rng);
+                    // PRS-aware fast-forward: only the winning class's
+                    // backlogged stations count down this round, and no
+                    // arrivals/beacons/noise occur inside a round, so the
+                    // next min(BC) slots over that set are guaranteed
+                    // idle. Same per-slot time/metrics/event replay as
+                    // the single-class engine's fast path.
+                    let skip = if self.cfg.fast_forward {
+                        let mut k = u32::MAX;
+                        let mut ok = true;
+                        for st in &self.stations {
+                            if st.priority == res.winner && st.traffic.has_frame() {
+                                match st.process.idle_skip() {
+                                    Some(bc) if bc > 0 => k = k.min(bc),
+                                    _ => {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        (ok && k != u32::MAX).then_some(k)
+                    } else {
+                        None
+                    };
+                    match skip {
+                        Some(k) => {
+                            for _ in 0..k {
+                                let t0 = self.t;
+                                self.t += self.cfg.timing.slot;
+                                self.metrics.idle_slots += 1;
+                                self.metrics.time_idle += self.cfg.timing.slot;
+                                self.emit(TraceEvent::IdleSlot { t: t0 });
+                            }
+                            for st in &mut self.stations {
+                                if st.priority == res.winner && st.traffic.has_frame() {
+                                    st.process.consume_idle_slots(k);
+                                }
+                            }
+                        }
+                        None => {
+                            let t0 = self.t;
+                            for st in &mut self.stations {
+                                if st.priority == res.winner && st.traffic.has_frame() {
+                                    st.process.on_idle_slot(&mut self.rng);
+                                }
+                            }
+                            self.t += self.cfg.timing.slot;
+                            self.metrics.idle_slots += 1;
+                            self.metrics.time_idle += self.cfg.timing.slot;
+                            self.emit(TraceEvent::IdleSlot { t: t0 });
                         }
                     }
-                    self.t += self.cfg.timing.slot;
-                    self.metrics.idle_slots += 1;
-                    self.metrics.time_idle += self.cfg.timing.slot;
-                    self.emit(TraceEvent::IdleSlot { t: t0 });
                 }
                 1 => {
                     let w = winners[0];

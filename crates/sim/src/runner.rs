@@ -53,6 +53,7 @@ pub struct Simulation {
     beacons: Option<crate::engine::BeaconSchedule>,
     noise: Vec<plc_faults::NoiseBurst>,
     snapshots: bool,
+    fast_forward: bool,
     sinks: Vec<SharedSink>,
     observers: Vec<(SharedObserver, u64)>,
     registry: Option<plc_obs::Registry>,
@@ -74,6 +75,7 @@ impl std::fmt::Debug for Simulation {
             .field("beacons", &self.beacons)
             .field("noise", &self.noise.len())
             .field("snapshots", &self.snapshots)
+            .field("fast_forward", &self.fast_forward)
             .field("sinks", &self.sinks.len())
             .field("observers", &self.observers.len())
             .field("registry", &self.registry.is_some())
@@ -99,6 +101,7 @@ impl Simulation {
             beacons: None,
             noise: Vec::new(),
             snapshots: false,
+            fast_forward: true,
             sinks: Vec::new(),
             observers: Vec::new(),
             registry: None,
@@ -197,6 +200,15 @@ impl Simulation {
         self
     }
 
+    /// Enable or disable the engine's idle-slot fast-forward (on by
+    /// default). The optimization is exact — traces, metrics and sweep
+    /// output are byte-identical either way — so disabling it is only
+    /// useful for benchmarking the slow path or for debugging.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
+    }
+
     /// Attach a trace sink; every built engine emits its events into it.
     /// Repeatable.
     pub fn sink(mut self, sink: SharedSink) -> Self {
@@ -221,7 +233,19 @@ impl Simulation {
 
     /// Build the engine (for callers that want to attach sinks or step
     /// manually).
+    ///
+    /// # Panics
+    ///
+    /// On invalid configuration; [`try_build`](Simulation::try_build)
+    /// returns the error instead.
     pub fn build(&self) -> SlottedEngine<AnyBackoff> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the engine, surfacing configuration problems (overlapping
+    /// noise bursts, invalid timing, metric-name clashes in the attached
+    /// registry) as typed errors instead of panicking.
+    pub fn try_build(&self) -> plc_core::error::Result<SlottedEngine<AnyBackoff>> {
         let mut proc_rng = SmallRng::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -253,8 +277,9 @@ impl Simulation {
             emit_wire_events: true,
             beacons: self.beacons,
             noise: self.noise.clone(),
+            fast_forward: self.fast_forward,
         };
-        let mut engine = SlottedEngine::new(cfg, stations, self.seed);
+        let mut engine = SlottedEngine::try_new(cfg, stations, self.seed)?;
         for s in &self.sinks {
             engine.add_sink(s.clone());
         }
@@ -262,17 +287,30 @@ impl Simulation {
             engine.add_observer(obs.clone(), *every);
         }
         if let Some(reg) = &self.registry {
-            engine.instrument(reg);
+            engine.instrument(reg)?;
         }
-        engine
+        Ok(engine)
     }
 
     /// Build, run to the horizon, and summarize. The single entry point:
     /// attached sinks, observers and instrumentation all apply.
+    ///
+    /// # Panics
+    ///
+    /// On invalid configuration; [`try_run`](Simulation::try_run)
+    /// returns the error instead.
     pub fn run(&self) -> SimReport {
-        let mut engine = self.build();
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build and run, surfacing configuration problems as typed errors.
+    pub fn try_run(&self) -> plc_core::error::Result<SimReport> {
+        let mut engine = self.try_build()?;
         engine.run();
-        SimReport::from_metrics(engine.metrics().clone(), self.timing.frame_length)
+        Ok(SimReport::from_metrics(
+            engine.metrics().clone(),
+            self.timing.frame_length,
+        ))
     }
 
     /// Build with the given sinks attached, run, and summarize.

@@ -382,8 +382,17 @@ impl SweepGrid {
 
     /// The instrumented single-cell runner both execution paths share.
     fn timed_cell_fn(&self) -> impl Fn(&Simulation, usize, u64, u64, u64) -> SimReport + Sync + '_ {
-        let cell_timer = self.registry.as_ref().map(|r| r.timer("sweep.cell"));
-        let cell_counter = self.registry.as_ref().map(|r| r.counter("sweep.cells"));
+        // Degrade gracefully on metric-name clashes: a sweep should still
+        // run (uninstrumented) if the caller's registry already uses these
+        // names for other kinds.
+        let cell_timer = self
+            .registry
+            .as_ref()
+            .and_then(|r| r.try_timer("sweep.cell").ok());
+        let cell_counter = self
+            .registry
+            .as_ref()
+            .and_then(|r| r.try_counter("sweep.cells").ok());
         move |template: &Simulation, n: usize, master: u64, idx: u64, rep: u64| {
             let _span = cell_timer.as_ref().map(|t| t.start());
             let report = run_cell(template, n, master, idx, rep);

@@ -114,6 +114,19 @@ impl TrafficState {
         self.backlog() > 0
     }
 
+    /// Earliest time (µs) at which [`advance_to`](Self::advance_to) would
+    /// mutate state or consume RNG draws: the next arrival or on/off
+    /// phase flip, `INFINITY` for saturated sources. Any `advance_to(now)`
+    /// with `now` strictly below this value is a guaranteed no-op — the
+    /// invariant the engine's idle-slot fast-forward relies on.
+    pub fn next_event_us(&self) -> f64 {
+        match self.model {
+            TrafficModel::Saturated => f64::INFINITY,
+            TrafficModel::Poisson { .. } => self.next_arrival,
+            TrafficModel::OnOff { .. } => self.next_arrival.min(self.phase_end),
+        }
+    }
+
     /// Advance the arrival process to time `now` (µs), enqueueing arrivals.
     /// Returns `true` if the queue went from empty to non-empty (the
     /// station must start a fresh backoff).

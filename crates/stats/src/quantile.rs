@@ -68,10 +68,11 @@ impl P2Quantile {
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         if self.warmup.len() < 5 {
-            self.warmup.push(x);
+            // Insert in sorted order so estimate() indexes directly and
+            // marker initialization needs no final sort.
+            let pos = self.warmup.partition_point(|&w| w <= x);
+            self.warmup.insert(pos, x);
             if self.warmup.len() == 5 {
-                self.warmup
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = w;
                 }
@@ -79,7 +80,11 @@ impl P2Quantile {
             return;
         }
 
-        // Find the cell and update extreme heights.
+        // Find the cell and update extreme heights. The interior scan
+        // takes the *largest* marker not exceeding x: with duplicate
+        // heights (constant or near-constant streams) the textbook
+        // half-open test `h[i] ≤ x < h[i+1]` can match nothing, and a
+        // first-match scan then silently misfiles x into cell 0.
         let k = if x < self.heights[0] {
             self.heights[0] = x;
             0
@@ -88,8 +93,8 @@ impl P2Quantile {
             3
         } else {
             let mut cell = 0;
-            for i in 0..4 {
-                if x >= self.heights[i] && x < self.heights[i + 1] {
+            for i in (0..4).rev() {
+                if self.heights[i] <= x {
                     cell = i;
                     break;
                 }
@@ -148,10 +153,13 @@ impl P2Quantile {
             return f64::NAN;
         }
         if self.warmup.len() < 5 {
-            let mut v = self.warmup.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let idx = ((v.len() as f64 - 1.0) * self.q).round() as usize;
-            return v[idx];
+            // The warmup buffer is kept sorted on insert; interpolate
+            // linearly between the bracketing ranks (type-7) instead of
+            // the biased nearest-rank rule.
+            let h = (self.warmup.len() as f64 - 1.0) * self.q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            return self.warmup[lo] + (h - lo as f64) * (self.warmup[hi] - self.warmup[lo]);
         }
         self.heights[2]
     }
@@ -235,6 +243,55 @@ mod tests {
             p2.push(7.0);
         }
         assert_eq!(p2.estimate(), 7.0);
+    }
+
+    #[test]
+    fn small_sample_interpolates_between_ranks() {
+        // Regression for the nearest-rank bias: the old estimate() rounded
+        // (n−1)·q to a rank, so the 2-sample median reported 3.0.
+        let mut p2 = P2Quantile::new(0.5);
+        p2.push(1.0);
+        p2.push(3.0);
+        assert_eq!(p2.estimate(), 2.0);
+        // 4-sample p25 lands a quarter of the way from rank 0 to rank 1.
+        let mut p25 = P2Quantile::new(0.25);
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            p25.push(x);
+        }
+        assert!((p25.estimate() - 1.75).abs() < 1e-12, "{}", p25.estimate());
+    }
+
+    #[test]
+    fn near_constant_stream_duplicate_heights() {
+        // Regression for duplicate-height cell selection: a stream that is
+        // almost all one value collapses several marker heights onto it,
+        // and the old first-match scan misfiled in-range observations into
+        // cell 0, dragging the estimate toward the minimum.
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..50_000 {
+            let x = if rng.gen::<f64>() < 0.98 {
+                7.0
+            } else {
+                7.0 + rng.gen::<f64>()
+            };
+            p2.push(x);
+        }
+        let est = p2.estimate();
+        assert!((est - 7.0).abs() < 0.05, "median of ~98% sevens: {est}");
+    }
+
+    #[test]
+    fn two_point_stream_duplicate_heights() {
+        // Bernoulli stream: marker heights are all 0s and 1s (maximal
+        // duplication). The median of a fair coin must stay inside [0, 1].
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20_000 {
+            p2.push(if rng.gen::<bool>() { 1.0 } else { 0.0 });
+        }
+        let est = p2.estimate();
+        assert!((0.0..=1.0).contains(&est), "median {est}");
     }
 
     #[test]

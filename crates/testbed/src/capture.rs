@@ -73,11 +73,15 @@ pub fn group_bursts_lossy(
     captures: &[SnifferInd],
     registry: &plc_obs::Registry,
 ) -> Vec<BurstRecord> {
-    let dropped = registry.counter("testbed.capture.dropped");
+    // Degrade to uncounted dropping if the name is taken by another kind;
+    // grouping must not fail over an observability clash.
+    let dropped = registry.try_counter("testbed.capture.dropped").ok();
     let bursts = group_finite(captures.iter().filter(|ind| {
         let ok = ind.timestamp_us.is_finite();
         if !ok {
-            dropped.inc();
+            if let Some(d) = &dropped {
+                d.inc();
+            }
         }
         ok
     }));

@@ -109,12 +109,14 @@ impl Device {
     /// `registry` as `testbed.dev<TEI>.tx_acked` / `.tx_collided`. The
     /// MME path stays authoritative — the registry counters are a live
     /// read-only view that must always agree with what ampstat reports.
-    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+    /// Fails if either name is already registered as a non-counter.
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) -> plc_core::error::Result<()> {
         let tei = self.tei.0;
         self.obs = Some(DeviceObs {
-            tx_acked: registry.counter(&format!("testbed.dev{tei}.tx_acked")),
-            tx_collided: registry.counter(&format!("testbed.dev{tei}.tx_collided")),
+            tx_acked: registry.try_counter(&format!("testbed.dev{tei}.tx_acked"))?,
+            tx_collided: registry.try_counter(&format!("testbed.dev{tei}.tx_collided"))?,
         });
+        Ok(())
     }
 
     /// The device's MAC address.
@@ -314,7 +316,7 @@ mod tests {
     fn registry_mirror_tracks_tx_counters() {
         let registry = plc_obs::Registry::new();
         let mut d = dev();
-        d.attach_registry(&registry);
+        d.attach_registry(&registry).unwrap();
         let peer = MacAddr::station(9);
         d.record_tx_ack(peer, Priority::CA1, false);
         d.record_tx_ack(peer, Priority::CA1, true);

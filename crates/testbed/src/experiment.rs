@@ -133,11 +133,11 @@ impl CollisionExperiment {
         };
         let mut strip = PowerStrip::new(cfg);
         if let Some(reg) = registry {
-            strip.attach_registry(reg);
+            strip.attach_registry(reg)?;
         }
         let mut tool = AmpStat::new(strip.bus()).with_retry(self.retry);
         if let Some(reg) = registry {
-            tool.attach_registry(reg);
+            tool.attach_registry(reg)?;
         }
         let dst = strip.destination_mac();
         let macs: Vec<MacAddr> = (0..self.n).map(|i| strip.station_mac(i)).collect();

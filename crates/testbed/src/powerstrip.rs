@@ -119,16 +119,23 @@ impl PowerStrip {
     /// (`testbed.dev<TEI>.tx_acked` / `.tx_collided`) and instrument the
     /// underlying engine's round/PRS timers on the next [`run_test`].
     /// Observability only — results are identical with or without it.
+    /// Fails (leaving the strip uninstrumented) if any metric name is
+    /// already registered under a different kind.
     ///
     /// [`run_test`]: PowerStrip::run_test
-    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) -> plc_core::error::Result<()> {
+        // Pre-register the engine timers eagerly so run_test's instrument
+        // call cannot fail later: any name clash surfaces here instead.
+        registry.try_timer("multiclass.round")?;
+        registry.try_timer("multiclass.prs")?;
         for d in self.devices.lock().iter_mut() {
-            d.attach_registry(registry);
+            d.attach_registry(registry)?;
         }
         if let Some(f) = &self.mme_faults {
-            f.lock().attach_registry(registry);
+            f.lock().attach_registry(registry)?;
         }
         self.registry = Some(registry.clone());
+        Ok(())
     }
 
     /// The management bus the tools plug into (fault-injected when the
@@ -232,10 +239,13 @@ impl PowerStrip {
             horizon: self.cfg.duration,
             burst: self.cfg.burst,
             emit_wire_events: true,
+            fast_forward: true,
         };
         let mut engine = MultiClassEngine::new(engine_cfg, stations, self.cfg.seed);
         if let Some(registry) = &self.registry {
-            engine.instrument(registry);
+            // Cannot fail: attach_registry pre-registered both timers with
+            // the right kinds, and re-resolving a same-kind name succeeds.
+            let _ = engine.instrument(registry);
         }
         let sink = Arc::new(Mutex::new(FirmwareSink::new(self.devices.clone())));
         engine.add_sink(sink);
@@ -381,7 +391,7 @@ mod tests {
         cfg.mme_rate_per_us = 0.0;
         let mut strip = PowerStrip::new(cfg);
         let registry = plc_obs::Registry::new();
-        strip.attach_registry(&registry);
+        strip.attach_registry(&registry).unwrap();
         strip.run_test();
         let tool = AmpStat::new(strip.bus());
         let dst = strip.destination_mac();

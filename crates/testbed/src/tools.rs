@@ -66,13 +66,14 @@ impl MmeClient {
         self.retry = retry;
     }
 
-    fn attach_registry(&mut self, registry: &plc_obs::Registry) {
+    fn attach_registry(&mut self, registry: &plc_obs::Registry) -> Result<()> {
         self.obs = Some(MmeClientObs {
-            attempts: registry.counter("testbed.mme.attempts"),
-            retries: registry.counter("testbed.mme.retries"),
-            gave_up: registry.counter("testbed.mme.gave_up"),
-            backoff_us: registry.counter("testbed.mme.backoff_us"),
+            attempts: registry.try_counter("testbed.mme.attempts")?,
+            retries: registry.try_counter("testbed.mme.retries")?,
+            gave_up: registry.try_counter("testbed.mme.gave_up")?,
+            backoff_us: registry.try_counter("testbed.mme.backoff_us")?,
         });
+        Ok(())
     }
 
     /// Run one idempotent transaction with retries. Non-retryable errors
@@ -133,9 +134,10 @@ impl AmpStat {
 
     /// Count transaction attempts, retries, give-ups and total virtual
     /// backoff into `registry` (`testbed.mme.attempts` / `.retries` /
-    /// `.gave_up` / `.backoff_us`).
-    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
-        self.client.attach_registry(registry);
+    /// `.gave_up` / `.backoff_us`). Fails if any of those names is
+    /// already registered as a non-counter.
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) -> Result<()> {
+        self.client.attach_registry(registry)
     }
 
     fn request(
@@ -208,8 +210,9 @@ impl Faifa {
 
     /// Count transaction attempts, retries, give-ups and total virtual
     /// backoff into `registry` (`testbed.mme.*`, shared with [`AmpStat`]).
-    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) {
-        self.client.attach_registry(registry);
+    /// Fails if any of those names is already registered as a non-counter.
+    pub fn attach_registry(&mut self, registry: &plc_obs::Registry) -> Result<()> {
+        self.client.attach_registry(registry)
     }
 
     /// Enable or disable the sniffer mode of `device`; returns the state
@@ -432,7 +435,7 @@ mod tests {
         let registry = plc_obs::Registry::new();
         let mut counted =
             AmpStat::new(lossy(&bus, 13, 0.4)).with_retry(RetryPolicy::with_attempts(32));
-        counted.attach_registry(&registry);
+        counted.attach_registry(&registry).unwrap();
         let a = plain.get(dev, peer, Priority::CA1, Direction::Tx).unwrap();
         let b = counted
             .get(dev, peer, Priority::CA1, Direction::Tx)
@@ -485,7 +488,7 @@ mod tests {
         let (bus, _) = setup();
         let registry = plc_obs::Registry::new();
         let mut tool = AmpStat::new(bus).with_retry(RetryPolicy::with_attempts(10));
-        tool.attach_registry(&registry);
+        tool.attach_registry(&registry).unwrap();
         let ghost = MacAddr::station(42);
         assert!(tool
             .get(ghost, ghost, Priority::CA1, Direction::Tx)
