@@ -180,6 +180,23 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
             .registry(&registry)
             .run();
     }));
+    // Fleet-scale saturated populations: the medium is busy almost every
+    // slot, so these exercise the SoA busy-slot sweep rather than the
+    // idle fast-forward.
+    workloads.push(time_workload("engine_1901_n200_sat", &registry, || {
+        Simulation::ieee1901(200)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
+    workloads.push(time_workload("engine_1901_n500_sat", &registry, || {
+        Simulation::ieee1901(500)
+            .horizon_us(h(5.0e8))
+            .seed(1)
+            .registry(&registry)
+            .run();
+    }));
 
     Ok(BenchSnapshot {
         schema: SCHEMA.to_string(),
@@ -286,7 +303,7 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 6);
+        assert_eq!(snap.workloads.len(), 8);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);

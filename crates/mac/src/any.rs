@@ -8,7 +8,7 @@
 
 use crate::backoff1901::Backoff1901;
 use crate::dcf::BackoffDcf;
-use crate::process::{BackoffProcess, BackoffSnapshot, Protocol};
+use crate::process::{BackoffProcess, BackoffSnapshot, Protocol, SoaView};
 use rand::RngCore;
 
 /// Either of the implemented backoff processes. Dispatch is a two-arm
@@ -69,6 +69,10 @@ impl BackoffProcess for AnyBackoff {
 
     fn consume_idle_slots(&mut self, n: u32) {
         delegate!(self, b => b.consume_idle_slots(n))
+    }
+
+    fn soa_view(&self) -> Option<SoaView> {
+        delegate!(self, b => b.soa_view())
     }
 
     fn protocol(&self) -> Protocol {

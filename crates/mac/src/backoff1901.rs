@@ -19,7 +19,7 @@
 //! * BPC counts stage entries since the last success, so the stage in
 //!   effect after `k` redraws without success is `min(k − 1, m − 1)`.
 
-use crate::process::{BackoffProcess, BackoffSnapshot, Protocol};
+use crate::process::{BackoffProcess, BackoffSnapshot, Protocol, SoaStage, SoaState, SoaView};
 use plc_core::config::{CsmaConfig, DC_DISABLED};
 use rand::Rng;
 use rand::RngCore;
@@ -167,6 +167,24 @@ impl BackoffProcess for Backoff1901 {
     fn consume_idle_slots(&mut self, n: u32) {
         debug_assert!(n <= self.bc, "cannot skip past BC = 0");
         self.bc -= n;
+    }
+
+    fn soa_view(&self) -> Option<SoaView> {
+        Some(SoaView {
+            protocol: Protocol::Ieee1901,
+            stages: self
+                .cfg
+                .stages()
+                .iter()
+                .map(|p| SoaStage { cw: p.cw, dc: p.dc })
+                .collect(),
+            state: SoaState {
+                bc: self.bc,
+                dc: self.dc,
+                bpc: self.bpc,
+                stage: self.stage() as u32,
+            },
+        })
     }
 
     fn protocol(&self) -> Protocol {

@@ -11,8 +11,8 @@
 //! experiment E1) and for the short-term fairness study of the paper's
 //! prior work \[4\].
 
-use crate::process::{BackoffProcess, BackoffSnapshot, Protocol};
-use plc_core::config::CsmaConfig;
+use crate::process::{BackoffProcess, BackoffSnapshot, Protocol, SoaStage, SoaState, SoaView};
+use plc_core::config::{CsmaConfig, DC_DISABLED};
 use rand::Rng;
 use rand::RngCore;
 
@@ -115,6 +115,27 @@ impl BackoffProcess for BackoffDcf {
     fn consume_idle_slots(&mut self, n: u32) {
         debug_assert!(n <= self.bc, "cannot skip past BC = 0");
         self.bc -= n;
+    }
+
+    fn soa_view(&self) -> Option<SoaView> {
+        Some(SoaView {
+            protocol: Protocol::Dcf80211,
+            stages: self
+                .cfg
+                .stages()
+                .iter()
+                .map(|p| SoaStage {
+                    cw: p.cw,
+                    dc: DC_DISABLED,
+                })
+                .collect(),
+            state: SoaState {
+                bc: self.bc,
+                dc: DC_DISABLED,
+                bpc: self.retries,
+                stage: self.stage as u32,
+            },
+        })
     }
 
     fn protocol(&self) -> Protocol {

@@ -43,5 +43,5 @@ pub mod retry;
 pub use any::AnyBackoff;
 pub use backoff1901::Backoff1901;
 pub use dcf::BackoffDcf;
-pub use process::{BackoffProcess, BackoffSnapshot, Protocol};
+pub use process::{BackoffProcess, BackoffSnapshot, Protocol, SoaStage, SoaState, SoaView};
 pub use retry::RetryPolicy;

@@ -47,6 +47,57 @@ pub struct BackoffSnapshot {
     pub bpc: u32,
 }
 
+/// One row of the per-stage parameter table in a [`SoaView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoaStage {
+    /// Contention window at this stage: redraws pick BC uniformly from
+    /// `0..cw` (one `gen_range` call, i.e. one RNG word).
+    pub cw: u32,
+    /// Initial deferral counter at this stage; `u32::MAX` disables the
+    /// deferral counter (802.11 rows always use the disabled value).
+    pub dc: u32,
+}
+
+/// Live counters exported in a [`SoaView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoaState {
+    /// Current backoff counter.
+    pub bc: u32,
+    /// Current deferral counter (`u32::MAX` when disabled or absent).
+    pub dc: u32,
+    /// Raw stage-entry counter: 1901's BPC *before* the reporting
+    /// adjustment (`snapshot().bpc + 1` after the first draw), or the
+    /// 802.11 retry count.
+    pub bpc: u32,
+    /// Stage currently in effect (index into the stage table).
+    pub stage: u32,
+}
+
+/// A struct-of-arrays export of a backoff process: the per-stage parameter
+/// table plus the live counters, in exactly the representation an engine
+/// needs to host contention state in parallel arrays and replay this
+/// process's RNG draw sequence bit-identically (see `plc-sim`'s
+/// `ContentionCore`).
+///
+/// A process that returns a view guarantees its entire future behaviour is
+/// determined by [`Protocol`] slot semantics over these counters:
+///
+/// * redraws consume exactly one `gen_range(0..cw)` call;
+/// * 1901 busy slots redraw iff `dc == 0`, else decrement BC (and DC when
+///   enabled); 802.11 busy slots freeze;
+/// * success/reset re-enter stage 0; failure advances the stage
+///   (1901: via BPC saturating increment; 802.11: saturated at the last
+///   stage, with a saturating retry count).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoaView {
+    /// Which protocol's slot semantics the counters follow.
+    pub protocol: Protocol,
+    /// Per-stage contention parameters, in stage order.
+    pub stages: Vec<SoaStage>,
+    /// Live counter state.
+    pub state: SoaState,
+}
+
 /// A CSMA/CA contention state machine, driven by slot events.
 ///
 /// # Contract
@@ -125,6 +176,21 @@ pub trait BackoffProcess {
             n == 0,
             "consume_idle_slots used on a process that opted out of idle_skip"
         );
+    }
+
+    /// Export the full contention state as a [`SoaView`] so an engine can
+    /// move it into parallel arrays. `None` (the default) opts out and
+    /// keeps the engine on the per-object slot-event path.
+    ///
+    /// # Contract
+    ///
+    /// A process returning `Some` asserts that the view captures *all* of
+    /// its state: an engine replaying [`Protocol`] slot semantics over the
+    /// exported counters — with redraws taken from the same RNG stream in
+    /// the same order — produces bit-identical traces to calling the slot
+    ///-event methods on the object itself.
+    fn soa_view(&self) -> Option<SoaView> {
+        None
     }
 
     /// Which protocol this process implements.

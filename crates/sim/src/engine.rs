@@ -20,6 +20,7 @@
 //! exactly that.
 
 use crate::bursting::BurstPolicy;
+use crate::contention::{ContentionCore, SweepAction};
 use crate::metrics::Metrics;
 use crate::trace::{StationId, TraceEvent, TraceSink};
 use crate::traffic::{TrafficModel, TrafficState};
@@ -117,6 +118,14 @@ pub struct EngineConfig {
     /// (EngineConfig::emit_snapshots) and attached observers force the
     /// per-slot path regardless, since both need every step materialized.
     pub fast_forward: bool,
+    /// Host the contention counters in a struct-of-arrays core (default
+    /// `true`), making the busy-slot pass a tight sweep over parallel
+    /// arrays with batched RNG draws. Bit-identical to the per-object
+    /// path — same traces, metrics and RNG stream, pinned by the
+    /// `soa_equivalence` suite — and engaged only when every station's
+    /// process exports a [`plc_mac::SoaView`]; disable to force the
+    /// per-object reference path.
+    pub soa: bool,
 }
 
 impl EngineConfig {
@@ -134,6 +143,7 @@ impl EngineConfig {
             beacons: None,
             noise: Vec::new(),
             fast_forward: true,
+            soa: true,
         }
     }
 
@@ -266,6 +276,14 @@ pub struct SlottedEngine<P: BackoffProcess> {
     hint_valid: bool,
     min_bc: u32,
     zero_bc: Vec<StationId>,
+    /// Struct-of-arrays contention state (see [`EngineConfig::soa`]).
+    /// When present it is the *authoritative* store of every station's
+    /// BC/DC/BPC/stage — the `StationCtx` process objects are only read
+    /// at build time — and every read or mutation of contention state
+    /// routes through it.
+    core: Option<ContentionCore>,
+    /// Scratch buffer of per-transmitter sweep actions (collision arm).
+    action_buf: Vec<SweepAction>,
 }
 
 impl<P: BackoffProcess> SlottedEngine<P> {
@@ -348,6 +366,18 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             .map(|b| b.period)
             .unwrap_or(Microseconds(f64::INFINITY));
         let all_saturated = stations.iter().all(|s| s.traffic.is_saturated());
+        // Move the contention counters into the struct-of-arrays core
+        // when every process can export them; a single opt-out (or an
+        // unrepresentable table) falls back to the per-object path.
+        let core = if cfg.soa {
+            stations
+                .iter()
+                .map(|s| s.process.soa_view())
+                .collect::<Option<Vec<_>>>()
+                .and_then(|views| ContentionCore::from_views(&views, all_saturated))
+        } else {
+            None
+        };
         Ok(SlottedEngine {
             cfg,
             stations,
@@ -367,6 +397,8 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             hint_valid: false,
             min_bc: u32::MAX,
             zero_bc: Vec::with_capacity(n),
+            core,
+            action_buf: Vec::with_capacity(n),
         })
     }
 
@@ -394,6 +426,13 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     /// included) and `engine.steps_skipped` (slots absorbed by
     /// fast-forward). Without this call the hot loop pays a single branch
     /// per step for observability.
+    ///
+    /// Inside [`run`](Self::run) with fast-forward on, `engine.step` and
+    /// `engine.steps` are recorded in one batch when the run completes
+    /// (a per-step clock read would cost as much as the step itself);
+    /// the totals are identical, but mid-run reads from another thread
+    /// see them only after the run returns. External [`step`](Self::step)
+    /// calls record per step.
     ///
     /// Fails with [`Error::Runtime`] if any of those names is already
     /// registered as a different metric kind.
@@ -425,7 +464,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
 
     /// Counter snapshot of station `i`.
     pub fn snapshot(&self, i: StationId) -> plc_mac::process::BackoffSnapshot {
-        self.stations[i].process.snapshot()
+        match &self.core {
+            Some(core) => core.snapshot(i),
+            None => self.stations[i].process.snapshot(),
+        }
     }
 
     /// Number of stations.
@@ -509,6 +551,19 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 return 0;
             }
             self.min_bc
+        } else if let Some(core) = &self.core {
+            let mut k = u32::MAX;
+            for (i, st) in self.stations.iter().enumerate() {
+                if st.traffic.has_frame() || !st.retx.is_empty() {
+                    let bc = core.bc_of(i);
+                    if bc == 0 {
+                        // A station transmits this slot: step normally.
+                        return 0;
+                    }
+                    k = k.min(bc);
+                }
+            }
+            k
         } else {
             let mut k = u32::MAX;
             for st in &self.stations {
@@ -557,13 +612,27 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             zero.clear();
             let mut min = u32::MAX;
             let mut poisoned = false;
-            for (i, st) in self.stations.iter_mut().enumerate() {
-                if st.traffic.has_frame() || !st.retx.is_empty() {
-                    st.process.consume_idle_slots(skipped as u32);
-                    match st.process.idle_skip() {
-                        Some(0) => zero.push(i),
-                        Some(bc) => min = min.min(bc),
-                        None => poisoned = true,
+            if let Some(core) = &mut self.core {
+                for (i, st) in self.stations.iter().enumerate() {
+                    if st.traffic.has_frame() || !st.retx.is_empty() {
+                        core.consume_idle(i, skipped as u32);
+                        let bc = core.bc_of(i);
+                        if bc == 0 {
+                            zero.push(i);
+                        } else {
+                            min = min.min(bc);
+                        }
+                    }
+                }
+            } else {
+                for (i, st) in self.stations.iter_mut().enumerate() {
+                    if st.traffic.has_frame() || !st.retx.is_empty() {
+                        st.process.consume_idle_slots(skipped as u32);
+                        match st.process.idle_skip() {
+                            Some(0) => zero.push(i),
+                            Some(bc) => min = min.min(bc),
+                            None => poisoned = true,
+                        }
                     }
                 }
             }
@@ -668,7 +737,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 .iter()
                 .enumerate()
                 .map(|(i, st)| {
-                    let snap = st.process.snapshot();
+                    let snap = match &self.core {
+                        Some(core) => core.snapshot(i),
+                        None => st.process.snapshot(),
+                    };
                     StationObs {
                         station: i,
                         stage: snap.stage,
@@ -725,15 +797,38 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         // Deliver traffic arrivals up to now; newly-backlogged stations
         // start a fresh stage-0 backoff.
         if !self.all_saturated {
-            for st in &mut self.stations {
-                if !st.traffic.is_saturated()
-                    && st.traffic.advance_to(t0.as_micros(), &mut self.rng)
-                {
-                    st.process.reset(&mut self.rng);
-                    if TRACK {
-                        // The fresh stage-0 BC isn't folded into the
-                        // cache; rebuild it below.
-                        self.hint_valid = false;
+            if let Some(core) = &mut self.core {
+                for (i, st) in self.stations.iter_mut().enumerate() {
+                    if !st.traffic.is_saturated()
+                        && st.traffic.advance_to(t0.as_micros(), &mut self.rng)
+                    {
+                        core.reset_now(i, &mut self.rng);
+                        if TRACK {
+                            // The fresh stage-0 BC isn't folded into the
+                            // cache; rebuild it below.
+                            self.hint_valid = false;
+                        }
+                    }
+                }
+                // Refresh the backlog flags once per step: the contender
+                // scan and the sweeps below read these instead of walking
+                // `StationCtx` (with every station saturated they are
+                // constant `true` and never refreshed). Stations whose
+                // queues change mid-step are fixed up in place.
+                for (i, st) in self.stations.iter().enumerate() {
+                    core.set_active(i, st.traffic.has_frame() || !st.retx.is_empty());
+                }
+            } else {
+                for st in &mut self.stations {
+                    if !st.traffic.is_saturated()
+                        && st.traffic.advance_to(t0.as_micros(), &mut self.rng)
+                    {
+                        st.process.reset(&mut self.rng);
+                        if TRACK {
+                            // The fresh stage-0 BC isn't folded into the
+                            // cache; rebuild it below.
+                            self.hint_valid = false;
+                        }
                     }
                 }
             }
@@ -745,6 +840,8 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         if TRACK && self.hint_valid {
             // `zero_bc` is exactly the contender set, in scan order.
             std::mem::swap(&mut self.tx_buf, &mut self.zero_bc);
+        } else if let Some(core) = &self.core {
+            core.contenders(&mut self.tx_buf);
         } else {
             for (i, st) in self.stations.iter().enumerate() {
                 if (st.traffic.has_frame() || !st.retx.is_empty()) && st.process.wants_tx() {
@@ -771,14 +868,18 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         let emitting = !self.sinks.is_empty();
         let outcome = match tx.len() {
             0 => {
-                for (i, st) in self.stations.iter_mut().enumerate() {
-                    if st.traffic.has_frame() || !st.retx.is_empty() {
-                        st.process.on_idle_slot(&mut self.rng);
-                        if TRACK {
-                            match st.process.idle_skip() {
-                                Some(0) => zero.push(i),
-                                Some(bc) => min_bc = min_bc.min(bc),
-                                None => poisoned = true,
+                if let Some(core) = &mut self.core {
+                    core.idle_sweep::<TRACK>(&mut zero, &mut min_bc);
+                } else {
+                    for (i, st) in self.stations.iter_mut().enumerate() {
+                        if st.traffic.has_frame() || !st.retx.is_empty() {
+                            st.process.on_idle_slot(&mut self.rng);
+                            if TRACK {
+                                match st.process.idle_skip() {
+                                    Some(0) => zero.push(i),
+                                    Some(bc) => min_bc = min_bc.min(bc),
+                                    None => poisoned = true,
+                                }
                             }
                         }
                     }
@@ -868,23 +969,40 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 }
 
                 // Winner resets; everyone else with traffic sensed busy.
-                for i in 0..self.stations.len() {
-                    if i == w {
-                        self.stations[i].process.on_tx_success(&mut self.rng);
-                        self.stations[i].retry = RetryState::new();
-                        self.stations[i].traffic.consume(fresh_consumed);
-                    } else if self.stations[i].traffic.has_frame()
-                        || !self.stations[i].retx.is_empty()
-                    {
-                        self.stations[i].process.on_busy(&mut self.rng);
+                if self.core.is_some() {
+                    // Engine-level bookkeeping first (consumes no RNG
+                    // draws), then the batched sweep redraws in ascending
+                    // station order — the per-object draw order.
+                    self.stations[w].retry = RetryState::new();
+                    self.stations[w].traffic.consume(fresh_consumed);
+                    if !self.all_saturated {
+                        let a = self.stations[w].traffic.has_frame()
+                            || !self.stations[w].retx.is_empty();
+                        if let Some(core) = &mut self.core {
+                            core.set_active(w, a);
+                        }
                     }
-                    if TRACK {
-                        let st = &self.stations[i];
-                        if st.traffic.has_frame() || !st.retx.is_empty() {
-                            match st.process.idle_skip() {
-                                Some(0) => zero.push(i),
-                                Some(bc) => min_bc = min_bc.min(bc),
-                                None => poisoned = true,
+                    let core = self.core.as_mut().expect("checked above");
+                    core.success_sweep::<TRACK>(w, &mut self.rng, &mut zero, &mut min_bc);
+                } else {
+                    for i in 0..self.stations.len() {
+                        if i == w {
+                            self.stations[i].process.on_tx_success(&mut self.rng);
+                            self.stations[i].retry = RetryState::new();
+                            self.stations[i].traffic.consume(fresh_consumed);
+                        } else if self.stations[i].traffic.has_frame()
+                            || !self.stations[i].retx.is_empty()
+                        {
+                            self.stations[i].process.on_busy(&mut self.rng);
+                        }
+                        if TRACK {
+                            let st = &self.stations[i];
+                            if st.traffic.has_frame() || !st.retx.is_empty() {
+                                match st.process.idle_skip() {
+                                    Some(0) => zero.push(i),
+                                    Some(bc) => min_bc = min_bc.min(bc),
+                                    None => poisoned = true,
+                                }
                             }
                         }
                     }
@@ -953,12 +1071,15 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                     }
                 }
 
-                // `tx` is ascending (scan order), so a cursor replaces the
-                // O(|tx|) membership test per station.
-                let mut txi = 0usize;
-                for i in 0..self.stations.len() {
-                    if txi < tx.len() && tx[txi] == i {
-                        txi += 1;
+                if self.core.is_some() {
+                    // Engine-level retry/drop bookkeeping first — it
+                    // consumes no RNG draws and only emits `FrameDropped`
+                    // events, which the per-object loop also emits before
+                    // the `Collision` event — then the batched sweep
+                    // redraws in ascending station order.
+                    let mut actions = std::mem::take(&mut self.action_buf);
+                    actions.clear();
+                    for &i in &tx {
                         let dropped = self.stations[i].retry.record_failure(self.cfg.retry);
                         if dropped {
                             self.stations[i].retry = RetryState::new();
@@ -967,24 +1088,65 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                             if self.stations[i].retx.pop_front().is_none() {
                                 self.stations[i].traffic.consume(1);
                             }
-                            self.stations[i].process.reset(&mut self.rng);
                             self.metrics.per_station[i].dropped += 1;
                             self.emit(TraceEvent::FrameDropped { t: t0, station: i });
+                            actions.push(SweepAction::Restart);
                         } else {
-                            self.stations[i].process.on_tx_failure(&mut self.rng);
+                            actions.push(SweepAction::Advance);
                         }
-                    } else if self.stations[i].traffic.has_frame()
-                        || !self.stations[i].retx.is_empty()
-                    {
-                        self.stations[i].process.on_busy(&mut self.rng);
                     }
-                    if TRACK {
-                        let st = &self.stations[i];
-                        if st.traffic.has_frame() || !st.retx.is_empty() {
-                            match st.process.idle_skip() {
-                                Some(0) => zero.push(i),
-                                Some(bc) => min_bc = min_bc.min(bc),
-                                None => poisoned = true,
+                    if !self.all_saturated {
+                        for &i in &tx {
+                            let a = self.stations[i].traffic.has_frame()
+                                || !self.stations[i].retx.is_empty();
+                            if let Some(core) = &mut self.core {
+                                core.set_active(i, a);
+                            }
+                        }
+                    }
+                    let core = self.core.as_mut().expect("checked above");
+                    core.collision_sweep::<TRACK>(
+                        &tx,
+                        &actions,
+                        &mut self.rng,
+                        &mut zero,
+                        &mut min_bc,
+                    );
+                    self.action_buf = actions;
+                } else {
+                    // `tx` is ascending (scan order), so a cursor replaces
+                    // the O(|tx|) membership test per station.
+                    let mut txi = 0usize;
+                    for i in 0..self.stations.len() {
+                        if txi < tx.len() && tx[txi] == i {
+                            txi += 1;
+                            let dropped = self.stations[i].retry.record_failure(self.cfg.retry);
+                            if dropped {
+                                self.stations[i].retry = RetryState::new();
+                                // Drop the head-of-line unit: a pending
+                                // retransmission if any, else a queued frame.
+                                if self.stations[i].retx.pop_front().is_none() {
+                                    self.stations[i].traffic.consume(1);
+                                }
+                                self.stations[i].process.reset(&mut self.rng);
+                                self.metrics.per_station[i].dropped += 1;
+                                self.emit(TraceEvent::FrameDropped { t: t0, station: i });
+                            } else {
+                                self.stations[i].process.on_tx_failure(&mut self.rng);
+                            }
+                        } else if self.stations[i].traffic.has_frame()
+                            || !self.stations[i].retx.is_empty()
+                        {
+                            self.stations[i].process.on_busy(&mut self.rng);
+                        }
+                        if TRACK {
+                            let st = &self.stations[i];
+                            if st.traffic.has_frame() || !st.retx.is_empty() {
+                                match st.process.idle_skip() {
+                                    Some(0) => zero.push(i),
+                                    Some(bc) => min_bc = min_bc.min(bc),
+                                    None => poisoned = true,
+                                }
                             }
                         }
                     }
@@ -1006,7 +1168,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
 
         if self.cfg.emit_snapshots {
             for i in 0..self.stations.len() {
-                let snap = self.stations[i].process.snapshot();
+                let snap = match &self.core {
+                    Some(core) => core.snapshot(i),
+                    None => self.stations[i].process.snapshot(),
+                };
                 self.emit(TraceEvent::Snapshot {
                     t: self.t,
                     station: i,
@@ -1058,11 +1223,28 @@ impl<P: BackoffProcess> SlottedEngine<P> {
                 }
             }
         } else if fast {
+            // Batched hot-loop instrumentation: a per-step span guard
+            // costs two clock reads — as much as a busy sweep — so the
+            // loop is timed as a whole and `engine.step` receives
+            // (steps, loop time minus fast-forward time) once at the
+            // end: the same totals the per-step guards would have
+            // accumulated. The `fast` path never has observers, which
+            // are what need per-step materialization.
+            let started = std::time::Instant::now();
+            let mut stepped = 0u64;
+            let mut ff_time = std::time::Duration::ZERO;
             while self.t <= self.cfg.horizon {
-                if self.fast_forward_timed() > 0 {
+                if self.fast_forward_timed(&mut ff_time) > 0 {
                     continue;
                 }
-                self.step_instrumented::<true>();
+                self.step_inner::<true>();
+                self.steps += 1;
+                stepped += 1;
+            }
+            if let Some(t) = &self.timers {
+                t.step
+                    .record_many(stepped, started.elapsed().saturating_sub(ff_time));
+                t.steps.add(stepped);
             }
         } else {
             while self.t <= self.cfg.horizon {
@@ -1074,8 +1256,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
 
     /// [`fast_forward_idle`](Self::fast_forward_idle) under the
     /// `engine.fast_forward` span timer, crediting skipped slots to the
-    /// `engine.steps` and `engine.steps_skipped` counters.
-    fn fast_forward_timed(&mut self) -> u64 {
+    /// `engine.steps` and `engine.steps_skipped` counters. The span's
+    /// wall time also accumulates into `total` so the run loop can
+    /// subtract it from the batched `engine.step` time.
+    fn fast_forward_timed(&mut self, total: &mut std::time::Duration) -> u64 {
         // Known busy slot: skip the clock read, nothing will be absorbed.
         if self.hint_valid && !self.zero_bc.is_empty() {
             return 0;
@@ -1083,8 +1267,10 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         let started = std::time::Instant::now();
         let skipped = self.fast_forward_idle();
         if skipped > 0 {
+            let elapsed = started.elapsed();
+            *total += elapsed;
             if let Some(t) = &self.timers {
-                t.fast_forward.record(started.elapsed());
+                t.fast_forward.record(elapsed);
                 t.steps.add(skipped);
                 t.steps_skipped.add(skipped);
             }

@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod batch;
 pub mod bursting;
+pub(crate) mod contention;
 pub mod engine;
 pub mod export;
 pub mod metrics;
@@ -43,7 +45,10 @@ pub mod trace;
 pub mod traffic;
 
 pub use aggregation::{AggregatedMpdu, AggregationConfig, AggregationQueue};
+pub use batch::BatchRunner;
 pub use bursting::BurstPolicy;
+#[doc(hidden)]
+pub use contention::bench as contention_bench;
 pub use engine::{BeaconSchedule, EngineConfig, SlottedEngine, StationSpec, StepOutcome};
 pub use export::JsonLinesSink;
 pub use metrics::{Metrics, StationMetrics};

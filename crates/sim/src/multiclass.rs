@@ -119,6 +119,13 @@ pub struct MultiClassEngine<P: BackoffProcess> {
     metrics: Metrics,
     sinks: Vec<Arc<Mutex<dyn TraceSink + Send>>>,
     timers: Option<MultiClassTimers>,
+    // Per-round scratch, reused so the hot loop stops allocating: the
+    // PRS contender list, the winning-class transmitter set and the
+    // per-transmitter burst draws. Taken out (`std::mem::take`) for the
+    // duration of each use and put back, so capacity persists.
+    contending_buf: Vec<Priority>,
+    winners_buf: Vec<StationId>,
+    bursts_buf: Vec<(usize, usize)>,
 }
 
 /// Hot-path span timers installed by [`MultiClassEngine::instrument`].
@@ -154,6 +161,9 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
             metrics: Metrics::new(n),
             sinks: Vec::new(),
             timers: None,
+            contending_buf: Vec::with_capacity(n),
+            winners_buf: Vec::with_capacity(n),
+            bursts_buf: Vec::with_capacity(n),
         }
     }
 
@@ -221,14 +231,17 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
         self.advance_traffic();
 
         let prs_span = self.timers.as_ref().map(|t| t.prs.start());
-        let contending: Vec<Priority> = self
-            .stations
-            .iter()
-            .filter(|s| s.traffic.has_frame())
-            .map(|s| s.priority)
-            .collect();
+        let mut contending = std::mem::take(&mut self.contending_buf);
+        contending.clear();
+        contending.extend(
+            self.stations
+                .iter()
+                .filter(|s| s.traffic.has_frame())
+                .map(|s| s.priority),
+        );
 
         let resolved = resolve_priority(&contending);
+        self.contending_buf = contending;
         drop(prs_span);
         let Some(res) = resolved else {
             // Nobody has traffic: medium idles one slot.
@@ -251,18 +264,21 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
         // The winning class contends with slotted backoff until a
         // transmission occurs.
         loop {
-            let winners: Vec<StationId> = self
-                .stations
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| {
-                    s.priority == res.winner && s.traffic.has_frame() && s.process.wants_tx()
-                })
-                .map(|(i, _)| i)
-                .collect();
+            let mut winners = std::mem::take(&mut self.winners_buf);
+            winners.clear();
+            winners.extend(
+                self.stations
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        s.priority == res.winner && s.traffic.has_frame() && s.process.wants_tx()
+                    })
+                    .map(|(i, _)| i),
+            );
 
             match winners.len() {
                 0 => {
+                    self.winners_buf = winners;
                     // PRS-aware fast-forward: only the winning class's
                     // backlogged stations count down this round, and no
                     // arrivals/beacons/noise occur inside a round, so the
@@ -318,11 +334,14 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                 }
                 1 => {
                     let w = winners[0];
+                    self.winners_buf = winners;
                     let t0 = self.t;
                     let available = self.stations[w].traffic.backlog().min(MAX_BURST);
                     let burst = self.cfg.burst.draw(&mut self.rng, available);
                     let dur = self.cfg.timing.burst_duration(burst);
-                    if self.cfg.emit_wire_events {
+                    // SoF/SACK construction allocates (per-PB status
+                    // vectors); skip it when nobody listens.
+                    if self.cfg.emit_wire_events && !self.sinks.is_empty() {
                         let mpdu_stride = self.cfg.timing.frame_length + RIFS + SACK;
                         for k in 0..burst {
                             let sof_t = t0 + mpdu_stride * (k as u64);
@@ -365,17 +384,18 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                     let t0 = self.t;
                     // Full bursts go out even on collisions (see the
                     // single-class engine for why).
-                    let bursts: Vec<(usize, usize)> = winners
-                        .iter()
-                        .map(|&i| {
-                            let available = self.stations[i].traffic.backlog().min(MAX_BURST);
-                            (i, self.cfg.burst.draw(&mut self.rng, available))
-                        })
-                        .collect();
+                    let mut bursts = std::mem::take(&mut self.bursts_buf);
+                    bursts.clear();
+                    bursts.extend(winners.iter().map(|&i| {
+                        let available = self.stations[i].traffic.backlog().min(MAX_BURST);
+                        (i, self.cfg.burst.draw(&mut self.rng, available))
+                    }));
                     let max_burst = bursts.iter().map(|&(_, b)| b).max().unwrap_or(1);
                     let dur = self.cfg.timing.burst_duration(max_burst) + self.cfg.timing.tc
                         - self.cfg.timing.ts;
-                    if self.cfg.emit_wire_events {
+                    // SoF/SACK construction allocates (per-PB status
+                    // vectors); skip it when nobody listens.
+                    if self.cfg.emit_wire_events && !self.sinks.is_empty() {
                         // Overlapping bursts: emit slot by slot so capture
                         // timestamps stay monotone.
                         let mpdu_stride = self.cfg.timing.frame_length + RIFS + SACK;
@@ -411,10 +431,16 @@ impl<P: BackoffProcess> MultiClassEngine<P> {
                     self.t += dur;
                     self.metrics.record_collision(&bursts);
                     self.metrics.time_collision += dur;
-                    self.emit(TraceEvent::Collision {
-                        t: t0,
-                        stations: winners,
-                    });
+                    self.bursts_buf = bursts;
+                    // The collision event owns its station list; only
+                    // pay for the clone when somebody listens.
+                    if !self.sinks.is_empty() {
+                        self.emit(TraceEvent::Collision {
+                            t: t0,
+                            stations: winners.clone(),
+                        });
+                    }
+                    self.winners_buf = winners;
                     break;
                 }
             }

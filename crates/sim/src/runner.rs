@@ -54,6 +54,7 @@ pub struct Simulation {
     noise: Vec<plc_faults::NoiseBurst>,
     snapshots: bool,
     fast_forward: bool,
+    soa: bool,
     sinks: Vec<SharedSink>,
     observers: Vec<(SharedObserver, u64)>,
     registry: Option<plc_obs::Registry>,
@@ -76,6 +77,7 @@ impl std::fmt::Debug for Simulation {
             .field("noise", &self.noise.len())
             .field("snapshots", &self.snapshots)
             .field("fast_forward", &self.fast_forward)
+            .field("soa", &self.soa)
             .field("sinks", &self.sinks.len())
             .field("observers", &self.observers.len())
             .field("registry", &self.registry.is_some())
@@ -102,6 +104,7 @@ impl Simulation {
             noise: Vec::new(),
             snapshots: false,
             fast_forward: true,
+            soa: true,
             sinks: Vec::new(),
             observers: Vec::new(),
             registry: None,
@@ -209,6 +212,16 @@ impl Simulation {
         self
     }
 
+    /// Enable or disable the struct-of-arrays contention core (on by
+    /// default). Like fast-forward, the SoA core is exact — reports,
+    /// traces and sweep output are byte-identical either way — so
+    /// disabling it only matters for benchmarking the per-object
+    /// reference path or for debugging.
+    pub fn soa(mut self, enabled: bool) -> Self {
+        self.soa = enabled;
+        self
+    }
+
     /// Attach a trace sink; every built engine emits its events into it.
     /// Repeatable.
     pub fn sink(mut self, sink: SharedSink) -> Self {
@@ -278,6 +291,7 @@ impl Simulation {
             beacons: self.beacons,
             noise: self.noise.clone(),
             fast_forward: self.fast_forward,
+            soa: self.soa,
         };
         let mut engine = SlottedEngine::try_new(cfg, stations, self.seed)?;
         for s in &self.sinks {

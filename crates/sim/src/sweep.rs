@@ -39,11 +39,8 @@
 //! ```
 
 use crate::runner::{ReplicationSummary, SimReport, Simulation};
-use parking_lot::Mutex;
 use plc_stats::summary::Welford;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
-use std::sync::mpsc;
 
 /// The SplitMix64 finalizer: one full avalanche round. A bijection on
 /// `u64`, so distinct inputs always map to distinct outputs.
@@ -138,11 +135,16 @@ where
 /// hook the sweep checkpointer uses to persist every finished point as it
 /// lands — but it receives only a shared reference, so it cannot perturb
 /// the returned vector, which stays bit-identical for any worker count.
+///
+/// Execution is delegated to [`BatchRunner`](crate::batch::BatchRunner)
+/// with static round-robin sharding; see that type for the full
+/// determinism contract (and for per-shard registry merging, which this
+/// registry-less wrapper does not expose).
 pub fn parallel_map_observed<I, T, F, P>(
     workers: usize,
     items: Vec<I>,
     f: F,
-    mut on_result: P,
+    on_result: P,
 ) -> Vec<T>
 where
     I: Send,
@@ -150,56 +152,9 @@ where
     F: Fn(usize, I) -> T + Sync,
     P: FnMut(usize, &T),
 {
-    let total = items.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let workers = workers.max(1).min(total);
-    if workers == 1 {
-        // Run inline: same results as the pooled path, no thread overhead.
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let r = f(i, item);
-                on_result(i, &r);
-                r
-            })
-            .collect();
-    }
-
-    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    let mut out: Vec<Option<T>> = Vec::with_capacity(total);
-    out.resize_with(total, || None);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let queue = &queue;
-            let f = &f;
-            scope.spawn(move || {
-                loop {
-                    let job = queue.lock().pop_front();
-                    let Some((i, item)) = job else { break };
-                    // A worker dies silently only if the collector hung up,
-                    // which cannot happen while we hold jobs.
-                    if tx.send((i, f(i, item))).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        for (i, result) in rx {
-            on_result(i, &result);
-            out[i] = Some(result);
-        }
-    });
-
-    out.into_iter()
-        .map(|r| r.expect("worker pool produced every index"))
-        .collect()
+    crate::batch::BatchRunner::new()
+        .workers(workers)
+        .run_observed(items, |i, item, _| f(i, item), on_result)
 }
 
 /// Render a caught panic payload as a human-readable reason string.

@@ -1,0 +1,218 @@
+//! Byte-identity pins for the struct-of-arrays contention core.
+//!
+//! The engine's hot path now runs on `ContentionCore`: parallel BC/DC/
+//! BPC/stage arrays swept in one pass, with backoff redraws batched into
+//! a per-step draw buffer. The rebuild claims *exactness*: with the SoA
+//! core on or off, the event trace (including per-slot snapshots), the
+//! metrics struct, observer snapshots and the sweep JSON export are
+//! byte-for-byte identical — not statistically close, identical. The
+//! batched draws consume the RNG stream in exactly the per-object call
+//! order, so even the raw generator state matches slot for slot.
+//!
+//! These tests pin that claim across both protocols, beacons, impulse
+//! noise, unsaturated traffic, PB errors, bursts, retry-limit drops,
+//! per-slot snapshot emission, observers, and both fast-forward modes.
+//! A property test drives randomized populations and seeds through all
+//! four (soa × fast-forward) engine configurations.
+
+use parking_lot::Mutex;
+use plc_faults::NoiseBurst;
+use plc_mac::retry::RetryPolicy;
+use plc_sim::bursting::BurstPolicy;
+use plc_sim::runner::{SimReport, Simulation};
+use plc_sim::trace::{TraceEvent, VecTraceSink};
+use plc_sim::traffic::TrafficModel;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run `sim` with the SoA core on and off and assert the reports and
+/// full event traces match exactly. Both runs keep whatever
+/// fast-forward setting `sim` carries. Returns the (shared) report.
+fn assert_soa_equivalent(sim: Simulation) -> (SimReport, Vec<TraceEvent>) {
+    let soa_sink = Arc::new(Mutex::new(VecTraceSink::new()));
+    let obj_sink = Arc::new(Mutex::new(VecTraceSink::new()));
+    let soa = sim.clone().soa(true).sink(soa_sink.clone()).run();
+    let obj = sim.soa(false).sink(obj_sink.clone()).run();
+    assert_eq!(soa, obj, "reports must be identical");
+    let soa_events = std::mem::take(&mut soa_sink.lock().events);
+    let obj_events = &obj_sink.lock().events;
+    assert_eq!(
+        soa_events.len(),
+        obj_events.len(),
+        "event counts must match"
+    );
+    for (i, (a, b)) in soa_events.iter().zip(obj_events.iter()).enumerate() {
+        assert_eq!(a, b, "event {i} diverged");
+    }
+    (soa, soa_events)
+}
+
+#[test]
+fn equivalent_1901_saturated() {
+    let (report, _) = assert_soa_equivalent(Simulation::ieee1901(3).horizon_us(2e6).seed(1));
+    assert!(report.collided_tx > 0, "3 stations must collide");
+}
+
+#[test]
+fn equivalent_1901_without_fast_forward() {
+    // The slow per-slot path exercises idle_sweep on every idle slot.
+    let (report, _) = assert_soa_equivalent(
+        Simulation::ieee1901(3)
+            .horizon_us(1e6)
+            .seed(2)
+            .fast_forward(false),
+    );
+    assert!(report.successes > 0);
+}
+
+#[test]
+fn equivalent_dcf() {
+    let (report, _) = assert_soa_equivalent(Simulation::dcf(3).horizon_us(2e6).seed(3));
+    assert!(report.successes > 0);
+}
+
+#[test]
+fn equivalent_with_per_slot_snapshots() {
+    // Snapshot events reconstruct BackoffSnapshot from the SoA arrays
+    // (stage/cw/bc/dc/bpc); any drift in the synthesis shows up here.
+    let (_, events) = assert_soa_equivalent(
+        Simulation::ieee1901(2)
+            .horizon_us(2e5)
+            .seed(4)
+            .snapshots(true),
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Snapshot { .. })));
+    let (_, dcf_events) =
+        assert_soa_equivalent(Simulation::dcf(2).horizon_us(2e5).seed(4).snapshots(true));
+    assert!(dcf_events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Snapshot { .. })));
+}
+
+#[test]
+fn equivalent_with_retry_drops() {
+    // Finite retry at high error rate forces FrameDropped bookkeeping
+    // through the collision/failure pre-pass.
+    let (report, events) = assert_soa_equivalent(
+        Simulation::ieee1901(4)
+            .horizon_us(2e6)
+            .seed(5)
+            .pb_error_prob(0.6)
+            .retry(RetryPolicy::Limited { max_attempts: 2 }),
+    );
+    let dropped: u64 = report.metrics.per_station.iter().map(|s| s.dropped).sum();
+    assert!(dropped > 0, "drops must occur");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::FrameDropped { .. })));
+}
+
+#[test]
+fn equivalent_poisson_traffic() {
+    // Unsaturated stations exercise the active[] flags: stations leave
+    // and re-enter the backlog, and reactivation draws one immediate BC.
+    let (report, _) =
+        assert_soa_equivalent(Simulation::ieee1901(3).horizon_us(2e6).seed(6).traffic(
+            TrafficModel::Poisson {
+                rate_per_us: 2e-4,
+                queue_cap: 16,
+            },
+        ));
+    assert!(report.successes > 0);
+}
+
+#[test]
+fn equivalent_everything_at_once() {
+    let (report, _) = assert_soa_equivalent(
+        Simulation::ieee1901(3)
+            .horizon_us(3e6)
+            .seed(7)
+            .beacons(plc_sim::engine::BeaconSchedule::standard_50hz())
+            .noise([NoiseBurst {
+                start_us: 5e5,
+                duration_us: 1e5,
+            }])
+            .pb_error_prob(0.05)
+            .burst(BurstPolicy::INT6300)
+            .retry(RetryPolicy::Limited { max_attempts: 7 })
+            .traffic(TrafficModel::OnOff {
+                rate_per_us: 5e-4,
+                mean_on_us: 2e5,
+                mean_off_us: 1e5,
+                queue_cap: 8,
+            }),
+    );
+    assert!(report.metrics.beacons > 0);
+}
+
+#[test]
+fn observer_snapshots_are_identical() {
+    // EngineObs synthesizes per-station backoff state from the core.
+    let observe = |soa: bool| {
+        let collector = Arc::new(Mutex::new(plc_obs::CollectingObserver::default()));
+        let report = Simulation::ieee1901(3)
+            .horizon_us(1e6)
+            .seed(8)
+            .soa(soa)
+            .observer(collector.clone(), 500)
+            .run();
+        let snaps = std::mem::take(&mut collector.lock().engine);
+        (report, snaps)
+    };
+    let (soa_report, soa_snaps) = observe(true);
+    let (obj_report, obj_snaps) = observe(false);
+    assert_eq!(soa_report, obj_report);
+    assert!(!soa_snaps.is_empty(), "periodic snapshots must arrive");
+    assert_eq!(soa_snaps, obj_snaps, "observer snapshots diverged");
+}
+
+#[test]
+fn sweep_json_is_byte_identical() {
+    use plc_sim::sweep::SweepGrid;
+    let json = |soa: bool| {
+        SweepGrid::new(13)
+            .config("1901", Simulation::ieee1901(2).horizon_us(5e5).soa(soa))
+            .config("dcf", Simulation::dcf(2).horizon_us(5e5).soa(soa))
+            .stations([1, 2, 5])
+            .replications(2)
+            .workers(2)
+            .run()
+            .to_json()
+    };
+    assert_eq!(json(true), json(false), "sweep JSON must not change");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized populations and seeds through all four engine modes:
+    /// the SoA core must agree with the per-object path with the
+    /// fast-forward both on and off, under mixed traffic and errors.
+    #[test]
+    fn soa_matches_objects_for_random_populations(
+        seed in 0u64..1000,
+        n in 1usize..6,
+        dcf in any::<bool>(),
+        ff in any::<bool>(),
+        rate in 1e-5f64..1e-3,
+        pb_err in 0f64..0.3,
+    ) {
+        let base = if dcf { Simulation::dcf(n) } else { Simulation::ieee1901(n) };
+        let sim = base
+            .horizon_us(3e5)
+            .seed(seed)
+            .fast_forward(ff)
+            .pb_error_prob(pb_err)
+            .traffic(TrafficModel::Poisson { rate_per_us: rate, queue_cap: 8 });
+        let soa_sink = Arc::new(Mutex::new(VecTraceSink::new()));
+        let obj_sink = Arc::new(Mutex::new(VecTraceSink::new()));
+        let soa = sim.clone().soa(true).sink(soa_sink.clone()).run();
+        let obj = sim.soa(false).sink(obj_sink.clone()).run();
+        prop_assert_eq!(&soa.metrics, &obj.metrics);
+        let se = std::mem::take(&mut soa_sink.lock().events);
+        let oe = std::mem::take(&mut obj_sink.lock().events);
+        prop_assert_eq!(se, oe);
+    }
+}

@@ -146,6 +146,82 @@ impl P2Quantile {
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Absorb another estimator of the **same quantile** (e.g. one per
+    /// worker shard in a batch run).
+    ///
+    /// P² keeps five markers, not the observations, so an exact merge is
+    /// impossible. This merge is the standard weighted-marker combine:
+    /// the extreme markers take the true min/max, the three interior
+    /// marker heights become count-weighted averages, interior marker
+    /// positions (ranks) add, and the desired positions are recomputed
+    /// for the combined count. If either side is still in warmup
+    /// (fewer than five observations), its buffered values are simply
+    /// replayed into the other side, which *is* exact.
+    ///
+    /// Determinism: merging is pairwise symmetric (IEEE addition and
+    /// multiplication commute), but **not associative** — merging three
+    /// or more shards is pinned to the merge order. Callers that need
+    /// reproducible output must merge in a fixed order (the batch runner
+    /// merges in shard-index order).
+    ///
+    /// # Panics
+    ///
+    /// If the two estimators target different quantiles.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.q == other.q,
+            "cannot merge estimators of different quantiles ({} vs {})",
+            self.q,
+            other.q
+        );
+        if other.count == 0 {
+            return;
+        }
+        // Either side still in warmup: replay its buffered observations
+        // into the full (or larger) side — exact, no approximation.
+        if other.warmup.len() < 5 {
+            for &x in &other.warmup {
+                self.push(x);
+            }
+            return;
+        }
+        if self.warmup.len() < 5 {
+            let mine = std::mem::take(&mut self.warmup);
+            *self = other.clone();
+            for x in mine {
+                self.push(x);
+            }
+            return;
+        }
+        let (wa, wb) = (self.count as f64, other.count as f64);
+        let total = self.count + other.count;
+        self.heights[0] = self.heights[0].min(other.heights[0]);
+        self.heights[4] = self.heights[4].max(other.heights[4]);
+        for i in 1..4 {
+            self.heights[i] = (wa * self.heights[i] + wb * other.heights[i]) / (wa + wb);
+        }
+        // positions[0] is always rank 1 and positions[4] always the count;
+        // interior ranks add (each approximates the number of observations
+        // at or below its height).
+        self.positions[4] = total as f64;
+        for i in 1..4 {
+            self.positions[i] += other.positions[i];
+        }
+        // Desired positions are a pure function of q and the count:
+        // initial value plus (count − 5) increments.
+        let initial = [
+            1.0,
+            1.0 + 2.0 * self.q,
+            1.0 + 4.0 * self.q,
+            3.0 + 2.0 * self.q,
+            5.0,
+        ];
+        for (i, init) in initial.iter().enumerate() {
+            self.desired[i] = init + (total - 5) as f64 * self.increments[i];
+        }
+        self.count = total;
+    }
+
     /// Current estimate; falls back to the exact small-sample quantile
     /// while fewer than five observations have arrived. `NaN` when empty.
     pub fn estimate(&self) -> f64 {
@@ -298,5 +374,94 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn rejects_bad_quantile() {
         P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn merge_of_shards_tracks_exact_quantile() {
+        // Four disjoint shards of one exponential stream, merged in
+        // shard order, must land near the exact quantile of the union.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut all = Vec::new();
+        let mut shards: Vec<P2Quantile> = (0..4).map(|_| P2Quantile::new(0.95)).collect();
+        for (k, shard) in shards.iter_mut().enumerate() {
+            for _ in 0..50_000 + 7 * k {
+                let u: f64 = rng.gen();
+                let x = -(1.0f64 - u).ln();
+                shard.push(x);
+                all.push(x);
+            }
+        }
+        let mut merged = shards[0].clone();
+        for s in &shards[1..] {
+            merged.merge_from(s);
+        }
+        assert_eq!(merged.count(), all.len() as u64);
+        let exact = exact_quantile(all, 0.95);
+        let est = merged.estimate();
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "merged {est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn merge_replays_warmup_sides_exactly() {
+        // A shard still in warmup merges by replaying its observations —
+        // the result is bit-identical to pushing them directly.
+        let mut big = P2Quantile::new(0.5);
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            big.push(rng.gen::<f64>());
+        }
+        let mut expect = big.clone();
+        let mut small = P2Quantile::new(0.5);
+        for x in [0.25, 0.5, 0.75] {
+            small.push(x);
+        }
+        // Warmup values replay in sorted-buffer order.
+        for x in [0.25, 0.5, 0.75] {
+            expect.push(x);
+        }
+        big.merge_from(&small);
+        assert_eq!(big, expect);
+        // And the mirror: warmup self absorbing a full other.
+        let mut tiny = P2Quantile::new(0.5);
+        tiny.push(0.5);
+        tiny.merge_from(&expect);
+        assert_eq!(tiny.count(), expect.count() + 1);
+        assert!((tiny.estimate() - expect.estimate()).abs() < 0.1);
+    }
+
+    #[test]
+    fn merge_is_pairwise_symmetric_and_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        for _ in 0..10_000 {
+            a.push(rng.gen::<f64>());
+            b.push(2.0 * rng.gen::<f64>());
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        // Pairwise merge commutes (IEEE + and × are commutative)…
+        assert_eq!(ab.estimate().to_bits(), ba.estimate().to_bits());
+        assert_eq!(ab.count(), ba.count());
+        // …and repeating the same merge is bit-reproducible.
+        let mut again = a.clone();
+        again.merge_from(&b);
+        assert_eq!(ab, again);
+        // Merging an empty estimator is a no-op.
+        let before = ab.clone();
+        ab.merge_from(&P2Quantile::new(0.9));
+        assert_eq!(ab, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn merge_rejects_mismatched_quantiles() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge_from(&P2Quantile::new(0.9));
     }
 }
