@@ -18,6 +18,16 @@
 //!   as the comparison baseline and as a closed-form cross-check of the
 //!   general stage-chain machinery (disable the deferral counter and the
 //!   two coincide).
+//! * [`meanfield::MeanFieldModel`] — multi-class decoupling fixed point
+//!   with a damped adaptive solver and convergence diagnostics; the
+//!   engine behind the `Backend::MeanField` simulation backend in
+//!   `plc-sim`.
+//! * [`drift::DriftModel`] — drift ODE for the transient stage-occupancy
+//!   dynamics (ToN extension), plus the access-delay distribution of the
+//!   mean-field backend.
+//! * [`cano_malone::CanoMaloneModel`] — deterministic-deferral reference
+//!   model (Cano & Malone style), the independent second opinion of the
+//!   backend cross-validation suite.
 //! * [`throughput`] — slot-structure throughput/delay formulas shared by
 //!   both models.
 //! * [`boost`] — parameter-space search for throughput-optimal (CW, DC)
@@ -31,15 +41,24 @@
 
 pub mod bianchi;
 pub mod boost;
+pub mod cano_malone;
 pub mod coupled;
+pub mod drift;
 pub mod math;
+pub mod meanfield;
 pub mod model1901;
 pub mod round_model;
 pub mod throughput;
 
 pub use bianchi::{BianchiFixedPoint, BianchiModel};
 pub use boost::{boost_search, optimize_constant_window, BoostOptions, Candidate};
+pub use cano_malone::{CanoMaloneFixedPoint, CanoMaloneModel};
 pub use coupled::{CoupledFixedPoint, CoupledModel};
+pub use drift::{delay_summary, DelayDistribution, DelaySummary, DriftModel, DriftTrajectory};
+pub use meanfield::{
+    gamma_tolerance, throughput_tolerance, ClassSpec, MeanFieldModel, MeanFieldSolution,
+    SolverDiagnostics, SolverOptions,
+};
 pub use model1901::{FixedPoint, Model1901};
 pub use round_model::{RoundFixedPoint, RoundModel};
 pub use throughput::{normalized_throughput, SlotProbabilities};

@@ -99,7 +99,21 @@ pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
 ///
 /// Runs a fixed 200 iterations, more than enough for `f64` resolution on a
 /// unit interval; returns the midpoint.
-pub fn bisect_decreasing(mut lo: f64, mut hi: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+pub fn bisect_decreasing(lo: f64, hi: f64, f: impl FnMut(f64) -> f64) -> f64 {
+    bisect_decreasing_iters(lo, hi, 200, f)
+}
+
+/// [`bisect_decreasing`] with an explicit iteration budget.
+///
+/// The drift ODE solves a scalar consistency equation inside every
+/// derivative evaluation; there a ~60-iteration budget (interval width
+/// `2⁻⁶⁰` ≈ 1e−18) is plenty and keeps the integration cheap.
+pub fn bisect_decreasing_iters(
+    mut lo: f64,
+    mut hi: f64,
+    iters: u32,
+    mut f: impl FnMut(f64) -> f64,
+) -> f64 {
     assert!(lo < hi);
     let flo = f(lo);
     let fhi = f(hi);
@@ -107,7 +121,7 @@ pub fn bisect_decreasing(mut lo: f64, mut hi: f64, mut f: impl FnMut(f64) -> f64
         flo >= 0.0 && fhi <= 0.0,
         "bisect_decreasing needs a sign change: f({lo}) = {flo}, f({hi}) = {fhi}"
     );
-    for _ in 0..200 {
+    for _ in 0..iters {
         let mid = 0.5 * (lo + hi);
         if f(mid) >= 0.0 {
             lo = mid;

@@ -95,6 +95,62 @@ pub fn stage_quantities(w: u32, d: u32, p: f64) -> StageQuantities {
     }
 }
 
+/// Per-stage quantities for every stage of `config` at busy probability
+/// `p` (saturating stage lookup, like the engine's BPC rule).
+pub(crate) fn stage_quantities_for(config: &CsmaConfig, p: f64) -> Vec<StageQuantities> {
+    (0..config.num_stages())
+        .map(|i| {
+            let sp = config.stage(i);
+            stage_quantities(sp.cw, sp.dc, p)
+        })
+        .collect()
+}
+
+/// Expected visits per renewal cycle to each stage, given per-stage
+/// quantities and collision probability `p`.
+pub(crate) fn stage_visit_counts(stages: &[StageQuantities], p: f64) -> Vec<f64> {
+    let m = stages.len();
+    let q: Vec<f64> = stages.iter().map(|s| s.attempt_prob * (1.0 - p)).collect();
+    let mut visits = vec![0.0; m];
+    if m == 1 {
+        visits[0] = if q[0] > 0.0 {
+            1.0 / q[0]
+        } else {
+            f64::INFINITY
+        };
+        return visits;
+    }
+    visits[0] = 1.0;
+    for i in 1..m - 1 {
+        visits[i] = visits[i - 1] * (1.0 - q[i - 1]);
+    }
+    // Last stage self-loops: entries · expected residencies per entry.
+    let entries = visits[m - 2] * (1.0 - q[m - 2]);
+    visits[m - 1] = if q[m - 1] > 0.0 {
+        entries / q[m - 1]
+    } else {
+        f64::INFINITY
+    };
+    visits
+}
+
+/// Renewal–reward attempt rate `τ` of a stage chain. Degenerates to the
+/// last stage's attempt rate when the visit counts diverge (`p → 1`: no
+/// attempt ever succeeds and the chain lives in the absorbing last stage).
+pub(crate) fn tau_from_stages(stages: &[StageQuantities], visits: &[f64]) -> f64 {
+    if visits.iter().any(|v| !v.is_finite()) {
+        let last = stages.last().expect("at least one stage");
+        return last.attempt_prob / (last.backoff_slots + last.attempt_prob);
+    }
+    let mut attempts = 0.0;
+    let mut slots = 0.0;
+    for (i, st) in stages.iter().enumerate() {
+        attempts += visits[i] * st.attempt_prob;
+        slots += visits[i] * (st.backoff_slots + st.attempt_prob);
+    }
+    attempts / slots
+}
+
 /// The solved fixed point for a configuration and station count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FixedPoint {
@@ -136,56 +192,9 @@ impl Model1901 {
     /// The attempt rate `τ(p)` implied by a given busy probability — the
     /// right-hand side of the fixed-point equation.
     pub fn tau_of_p(&self, p: f64) -> f64 {
-        let m = self.config.num_stages();
-        let stages: Vec<StageQuantities> = (0..m)
-            .map(|i| {
-                let sp = self.config.stage(i);
-                stage_quantities(sp.cw, sp.dc, p)
-            })
-            .collect();
-        let visits = Self::stage_visit_counts(&stages, p);
-        if visits.iter().any(|v| !v.is_finite()) {
-            // p → 1 limit: no attempt ever succeeds, so the chain spends
-            // almost all its time in the (absorbing) last stage and the
-            // renewal ratio degenerates to that stage's attempt rate.
-            let last = stages.last().expect("at least one stage");
-            return last.attempt_prob / (last.backoff_slots + last.attempt_prob);
-        }
-        let mut attempts = 0.0;
-        let mut slots = 0.0;
-        for (i, st) in stages.iter().enumerate() {
-            attempts += visits[i] * st.attempt_prob;
-            slots += visits[i] * (st.backoff_slots + st.attempt_prob);
-        }
-        attempts / slots
-    }
-
-    /// Expected visits per renewal cycle to each stage, given per-stage
-    /// quantities and collision probability `p`.
-    fn stage_visit_counts(stages: &[StageQuantities], p: f64) -> Vec<f64> {
-        let m = stages.len();
-        let q: Vec<f64> = stages.iter().map(|s| s.attempt_prob * (1.0 - p)).collect();
-        let mut visits = vec![0.0; m];
-        if m == 1 {
-            visits[0] = if q[0] > 0.0 {
-                1.0 / q[0]
-            } else {
-                f64::INFINITY
-            };
-            return visits;
-        }
-        visits[0] = 1.0;
-        for i in 1..m - 1 {
-            visits[i] = visits[i - 1] * (1.0 - q[i - 1]);
-        }
-        // Last stage self-loops: entries · expected residencies per entry.
-        let entries = visits[m - 2] * (1.0 - q[m - 2]);
-        visits[m - 1] = if q[m - 1] > 0.0 {
-            entries / q[m - 1]
-        } else {
-            f64::INFINITY
-        };
-        visits
+        let stages = stage_quantities_for(&self.config, p);
+        let visits = stage_visit_counts(&stages, p);
+        tau_from_stages(&stages, &visits)
     }
 
     /// Solve the fixed point for `n` stations.
@@ -202,18 +211,13 @@ impl Model1901 {
             bisect_decreasing(1e-12, 1.0 - 1e-12, f)
         };
         let p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
-        let stages: Vec<StageQuantities> = (0..self.config.num_stages())
-            .map(|i| {
-                let sp = self.config.stage(i);
-                stage_quantities(sp.cw, sp.dc, p)
-            })
-            .collect();
+        let stages = stage_quantities_for(&self.config, p);
         FixedPoint {
             n,
             tau,
             collision_probability: p,
             stage_attempt_probs: stages.iter().map(|s| s.attempt_prob).collect(),
-            stage_visits: Self::stage_visit_counts(&stages, p),
+            stage_visits: stage_visit_counts(&stages, p),
         }
     }
 

@@ -1,0 +1,183 @@
+//! Property tests over the mean-field fixed-point solver: for *any*
+//! valid (CW_i, d_i) schedule the damped iteration either converges
+//! within the cap — returning a point that actually satisfies the
+//! residual bound with every probability inside [0, 1] — or fails with
+//! a typed [`plc_core::error::Error`]. It never panics and never
+//! silently returns a non-fixed point.
+
+use plc_analysis::meanfield::{MeanFieldModel, SolverOptions};
+use plc_core::config::{CsmaConfig, DC_DISABLED};
+use plc_core::error::Error;
+use proptest::prelude::*;
+
+/// A random valid backoff schedule: 1–5 stages, windows in [1, 256],
+/// deferral counters small or disabled.
+fn schedules() -> impl Strategy<Value = CsmaConfig> {
+    prop::collection::vec(
+        (1u32..=256, prop_oneof![Just(DC_DISABLED), 0u32..=31]),
+        1..=5,
+    )
+    .prop_map(|stages| {
+        let (cw, dc): (Vec<u32>, Vec<u32>) = stages.into_iter().unzip();
+        CsmaConfig::from_vectors(&cw, &dc).expect("generated schedule is valid")
+    })
+}
+
+/// Every probability in a solution that must live in the unit interval.
+fn check_unit_interval(sol: &plc_analysis::MeanFieldSolution) {
+    let eps = 1e-12;
+    for class in &sol.classes {
+        assert!(
+            (-eps..=1.0 + eps).contains(&class.tau),
+            "tau out of range: {}",
+            class.tau
+        );
+        assert!(
+            (-eps..=1.0 + eps).contains(&class.collision_probability),
+            "p out of range: {}",
+            class.collision_probability
+        );
+        for &x in &class.stage_attempt_probs {
+            assert!((-eps..=1.0 + eps).contains(&x), "x_i out of range: {x}");
+        }
+        for &o in &class.stage_occupancy {
+            assert!(
+                (-eps..=1.0 + eps).contains(&o),
+                "occupancy out of range: {o}"
+            );
+        }
+    }
+    for p in [sol.slots.idle, sol.slots.success, sol.slots.collision] {
+        assert!(
+            (-eps..=1.0 + eps).contains(&p),
+            "slot prob out of range: {p}"
+        );
+    }
+    let total = sol.slots.idle + sol.slots.success + sol.slots.collision;
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "slot probabilities must partition the slot, got {total}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random schedules at random population sizes converge under the
+    /// default options, and the returned point satisfies the advertised
+    /// residual bound.
+    #[test]
+    fn random_schedules_converge_to_a_verified_fixed_point(
+        config in schedules(),
+        n in 1usize..=300,
+    ) {
+        let sol = MeanFieldModel::single(config, n)
+            .solve()
+            .expect("default options converge on valid schedules");
+        prop_assert!(sol.diagnostics.converged);
+        prop_assert!(
+            sol.diagnostics.residual <= SolverOptions::default().tolerance,
+            "reported residual {} exceeds the tolerance",
+            sol.diagnostics.residual
+        );
+        check_unit_interval(&sol);
+    }
+
+    /// Damping anywhere in (0, 1] keeps every probability inside the
+    /// unit interval — the clamped update can never overshoot into
+    /// nonsense even with a full-step (undamped) iteration.
+    #[test]
+    fn any_damping_keeps_probabilities_in_the_unit_interval(
+        config in schedules(),
+        n in 2usize..=100,
+        damping in 0.05f64..=1.0,
+    ) {
+        let result = MeanFieldModel::single(config, n)
+            .options(SolverOptions { damping, ..SolverOptions::default() })
+            .solve();
+        match result {
+            Ok(sol) => check_unit_interval(&sol),
+            // A hostile damping choice may legitimately fail to converge;
+            // it must do so through the typed runtime error.
+            Err(Error::Runtime { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// A starved iteration cap produces the typed non-convergence error,
+    /// never a panic and never a silently-returned non-fixed point.
+    #[test]
+    fn starved_iteration_caps_fail_with_a_typed_error(
+        config in schedules(),
+        n in 2usize..=300,
+        cap in 1u32..=2,
+    ) {
+        let result = MeanFieldModel::single(config, n)
+            .options(SolverOptions {
+                tolerance: 1e-15,
+                max_iterations: cap,
+                ..SolverOptions::default()
+            })
+            .solve();
+        match result {
+            // One or two iterations can only converge by luck; accept it
+            // but hold the result to the same bound.
+            Ok(sol) => {
+                prop_assert!(sol.diagnostics.converged);
+                prop_assert!(sol.diagnostics.residual <= 1e-15);
+            }
+            Err(Error::Runtime { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// Multi-class models obey the same contract: a mixed pair of random
+    /// schedules yields per-class probabilities in range and a slot
+    /// partition that sums to one.
+    #[test]
+    fn multi_class_solutions_stay_consistent(
+        a in schedules(),
+        b in schedules(),
+        na in 1usize..=50,
+        nb in 1usize..=50,
+    ) {
+        let sol = MeanFieldModel::new()
+            .class("a", a, na)
+            .class("b", b, nb)
+            .solve()
+            .expect("default options converge on valid schedules");
+        prop_assert!(sol.diagnostics.converged);
+        prop_assert_eq!(sol.total_stations(), na + nb);
+        check_unit_interval(&sol);
+    }
+}
+
+/// Out-of-range solver options are configuration errors, caught before
+/// any iteration runs.
+#[test]
+fn invalid_options_are_config_errors() {
+    for options in [
+        SolverOptions {
+            damping: 0.0,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            damping: 1.5,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            max_iterations: 0,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            tolerance: 0.0,
+            ..SolverOptions::default()
+        },
+    ] {
+        let err = MeanFieldModel::single(CsmaConfig::ieee1901_ca01(), 5)
+            .options(options)
+            .solve()
+            .expect_err("invalid options must be rejected");
+        assert!(matches!(err, Error::InvalidConfig { .. }), "got {err}");
+    }
+}

@@ -2,7 +2,7 @@
 //! paper (plus the extension experiments) as printed tables.
 //!
 //! ```text
-//! experiments [--smoke|--full] [--timings] [NAME...]
+//! experiments [--smoke|--full|--mode MODE] [--timings] [NAME...]
 //! experiments bench-snapshot [--check] [--out DIR]
 //!                            [--gate BASELINE.json [--tolerance FRAC]]
 //!
@@ -10,11 +10,12 @@
 //!              (integration-test mode; artifacts are noise)
 //!   --full     paper-length runs (240 s tests, 10 repeats, 100 s sims);
 //!              default is quick mode (CI-friendly)
+//!   --mode M   spelled-out alternative: M is smoke, quick or full
 //!   --timings  print per-phase timings after each experiment
 //!   NAME       any of: table1 figure1 table2 figure2 throughput
 //!              priorities boost fairness mme_overhead bursts models
 //!              errors delay load coexistence aggregation adaptation
-//!              chaos (default: all, in order)
+//!              chaos validate-backends (default: all, in order)
 //!
 //! bench-snapshot times the pinned engine workloads and writes
 //! BENCH_<date>.json into DIR (default: the current directory); with
@@ -46,19 +47,51 @@ fn run_experiments(args: &[String]) -> i32 {
         eprintln!("--smoke and --full are mutually exclusive");
         return 2;
     }
+    let mode_flag = match flag_value(args, "--mode") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if mode_flag.is_some() && (smoke || full) {
+        eprintln!("--mode conflicts with --smoke/--full");
+        return 2;
+    }
     let timings = args.iter().any(|a| a == "--timings");
-    let names: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // Bare arguments are experiment names — except the value consumed by
+    // `--mode`.
+    let mut names: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--mode" {
+            skip_value = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            names.push(a.as_str());
+        }
+    }
 
-    let mut opts = if smoke {
-        RunOpts::smoke()
+    let mode_label = mode_flag.as_deref().unwrap_or(if smoke {
+        "smoke"
     } else if full {
-        RunOpts::full()
+        "full"
     } else {
-        RunOpts::quick()
+        "quick"
+    });
+    let mut opts = match mode_label {
+        "smoke" => RunOpts::smoke(),
+        "quick" => RunOpts::quick(),
+        "full" => RunOpts::full(),
+        other => {
+            eprintln!("--mode must be smoke, quick or full, got '{other}'");
+            return 2;
+        }
     };
     if timings {
         opts = opts.with_obs(plc_obs::Registry::new());
@@ -83,12 +116,10 @@ fn run_experiments(args: &[String]) -> i32 {
 
     println!(
         "plc experiment harness — mode: {}\n",
-        if smoke {
-            "SMOKE (tiny horizons)"
-        } else if full {
-            "FULL (paper-length)"
-        } else {
-            "quick"
+        match mode_label {
+            "smoke" => "SMOKE (tiny horizons)",
+            "full" => "FULL (paper-length)",
+            _ => "quick",
         }
     );
     for (name, runner) in selected {

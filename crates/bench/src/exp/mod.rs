@@ -19,3 +19,4 @@ pub mod priorities;
 pub mod table1;
 pub mod table2;
 pub mod throughput;
+pub mod validate_backends;

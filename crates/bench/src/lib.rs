@@ -28,6 +28,7 @@
 //! | [`exp::aggregation`] | E12 — Ethernet→PLC frame aggregation |
 //! | [`exp::adaptation`] | E13 — tone-map adaptation vs channel drift |
 //! | [`exp::chaos`] | E14 — Table 2 under deterministic fault injection |
+//! | [`exp::validate_backends`] | E15 — slotted vs mean-field backend cross-validation |
 //!
 //! ## Errors and observability
 //!
@@ -154,6 +155,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("aggregation", exp::aggregation::run),
         ("adaptation", exp::adaptation::run),
         ("chaos", exp::chaos::run),
+        ("validate-backends", exp::validate_backends::run),
     ]
 }
 
@@ -168,7 +170,7 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len());
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct WorkloadResult {
     pub name: String,
     /// Wall-clock seconds for the whole workload.
     pub wall_secs: f64,
-    /// Engine slots stepped (from the `engine.steps` counter).
+    /// Units of work done: engine slots stepped (`engine.steps`) for
+    /// slotted workloads, stations solved (`meanfield.stations`) for the
+    /// mean-field backend workload.
     pub slots: u64,
     /// Slots per wall-clock second.
     pub slots_per_sec: f64,
@@ -100,9 +102,17 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
 }
 
 /// Time one closure that runs instrumented engines against `registry`,
-/// reading the slot count from the `engine.steps` counter delta.
-fn time_workload(name: &str, registry: &Registry, f: impl FnOnce()) -> WorkloadResult {
-    let counter = registry.counter("engine.steps");
+/// reading the work count back from the named counter's delta
+/// (`engine.steps` for slotted workloads, `meanfield.stations` for the
+/// analytic backend, whose unit of work is stations solved, not slots
+/// stepped).
+fn time_workload(
+    name: &str,
+    registry: &Registry,
+    counter_name: &str,
+    f: impl FnOnce(),
+) -> WorkloadResult {
+    let counter = registry.counter(counter_name);
     let before = counter.get();
     let started = Instant::now();
     f();
@@ -130,73 +140,136 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
     let registry = Registry::new();
     let mut workloads = Vec::new();
 
-    workloads.push(time_workload("engine_1901_n5_500s", &registry, || {
-        Simulation::ieee1901(5)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
-    workloads.push(time_workload("engine_1901_n20_500s", &registry, || {
-        Simulation::ieee1901(20)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
-    workloads.push(time_workload("engine_dcf_n10_500s", &registry, || {
-        Simulation::dcf(10)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
-    workloads.push(time_workload("engine_noisy_n3_500s", &registry, || {
-        Simulation::ieee1901(3)
-            .pb_error_prob(0.1)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
+    workloads.push(time_workload(
+        "engine_1901_n5_500s",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(5)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
+    workloads.push(time_workload(
+        "engine_1901_n20_500s",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(20)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
+    workloads.push(time_workload(
+        "engine_dcf_n10_500s",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::dcf(10)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
+    workloads.push(time_workload(
+        "engine_noisy_n3_500s",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(3)
+                .pb_error_prob(0.1)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
     // A parallel sweep: 8 independent runs on the worker pool; the shared
     // registry accumulates engine.steps across workers.
-    workloads.push(time_workload("sweep_1901_n2to9_250s", &registry, || {
-        sweep::parallel_map(sweep::default_workers(), (2..=9usize).collect(), |_, n| {
-            Simulation::ieee1901(n)
-                .horizon_us(h(2.5e8))
-                .seed(n as u64)
-                .registry(&registry)
-                .run()
-        });
-    }));
+    workloads.push(time_workload(
+        "sweep_1901_n2to9_250s",
+        &registry,
+        "engine.steps",
+        || {
+            sweep::parallel_map(sweep::default_workers(), (2..=9usize).collect(), |_, n| {
+                Simulation::ieee1901(n)
+                    .horizon_us(h(2.5e8))
+                    .seed(n as u64)
+                    .registry(&registry)
+                    .run()
+            });
+        },
+    ));
     // Saturated N=50: the deepest-backoff workload, where the idle-slot
     // fast-forward matters most. Gated in CI against the committed
     // baseline (see `compare`).
-    workloads.push(time_workload("engine_1901_n50_sat_500s", &registry, || {
-        Simulation::ieee1901(50)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
+    workloads.push(time_workload(
+        "engine_1901_n50_sat_500s",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(50)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
     // Fleet-scale saturated populations: the medium is busy almost every
     // slot, so these exercise the SoA busy-slot sweep rather than the
     // idle fast-forward.
-    workloads.push(time_workload("engine_1901_n200_sat", &registry, || {
-        Simulation::ieee1901(200)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
-    workloads.push(time_workload("engine_1901_n500_sat", &registry, || {
-        Simulation::ieee1901(500)
-            .horizon_us(h(5.0e8))
-            .seed(1)
-            .registry(&registry)
-            .run();
-    }));
+    workloads.push(time_workload(
+        "engine_1901_n200_sat",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(200)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
+    workloads.push(time_workload(
+        "engine_1901_n500_sat",
+        &registry,
+        "engine.steps",
+        || {
+            Simulation::ieee1901(500)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .registry(&registry)
+                .run();
+        },
+    ));
+    // The mean-field backend at fleet scale: many 10k-station contention
+    // domains solved on the batch pool. Unit of work is stations solved
+    // (`meanfield.stations`), not engine slots — the analytic backend
+    // steps none. `scale` shrinks the domain count instead of the
+    // horizon, which the solve cost does not depend on.
+    workloads.push(time_workload(
+        "meanfield_n10k",
+        &registry,
+        "meanfield.stations",
+        || {
+            let domains = ((100.0 * scale).ceil() as usize).max(1);
+            let sims: Vec<Simulation> = (0..domains)
+                .map(|_| {
+                    Simulation::ieee1901(10_000)
+                        .backend(plc_sim::Backend::MeanField)
+                        .horizon_us(1.0e8)
+                })
+                .collect();
+            plc_sim::BatchRunner::new()
+                .registry(&registry)
+                .run_sims(sims);
+        },
+    ));
 
     Ok(BenchSnapshot {
         schema: SCHEMA.to_string(),
@@ -303,7 +376,7 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 8);
+        assert_eq!(snap.workloads.len(), 9);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);

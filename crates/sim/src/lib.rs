@@ -14,6 +14,12 @@
 //! * [`multiclass::MultiClassEngine`] — adds explicit priority-resolution
 //!   phases for CA0–CA3 interaction studies.
 //!
+//! Plus one analytic stand-in: [`backend::Backend::MeanField`] swaps the
+//! event loop for a `plc_analysis` mean-field fixed-point solve that
+//! synthesizes the same [`runner::SimReport`] schema deterministically —
+//! fleet-scale sweeps in microseconds, at the documented decoupling
+//! accuracy envelope.
+//!
 //! Most callers want the [`runner::Simulation`] builder:
 //!
 //! ```
@@ -31,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod backend;
 pub mod batch;
 pub mod bursting;
 pub(crate) mod contention;
@@ -45,6 +52,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use aggregation::{AggregatedMpdu, AggregationConfig, AggregationQueue};
+pub use backend::{Backend, MeanFieldReport};
 pub use batch::BatchRunner;
 pub use bursting::BurstPolicy;
 #[doc(hidden)]
@@ -53,7 +61,7 @@ pub use engine::{BeaconSchedule, EngineConfig, SlottedEngine, StationSpec, StepO
 pub use export::JsonLinesSink;
 pub use metrics::{Metrics, StationMetrics};
 pub use paper::{PaperSim, PaperSimResult};
-pub use runner::{ReplicationSummary, SimReport, Simulation};
+pub use runner::{ReplicationSummary, RunSummary, SimReport, Simulation};
 pub use sweep::{
     parallel_map, parallel_map_observed, parallel_map_with_progress, EarlyStop, Quantity,
     SweepGrid, SweepPoint, SweepPointResult, SweepResults,

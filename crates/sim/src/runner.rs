@@ -16,6 +16,7 @@
 //! assert!(report.norm_throughput > 0.5);
 //! ```
 
+use crate::backend::{Backend, MeanFieldReport};
 use crate::bursting::BurstPolicy;
 use crate::engine::{EngineConfig, SharedSink, SlottedEngine, StationSpec};
 use crate::metrics::Metrics;
@@ -41,6 +42,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone)]
 pub struct Simulation {
     n: usize,
+    backend: Backend,
     protocol: Protocol,
     config: CsmaConfig,
     timing: MacTiming,
@@ -64,6 +66,7 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("n", &self.n)
+            .field("backend", &self.backend)
             .field("protocol", &self.protocol)
             .field("config", &self.config)
             .field("timing", &self.timing)
@@ -91,6 +94,7 @@ impl Simulation {
     pub fn ieee1901(n: usize) -> Self {
         Simulation {
             n,
+            backend: Backend::Slotted,
             protocol: Protocol::Ieee1901,
             config: CsmaConfig::ieee1901_ca01(),
             timing: MacTiming::paper_default(),
@@ -118,6 +122,29 @@ impl Simulation {
             config: CsmaConfig::dcf_like(16, 6).expect("valid"),
             ..Self::ieee1901(n)
         }
+    }
+
+    /// Select the engine: the exact slotted simulator (default) or the
+    /// deterministic mean-field fixed point (see [`Backend`]). Both
+    /// produce the same [`SimReport`] schema; the mean-field backend
+    /// supports only the error-free saturated single-class MAC and
+    /// rejects other knobs at run time with a typed error.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The selected backend.
+    pub fn backend_kind(&self) -> Backend {
+        self.backend
+    }
+
+    /// Whether runs are seed-independent (mean-field backend).
+    /// Deterministic simulations short-circuit replication:
+    /// [`run_repeated`](Simulation::run_repeated) returns a single report
+    /// and sweeps run one replication per grid point.
+    pub fn is_deterministic(&self) -> bool {
+        self.backend.is_deterministic()
     }
 
     /// Use a custom CSMA parameter table.
@@ -259,6 +286,12 @@ impl Simulation {
     /// noise bursts, invalid timing, metric-name clashes in the attached
     /// registry) as typed errors instead of panicking.
     pub fn try_build(&self) -> plc_core::error::Result<SlottedEngine<AnyBackoff>> {
+        if self.backend != Backend::Slotted {
+            return Err(plc_core::error::Error::invalid_config(
+                "the mean-field backend has no slotted engine to build; \
+                 call run()/try_run() directly, or select Backend::Slotted",
+            ));
+        }
         let mut proc_rng = SmallRng::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -319,12 +352,82 @@ impl Simulation {
 
     /// Build and run, surfacing configuration problems as typed errors.
     pub fn try_run(&self) -> plc_core::error::Result<SimReport> {
-        let mut engine = self.try_build()?;
-        engine.run();
-        Ok(SimReport::from_metrics(
-            engine.metrics().clone(),
-            self.timing.frame_length,
-        ))
+        match self.backend {
+            Backend::Slotted => {
+                let mut engine = self.try_build()?;
+                engine.run();
+                Ok(SimReport::from_metrics(
+                    engine.metrics().clone(),
+                    self.timing.frame_length,
+                ))
+            }
+            Backend::MeanField => {
+                self.meanfield_supported()?;
+                crate::backend::meanfield_report(
+                    &self.config,
+                    self.n,
+                    &self.timing,
+                    self.horizon,
+                    self.registry.as_ref(),
+                )
+            }
+        }
+    }
+
+    /// The analytic quantities behind a mean-field run — the solved fixed
+    /// point with diagnostics plus the drift-state access-delay summary —
+    /// for callers that want more than the [`SimReport`] schema. Errors
+    /// unless the mean-field backend is selected and supported.
+    pub fn meanfield_analysis(&self) -> plc_core::error::Result<MeanFieldReport> {
+        if self.backend != Backend::MeanField {
+            return Err(plc_core::error::Error::invalid_config(
+                "meanfield_analysis() needs Backend::MeanField",
+            ));
+        }
+        self.meanfield_supported()?;
+        crate::backend::meanfield_analysis(&self.config, self.n, &self.timing)
+    }
+
+    /// Reject knobs the mean-field model cannot represent. The backend
+    /// covers exactly the paper's analytic setting: error-free channel,
+    /// saturated single-class traffic, single-MPDU transmissions,
+    /// infinite retries, no beacons/noise/traces.
+    fn meanfield_supported(&self) -> plc_core::error::Result<()> {
+        use plc_core::error::Error;
+        let reject = |what: &str| {
+            Err(Error::invalid_config(format!(
+                "the mean-field backend does not model {what}; \
+                 use Backend::Slotted for this configuration"
+            )))
+        };
+        if self.traffic != TrafficModel::Saturated {
+            return reject("unsaturated traffic");
+        }
+        if self.pb_error_prob != 0.0 {
+            return reject("channel errors (pb_error_prob > 0)");
+        }
+        if self.burst != BurstPolicy::Single {
+            return reject("MPDU bursting");
+        }
+        if self.retry != RetryPolicy::Infinite {
+            return reject("finite retry limits");
+        }
+        if self.beacons.is_some() {
+            return reject("beacon schedules");
+        }
+        if !self.noise.is_empty() {
+            return reject("impulse-noise bursts");
+        }
+        if self.snapshots {
+            return reject("per-step snapshots");
+        }
+        if !self.sinks.is_empty() {
+            return reject("trace sinks");
+        }
+        if !self.observers.is_empty() {
+            return reject("periodic observers");
+        }
+        Ok(())
     }
 
     /// Build with the given sinks attached, run, and summarize.
@@ -351,7 +454,13 @@ impl Simulation {
     /// the same SplitMix64 mixing the sweep engine uses — so the streams
     /// of adjacent master seeds never overlap (a plain `seed + k` scheme
     /// collides: base 3 replication 1 equals base 4 replication 0).
+    /// Deterministic backends short-circuit: every replication would be
+    /// byte-identical (the seed is ignored), so a single report is
+    /// returned regardless of `repeats`.
     pub fn run_repeated(&self, repeats: u64) -> Vec<SimReport> {
+        if self.is_deterministic() {
+            return vec![self.run()];
+        }
         (0..repeats)
             .map(|k| {
                 let mut s = self.clone();
@@ -359,6 +468,57 @@ impl Simulation {
                 s.run()
             })
             .collect()
+    }
+
+    /// Run `repeats` replications and summarize, backend-aware: the
+    /// slotted engine yields a [`RunSummary::Sampled`] mean ± CI over
+    /// genuinely distinct replications, while a deterministic backend
+    /// returns its single exact report as [`RunSummary::Deterministic`]
+    /// instead of a degenerate zero-variance "confidence interval".
+    pub fn run_summary(&self, repeats: u64) -> RunSummary {
+        if self.is_deterministic() {
+            RunSummary::Deterministic(Box::new(self.run()))
+        } else {
+            RunSummary::Sampled(ReplicationSummary::of(&self.run_repeated(repeats)))
+        }
+    }
+}
+
+/// Backend-aware replication summary: sampled statistics from the
+/// stochastic engine, or the single exact report of a deterministic one.
+///
+/// Collapsing a deterministic backend into [`ReplicationSummary`] would
+/// fabricate a zero-width confidence interval from `repeats` copies of
+/// the same number; keeping the variants distinct lets consumers render
+/// "exact" instead of "± 0.000".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunSummary {
+    /// One exact report from a deterministic backend (mean-field).
+    Deterministic(Box<SimReport>),
+    /// Mean ± CI across stochastic replications.
+    Sampled(ReplicationSummary),
+}
+
+impl RunSummary {
+    /// Point estimate of the collision probability.
+    pub fn collision_probability(&self) -> f64 {
+        match self {
+            RunSummary::Deterministic(r) => r.collision_probability,
+            RunSummary::Sampled(s) => s.collision_probability.mean,
+        }
+    }
+
+    /// Point estimate of the normalized throughput.
+    pub fn norm_throughput(&self) -> f64 {
+        match self {
+            RunSummary::Deterministic(r) => r.norm_throughput,
+            RunSummary::Sampled(s) => s.norm_throughput.mean,
+        }
+    }
+
+    /// Whether the estimate carries sampling error.
+    pub fn is_sampled(&self) -> bool {
+        matches!(self, RunSummary::Sampled(_))
     }
 }
 
@@ -565,6 +725,123 @@ mod tests {
         let b = sim.run_with_sinks(vec![b_sink.clone()]);
         assert_eq!(a, b);
         assert_eq!(*a_sink.lock(), *b_sink.lock());
+    }
+
+    #[test]
+    fn meanfield_backend_tracks_slotted_at_moderate_n() {
+        let slotted = Simulation::ieee1901(10).horizon_us(1e7).seed(11).run();
+        let mf = Simulation::ieee1901(10)
+            .backend(Backend::MeanField)
+            .horizon_us(1e7)
+            .run();
+        assert!(
+            (slotted.collision_probability - mf.collision_probability).abs() < 0.05,
+            "slotted γ={} vs mean-field γ={}",
+            slotted.collision_probability,
+            mf.collision_probability
+        );
+        assert!((slotted.norm_throughput - mf.norm_throughput).abs() < 0.05);
+    }
+
+    #[test]
+    fn meanfield_runs_ignore_the_seed() {
+        let a = Simulation::ieee1901(5)
+            .backend(Backend::MeanField)
+            .seed(1)
+            .run();
+        let b = Simulation::ieee1901(5)
+            .backend(Backend::MeanField)
+            .seed(999)
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn meanfield_run_repeated_short_circuits() {
+        let reports = Simulation::ieee1901(5)
+            .backend(Backend::MeanField)
+            .run_repeated(10);
+        assert_eq!(reports.len(), 1, "deterministic backend replicates once");
+        match Simulation::ieee1901(5)
+            .backend(Backend::MeanField)
+            .run_summary(10)
+        {
+            RunSummary::Deterministic(r) => assert_eq!(*r, reports[0]),
+            RunSummary::Sampled(_) => panic!("mean-field summary must be Deterministic"),
+        }
+        match Simulation::ieee1901(3).horizon_us(5e5).run_summary(3) {
+            RunSummary::Sampled(s) => assert_eq!(s.collision_probability.count, 3),
+            RunSummary::Deterministic(_) => panic!("slotted summary must be Sampled"),
+        }
+    }
+
+    #[test]
+    fn meanfield_rejects_unsupported_knobs() {
+        let cases: Vec<(&str, Simulation)> = vec![
+            (
+                "pb errors",
+                Simulation::ieee1901(3)
+                    .backend(Backend::MeanField)
+                    .pb_error_prob(0.1),
+            ),
+            (
+                "bursting",
+                Simulation::ieee1901(3)
+                    .backend(Backend::MeanField)
+                    .burst(BurstPolicy::Fixed(4)),
+            ),
+            (
+                "finite retries",
+                Simulation::ieee1901(3)
+                    .backend(Backend::MeanField)
+                    .retry(RetryPolicy::Limited { max_attempts: 3 }),
+            ),
+            (
+                "noise",
+                Simulation::ieee1901(3).backend(Backend::MeanField).noise([
+                    plc_faults::NoiseBurst {
+                        start_us: 0.0,
+                        duration_us: 100.0,
+                    },
+                ]),
+            ),
+            (
+                "snapshots",
+                Simulation::ieee1901(3)
+                    .backend(Backend::MeanField)
+                    .snapshots(true),
+            ),
+        ];
+        for (what, sim) in cases {
+            let err = sim.try_run().expect_err(what);
+            assert!(
+                err.to_string()
+                    .contains("mean-field backend does not model"),
+                "{what}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn meanfield_try_build_is_a_typed_error() {
+        let err = Simulation::ieee1901(3)
+            .backend(Backend::MeanField)
+            .try_build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("no slotted engine"));
+    }
+
+    #[test]
+    fn meanfield_analysis_exposes_diagnostics_and_delay() {
+        let a = Simulation::ieee1901(10)
+            .backend(Backend::MeanField)
+            .meanfield_analysis()
+            .unwrap();
+        assert!(a.solution.diagnostics.converged);
+        assert!(a.delay.mean_us > 0.0);
+        // And the accessor refuses on the slotted backend.
+        assert!(Simulation::ieee1901(10).meanfield_analysis().is_err());
     }
 
     #[test]

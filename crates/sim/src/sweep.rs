@@ -296,6 +296,17 @@ impl SweepGrid {
         self.configs.len() * self.stations.len()
     }
 
+    /// Replications actually scheduled for a template: deterministic
+    /// backends (mean-field) ignore the seed, so every replication would
+    /// be byte-identical — one run per point replaces the whole budget.
+    fn reps_for(&self, template: &Simulation) -> u64 {
+        if template.is_deterministic() {
+            1
+        } else {
+            self.replications
+        }
+    }
+
     /// Row-major `(index, label, template, n)` tuples of the grid.
     fn grid_points(&self) -> Vec<(usize, &str, &Simulation, usize)> {
         self.configs
@@ -370,7 +381,7 @@ impl SweepGrid {
         n: usize,
     ) -> SweepPointResult {
         let master = self.master_seed;
-        let max_reps = self.replications;
+        let max_reps = self.reps_for(template);
         let early = self.early_stop;
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut acc = PointAccumulator::new();
@@ -427,12 +438,26 @@ impl SweepGrid {
             // granularity for load balance, then merge each point's
             // replications in replication order. `parallel_map` returns in
             // input order, so the merge order — and therefore every bit of
-            // the output — is schedule-independent.
-            let reps = self.replications;
-            let cells: Vec<(usize, &str, &Simulation, usize, u64)> = points
+            // the output — is schedule-independent. Deterministic-backend
+            // points schedule one cell each, so replication counts vary
+            // per point and the merge walks prefix offsets, not a fixed
+            // stride.
+            let per_point_reps: Vec<u64> = points
                 .iter()
-                .flat_map(|&(idx, label, template, n)| {
-                    (0..reps).map(move |rep| (idx, label, template, n, rep))
+                .map(|&(_, _, template, _)| self.reps_for(template))
+                .collect();
+            let offsets: Vec<usize> = per_point_reps
+                .iter()
+                .scan(0usize, |acc, &r| {
+                    let start = *acc;
+                    *acc += r as usize;
+                    Some(start)
+                })
+                .collect();
+            let cells: Vec<(usize, &Simulation, usize, u64)> = points
+                .iter()
+                .flat_map(|&(idx, _, template, n)| {
+                    (0..per_point_reps[idx]).map(move |rep| (idx, template, n, rep))
                 })
                 .collect();
             let master = self.master_seed;
@@ -440,7 +465,7 @@ impl SweepGrid {
             let reports = parallel_map_with_progress(
                 self.workers,
                 cells,
-                |_, (idx, _, template, n, rep)| {
+                |_, (idx, template, n, rep)| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         timed_cell(template, n, master, idx as u64, rep)
                     }))
@@ -451,10 +476,11 @@ impl SweepGrid {
             points
                 .iter()
                 .map(|&(idx, label, _, n)| {
+                    let reps = per_point_reps[idx];
                     let mut acc = PointAccumulator::new();
                     let mut failure = None;
                     for rep in 0..reps as usize {
-                        match &reports[idx * reps as usize + rep] {
+                        match &reports[offsets[idx] + rep] {
                             Ok(report) => acc.merge_report(report),
                             Err(reason) => {
                                 failure.get_or_insert_with(|| reason.clone());
@@ -966,6 +992,45 @@ mod tests {
             .run();
         assert_eq!(bare, observed);
         assert_eq!(bare.to_json(), observed.to_json());
+    }
+
+    #[test]
+    fn meanfield_template_collapses_replications() {
+        use crate::backend::Backend;
+        let grid = SweepGrid::new(41)
+            .config(
+                "mf",
+                Simulation::ieee1901(1)
+                    .backend(Backend::MeanField)
+                    .horizon_us(1e6),
+            )
+            .config("slotted", Simulation::ieee1901(1).horizon_us(1e5))
+            .stations([2, 5])
+            .replications(4);
+        let results = grid.clone().workers(1).run();
+        for p in results.ok_points() {
+            let expected = if p.config == "mf" { 1 } else { 4 };
+            assert_eq!(
+                p.replications_run, expected,
+                "{} at N={} ran {} replications",
+                p.config, p.n, p.replications_run
+            );
+        }
+        assert_eq!(results.ok_points().count(), 4);
+        // Mixed per-point replication counts stay schedule-independent.
+        // Compared through the JSON export because single-replication
+        // summaries hold `std_dev: NaN`, and NaN breaks struct equality.
+        let pooled = grid.clone().workers(8).run();
+        assert_eq!(results.to_json(), pooled.to_json());
+        // And the fan-out path matches the pointwise (early-stop) path.
+        let pointwise = grid
+            .early_stop(EarlyStop {
+                quantity: Quantity::NormThroughput,
+                ci95_half_width: 0.0,
+                min_replications: 4,
+            })
+            .run();
+        assert_eq!(results.to_json(), pointwise.to_json());
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod table;
 
 pub use fairness::{jain_index, windowed_jain};
 pub use hist::Histogram;
-pub use quantile::P2Quantile;
+pub use quantile::{quantile_from_cdf, P2Quantile};
 pub use summary::{Summary, Welford};
 pub use table::Table;

@@ -57,7 +57,10 @@ pub use plc_testbed as testbed;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use plc_analysis::{BianchiModel, CoupledModel, Model1901, RoundModel};
+    pub use plc_analysis::{
+        gamma_tolerance, throughput_tolerance, BianchiModel, CanoMaloneModel, CoupledModel,
+        MeanFieldModel, Model1901, RoundModel,
+    };
     pub use plc_core::config::{CsmaConfig, StageParams, DC_DISABLED};
     pub use plc_core::priority::Priority;
     pub use plc_core::timing::MacTiming;
@@ -68,8 +71,8 @@ pub mod prelude {
     };
     pub use plc_phy::{ChannelModel, PbErrorModel, PhyRate, ToneMap};
     pub use plc_sim::{
-        BurstPolicy, EarlyStop, PaperSim, Quantity, SimReport, Simulation, StepOutcome, SweepGrid,
-        SweepResults, TraceEvent, TrafficModel,
+        Backend, BatchRunner, BurstPolicy, EarlyStop, PaperSim, Quantity, RunSummary, SimReport,
+        Simulation, StepOutcome, SweepGrid, SweepResults, TraceEvent, TrafficModel,
     };
     pub use plc_testbed::{CollisionExperiment, PowerStrip, TestbedConfig};
 }
