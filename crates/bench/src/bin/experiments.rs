@@ -15,7 +15,7 @@
 //!   NAME       any of: table1 figure1 table2 figure2 throughput
 //!              priorities boost fairness mme_overhead bursts models
 //!              errors delay load coexistence aggregation adaptation
-//!              chaos validate-backends (default: all, in order)
+//!              chaos validate-backends multidomain (default: all, in order)
 //!
 //! bench-snapshot times the pinned engine workloads and writes
 //! BENCH_<date>.json into DIR (default: the current directory); with

@@ -15,6 +15,7 @@ pub mod figure2;
 pub mod load;
 pub mod mme_overhead;
 pub mod models;
+pub mod multidomain;
 pub mod priorities;
 pub mod table1;
 pub mod table2;

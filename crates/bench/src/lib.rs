@@ -29,6 +29,7 @@
 //! | [`exp::adaptation`] | E13 — tone-map adaptation vs channel drift |
 //! | [`exp::chaos`] | E14 — Table 2 under deterministic fault injection |
 //! | [`exp::validate_backends`] | E15 — slotted vs mean-field backend cross-validation |
+//! | [`exp::multidomain`] | E16 — multi-domain coexistence: throughput vs inter-network coupling |
 //!
 //! ## Errors and observability
 //!
@@ -156,6 +157,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("adaptation", exp::adaptation::run),
         ("chaos", exp::chaos::run),
         ("validate-backends", exp::validate_backends::run),
+        ("multidomain", exp::multidomain::run),
     ]
 }
 
@@ -170,7 +172,7 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len());
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use plc_core::error::{Error, Result};
 use plc_obs::Registry;
 use plc_sim::sweep;
-use plc_sim::Simulation;
+use plc_sim::{Simulation, Topology};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -247,6 +247,35 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
                 .run();
         },
     ));
+    // Ten isolated 50-station cells sharded across the batch pool. Each
+    // cell spans 49 m (inside sense range), cells sit 500 m apart
+    // (isolated), so every component takes the legacy fast path — this
+    // times the multi-domain scheduling/merge overhead, not a new inner
+    // loop. Counter is still engine slots: the per-cell engines are
+    // instrumented into the same registry.
+    workloads.push(time_workload(
+        "multidomain_10x50_sat",
+        &registry,
+        "engine.steps",
+        || {
+            let mut b = Topology::builder();
+            for c in 0..10 {
+                let cell: Vec<(f64, f64)> = (0..50)
+                    .map(|i| (c as f64 * 500.0 + i as f64, 0.0))
+                    .collect();
+                b = b.cell(&cell);
+            }
+            let topo = b.build().expect("snapshot topology must build");
+            Simulation::ieee1901(500)
+                .topology(topo)
+                .horizon_us(h(5.0e8))
+                .seed(1)
+                .domain_workers(sweep::default_workers())
+                .registry(&registry)
+                .try_run_topology()
+                .expect("multi-domain snapshot workload must run");
+        },
+    ));
     // The mean-field backend at fleet scale: many 10k-station contention
     // domains solved on the batch pool. Unit of work is stations solved
     // (`meanfield.stations`), not engine slots — the analytic backend
@@ -376,7 +405,7 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 9);
+        assert_eq!(snap.workloads.len(), 10);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);

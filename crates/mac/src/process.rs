@@ -111,6 +111,12 @@ pub struct SoaView {
 ///   [`on_idle_slot`](BackoffProcess::on_idle_slot) (no station transmitted)
 ///   or [`on_busy`](BackoffProcess::on_busy) (some other station
 ///   transmitted — the station *sensed the medium busy*).
+/// * `on_busy` is only legal mid-countdown (`wants_tx() == false`). A
+///   station that has counted down to `BC == 0` but finds the medium
+///   busy — which can only happen under partial hearing, e.g. the
+///   multi-domain coordinator's cross-network sensing — must *hold* its
+///   pending transmission without any process call until the medium
+///   frees; implementations may panic on a contract violation.
 /// * After any event, `wants_tx` reflects the next slot's intention.
 ///
 /// All state transitions are deterministic given the RNG stream.

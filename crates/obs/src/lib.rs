@@ -20,6 +20,13 @@
 //! simulation: they never touch RNG streams, so results — including
 //! byte-level sweep JSON — are identical with or without them.
 //!
+//! Names are dotted and owned by the instrumented layer: `engine.*`
+//! (steps, steps_skipped, soa_fallbacks), `sweep.*`, `meanfield.*`
+//! (solves, stations), `multidomain.*` (cells, components, jammed_tx,
+//! sensed_defers) and `exp.*` phase timers. Sharded work merges
+//! per-shard registries in shard order ([`Registry::merge_from`]), so
+//! counter totals are worker-count invariant.
+//!
 //! ```
 //! use plc_obs::{Registry, Observer, shared, CollectingObserver};
 //!

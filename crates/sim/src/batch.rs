@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn on_result_sees_every_index_once() {
-        let mut seen = vec![0u32; 20];
+        let mut seen = [0u32; 20];
         BatchRunner::new().workers(3).run_observed(
             (0..20u64).collect(),
             |_, x, _| x,

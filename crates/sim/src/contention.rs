@@ -172,14 +172,131 @@ fn dc16_of(dc: u32) -> Option<u32> {
     }
 }
 
+/// Why a station population cannot be hosted in the packed
+/// struct-of-arrays core. The engine then falls back to the per-object
+/// path — results are identical, only the busy-slot sweep is slower —
+/// and surfaces the reason through
+/// [`SlottedEngine::soa_rejection`](crate::engine::SlottedEngine::soa_rejection)
+/// plus the `engine.soa_fallbacks` observability counter, instead of
+/// silently degrading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreRejection {
+    /// No stations (nothing to pack).
+    Empty,
+    /// More stations than the packed index domain.
+    TooManyStations(usize),
+    /// A stage table is empty or longer than the `u8` stage array allows.
+    StageTableSize {
+        /// Offending station.
+        station: usize,
+        /// Its stage-table length.
+        stages: usize,
+    },
+    /// A contention window of 0 or above 2¹⁶ cannot be packed into the
+    /// 16-bit BC field (a draw from `0..cw` must fit).
+    WindowUnrepresentable {
+        /// Offending station.
+        station: usize,
+        /// The unrepresentable window.
+        cw: u32,
+    },
+    /// A deferral counter ≥ 0xFFFF that is not [`DC_DISABLED`] collides
+    /// with the packed disabled-DC sentinel.
+    DeferralUnrepresentable {
+        /// Offending station.
+        station: usize,
+        /// The unrepresentable deferral counter.
+        dc: u32,
+    },
+    /// A live backoff counter above the 16-bit packed domain.
+    CounterOutOfRange {
+        /// Offending station.
+        station: usize,
+        /// The unrepresentable backoff counter.
+        bc: u32,
+    },
+    /// A station's current stage indexes past its stage table.
+    StageOutOfRange {
+        /// Offending station.
+        station: usize,
+        /// The out-of-range stage.
+        stage: u32,
+    },
+    /// More distinct (protocol, table) classes than the `u16` class ids.
+    TooManyClasses(usize),
+}
+
+impl std::fmt::Display for CoreRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreRejection::Empty => write!(f, "no stations to pack"),
+            CoreRejection::TooManyStations(n) => {
+                write!(f, "{n} stations exceed the packed index domain")
+            }
+            CoreRejection::StageTableSize { station, stages } => write!(
+                f,
+                "station {station}: stage table of {stages} entries does not fit \
+                 the u8 stage array (need 1..=256)"
+            ),
+            CoreRejection::WindowUnrepresentable { station, cw } => write!(
+                f,
+                "station {station}: contention window {cw} does not fit the \
+                 packed 16-bit backoff field (need 1..=65536)"
+            ),
+            CoreRejection::DeferralUnrepresentable { station, dc } => write!(
+                f,
+                "station {station}: deferral counter {dc} collides with the \
+                 packed disabled-DC sentinel 0xFFFF (need < 65535 or DC_DISABLED)"
+            ),
+            CoreRejection::CounterOutOfRange { station, bc } => write!(
+                f,
+                "station {station}: backoff counter {bc} exceeds the packed \
+                 16-bit domain"
+            ),
+            CoreRejection::StageOutOfRange { station, stage } => write!(
+                f,
+                "station {station}: stage {stage} indexes past its stage table"
+            ),
+            CoreRejection::TooManyClasses(n) => {
+                write!(f, "{n} distinct parameter classes exceed the u16 class ids")
+            }
+        }
+    }
+}
+
+impl CoreRejection {
+    /// The rejection as a typed configuration error, for callers that
+    /// treat an engaged-but-unavailable core as fatal.
+    pub fn to_error(&self) -> plc_core::error::Error {
+        plc_core::error::Error::invalid_config(format!(
+            "struct-of-arrays contention core unavailable: {self}"
+        ))
+    }
+}
+
 impl ContentionCore {
     /// Build a core from per-station views, or `None` when the views
     /// cannot be represented exactly (oversized CW/DC/stage tables), in
-    /// which case the engine stays on the per-object path.
+    /// which case the engine stays on the per-object path. See
+    /// [`try_from_views`](Self::try_from_views) for the reason.
     pub(crate) fn from_views(views: &[SoaView], all_active: bool) -> Option<Self> {
+        Self::try_from_views(views, all_active).ok()
+    }
+
+    /// [`from_views`](Self::from_views) surfacing *why* the views cannot
+    /// be packed, so the engine can report the fallback instead of
+    /// silently taking the per-object path.
+    pub(crate) fn try_from_views(
+        views: &[SoaView],
+        all_active: bool,
+    ) -> std::result::Result<Self, CoreRejection> {
         let n = views.len();
-        if n == 0 || n > u32::MAX as usize {
-            return None;
+        if n == 0 {
+            return Err(CoreRejection::Empty);
+        }
+        if n > u32::MAX as usize {
+            return Err(CoreRejection::TooManyStations(n));
         }
         let mut classes: Vec<(Protocol, &SoaView, ClassTable)> = Vec::new();
         let mut core = ContentionCore {
@@ -197,21 +314,31 @@ impl ContentionCore {
             redraw_zero: Vec::with_capacity(n),
             merge_buf: Vec::with_capacity(n),
         };
-        for v in views {
+        for (station, v) in views.iter().enumerate() {
             if v.stages.is_empty() || v.stages.len() > 256 {
-                return None;
+                return Err(CoreRejection::StageTableSize {
+                    station,
+                    stages: v.stages.len(),
+                });
             }
-            if v.stages.iter().any(|s| s.cw == 0 || s.cw > 1 << 16) {
-                return None;
+            if let Some(s) = v.stages.iter().find(|s| s.cw == 0 || s.cw > 1 << 16) {
+                return Err(CoreRejection::WindowUnrepresentable { station, cw: s.cw });
             }
-            if v.stages.iter().any(|s| dc16_of(s.dc).is_none()) {
-                return None;
+            if let Some(s) = v.stages.iter().find(|s| dc16_of(s.dc).is_none()) {
+                return Err(CoreRejection::DeferralUnrepresentable { station, dc: s.dc });
             }
             let st = v.state;
-            if st.bc > u16::MAX as u32 || st.stage as usize >= v.stages.len() {
-                return None;
+            if st.bc > u16::MAX as u32 {
+                return Err(CoreRejection::CounterOutOfRange { station, bc: st.bc });
             }
-            let dc16 = dc16_of(st.dc)?;
+            if st.stage as usize >= v.stages.len() {
+                return Err(CoreRejection::StageOutOfRange {
+                    station,
+                    stage: st.stage,
+                });
+            }
+            let dc16 = dc16_of(st.dc)
+                .ok_or(CoreRejection::DeferralUnrepresentable { station, dc: st.dc })?;
             let class = match classes
                 .iter()
                 .position(|(p, cv, _)| *p == v.protocol && cv.stages == v.stages)
@@ -219,7 +346,7 @@ impl ContentionCore {
                 Some(c) => c,
                 None => {
                     if classes.len() > u16::MAX as usize {
-                        return None;
+                        return Err(CoreRejection::TooManyClasses(classes.len()));
                     }
                     classes.push((
                         v.protocol,
@@ -249,7 +376,7 @@ impl ContentionCore {
         }
         core.fast = all_active && classes.len() == 1 && classes[0].2.proto == PROTO_1901;
         core.classes = classes.into_iter().map(|(_, _, t)| t).collect();
-        Some(core)
+        Ok(core)
     }
 
     /// Current backoff counter of station `i`.

@@ -20,7 +20,7 @@
 //! exactly that.
 
 use crate::bursting::BurstPolicy;
-use crate::contention::{ContentionCore, SweepAction};
+use crate::contention::{ContentionCore, CoreRejection, SweepAction};
 use crate::metrics::Metrics;
 use crate::trace::{StationId, TraceEvent, TraceSink};
 use crate::traffic::{TrafficModel, TrafficState};
@@ -282,6 +282,11 @@ pub struct SlottedEngine<P: BackoffProcess> {
     /// at build time — and every read or mutation of contention state
     /// routes through it.
     core: Option<ContentionCore>,
+    /// Why the struct-of-arrays core could not be packed, when `cfg.soa`
+    /// was requested but the engine had to fall back to the per-object
+    /// path. `None` either means the core is active or that a process
+    /// opted out of exporting a SoA view.
+    soa_rejection: Option<CoreRejection>,
     /// Scratch buffer of per-transmitter sweep actions (collision arm).
     action_buf: Vec<SweepAction>,
 }
@@ -368,13 +373,28 @@ impl<P: BackoffProcess> SlottedEngine<P> {
         let all_saturated = stations.iter().all(|s| s.traffic.is_saturated());
         // Move the contention counters into the struct-of-arrays core
         // when every process can export them; a single opt-out (or an
-        // unrepresentable table) falls back to the per-object path.
+        // unrepresentable table) falls back to the per-object path, and
+        // the rejection reason is kept so callers (and the
+        // `engine.soa_fallbacks` counter) can see *why* instead of the
+        // core silently staying unused.
+        let mut soa_rejection = None;
         let core = if cfg.soa {
-            stations
+            match stations
                 .iter()
                 .map(|s| s.process.soa_view())
                 .collect::<Option<Vec<_>>>()
-                .and_then(|views| ContentionCore::from_views(&views, all_saturated))
+            {
+                Some(views) => match ContentionCore::try_from_views(&views, all_saturated) {
+                    Ok(core) => Some(core),
+                    Err(why) => {
+                        soa_rejection = Some(why);
+                        None
+                    }
+                },
+                // A process without a SoA view opted out by design — not
+                // a packing failure, so no rejection is recorded.
+                None => None,
+            }
         } else {
             None
         };
@@ -398,6 +418,7 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             min_bc: u32::MAX,
             zero_bc: Vec::with_capacity(n),
             core,
+            soa_rejection,
             action_buf: Vec::with_capacity(n),
         })
     }
@@ -444,7 +465,23 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             steps_skipped: registry.try_counter("engine.steps_skipped")?,
             fast_forward: registry.try_timer("engine.fast_forward")?,
         });
+        // Make silent SoA fallbacks visible: the counter exists whenever
+        // an instrumented engine runs, so a zero reading means "core
+        // active or opted out", a non-zero reading says how many engines
+        // hit an unrepresentable contention table.
+        let fallbacks = registry.try_counter("engine.soa_fallbacks")?;
+        if self.soa_rejection.is_some() {
+            fallbacks.add(1);
+        }
         Ok(())
+    }
+
+    /// Why the struct-of-arrays contention core was rejected, when
+    /// [`EngineConfig::soa`] asked for it but the engine fell back to the
+    /// per-object path. `None` means the core is active, SoA was not
+    /// requested, or a process opted out of exporting a view.
+    pub fn soa_rejection(&self) -> Option<&CoreRejection> {
+        self.soa_rejection.as_ref()
     }
 
     /// Steps executed so far.

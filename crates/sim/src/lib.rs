@@ -45,9 +45,12 @@ pub mod engine;
 pub mod export;
 pub mod metrics;
 pub mod multiclass;
+pub mod multidomain;
 pub mod paper;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
+pub mod topology;
 pub mod trace;
 pub mod traffic;
 
@@ -57,14 +60,18 @@ pub use batch::BatchRunner;
 pub use bursting::BurstPolicy;
 #[doc(hidden)]
 pub use contention::bench as contention_bench;
+pub use contention::CoreRejection;
 pub use engine::{BeaconSchedule, EngineConfig, SlottedEngine, StationSpec, StepOutcome};
 pub use export::JsonLinesSink;
 pub use metrics::{Metrics, StationMetrics};
+pub use multidomain::MultiDomainReport;
 pub use paper::{PaperSim, PaperSimResult};
 pub use runner::{ReplicationSummary, RunSummary, SimReport, Simulation};
+pub use scenario::Scenario;
 pub use sweep::{
     parallel_map, parallel_map_observed, parallel_map_with_progress, EarlyStop, Quantity,
     SweepGrid, SweepPoint, SweepPointResult, SweepResults,
 };
+pub use topology::{Topology, TopologyBuilder};
 pub use trace::{StationId, SuccessTrace, TraceEvent, TraceSink, VecTraceSink};
 pub use traffic::TrafficModel;

@@ -202,6 +202,32 @@ impl Metrics {
         s.last_success = Some(t);
     }
 
+    /// Fold one cell's metrics into this network-wide view: counters and
+    /// airtimes sum, `elapsed` is the maximum over cells (cells run
+    /// concurrently on the wire), and `members[local]` maps the cell's
+    /// station indices to their global slots. Each station belongs to
+    /// exactly one cell, so per-station rows move rather than merge.
+    pub(crate) fn absorb_cell(&mut self, cell: &Metrics, members: &[usize]) {
+        debug_assert_eq!(cell.per_station.len(), members.len());
+        self.elapsed = Microseconds(self.elapsed.as_micros().max(cell.elapsed.as_micros()));
+        self.idle_slots += cell.idle_slots;
+        self.successes += cell.successes;
+        self.collision_events += cell.collision_events;
+        self.collided_tx += cell.collided_tx;
+        self.time_idle += cell.time_idle;
+        self.time_success += cell.time_success;
+        self.time_collision += cell.time_collision;
+        self.time_prs += cell.time_prs;
+        self.beacons += cell.beacons;
+        self.time_beacon += cell.time_beacon;
+        self.mpdus_ok += cell.mpdus_ok;
+        self.frames_completed += cell.frames_completed;
+        self.payload_delivered_us += cell.payload_delivered_us;
+        for (local, &global) in members.iter().enumerate() {
+            self.per_station[global] = cell.per_station[local].clone();
+        }
+    }
+
     /// Record a collision among `stations`, each transmitting a burst of
     /// the given MPDU count. `collided_tx` counts *stations* (the
     /// event-level semantics of the reference simulator); the per-station

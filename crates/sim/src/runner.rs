@@ -20,6 +20,9 @@ use crate::backend::{Backend, MeanFieldReport};
 use crate::bursting::BurstPolicy;
 use crate::engine::{EngineConfig, SharedSink, SlottedEngine, StationSpec};
 use crate::metrics::Metrics;
+use crate::multidomain::MultiDomainReport;
+use crate::scenario::Scenario;
+use crate::topology::Topology;
 use crate::traffic::TrafficModel;
 use plc_core::config::CsmaConfig;
 use plc_core::timing::MacTiming;
@@ -41,31 +44,35 @@ use serde::{Deserialize, Serialize};
 /// side-channel run variants or post-construction engine mutation.
 #[derive(Clone)]
 pub struct Simulation {
-    n: usize,
-    backend: Backend,
-    protocol: Protocol,
-    config: CsmaConfig,
-    timing: MacTiming,
-    horizon: Microseconds,
-    seed: u64,
-    burst: BurstPolicy,
-    retry: RetryPolicy,
-    traffic: TrafficModel,
-    pb_error_prob: f64,
-    beacons: Option<crate::engine::BeaconSchedule>,
-    noise: Vec<plc_faults::NoiseBurst>,
-    snapshots: bool,
-    fast_forward: bool,
-    soa: bool,
-    sinks: Vec<SharedSink>,
-    observers: Vec<(SharedObserver, u64)>,
-    registry: Option<plc_obs::Registry>,
+    pub(crate) n: usize,
+    pub(crate) topology: Topology,
+    pub(crate) domain_workers: usize,
+    pub(crate) backend: Backend,
+    pub(crate) protocol: Protocol,
+    pub(crate) config: CsmaConfig,
+    pub(crate) timing: MacTiming,
+    pub(crate) horizon: Microseconds,
+    pub(crate) seed: u64,
+    pub(crate) burst: BurstPolicy,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) traffic: TrafficModel,
+    pub(crate) pb_error_prob: f64,
+    pub(crate) beacons: Option<crate::engine::BeaconSchedule>,
+    pub(crate) noise: Vec<plc_faults::NoiseBurst>,
+    pub(crate) snapshots: bool,
+    pub(crate) fast_forward: bool,
+    pub(crate) soa: bool,
+    pub(crate) sinks: Vec<SharedSink>,
+    pub(crate) observers: Vec<(SharedObserver, u64)>,
+    pub(crate) registry: Option<plc_obs::Registry>,
 }
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("n", &self.n)
+            .field("cells", &self.topology.num_cells())
+            .field("domain_workers", &self.domain_workers)
             .field("backend", &self.backend)
             .field("protocol", &self.protocol)
             .field("config", &self.config)
@@ -90,10 +97,14 @@ impl std::fmt::Debug for Simulation {
 
 impl Simulation {
     /// `n` saturated IEEE 1901 stations with the default CA1 table and the
-    /// paper's timing.
+    /// paper's timing — sugar for a fully-connected single-cell
+    /// [`Topology`] (every station hears every station, the legacy
+    /// single-domain setting).
     pub fn ieee1901(n: usize) -> Self {
         Simulation {
             n,
+            topology: Topology::fully_connected(n),
+            domain_workers: 1,
             backend: Backend::Slotted,
             protocol: Protocol::Ieee1901,
             config: CsmaConfig::ieee1901_ca01(),
@@ -153,11 +164,53 @@ impl Simulation {
         self
     }
 
-    /// Override the station count (used by sweeps to stamp one template
-    /// onto every grid point).
-    pub fn num_stations(mut self, n: usize) -> Self {
+    /// Override the station count.
+    ///
+    /// Deprecated: the station count now lives in the [`Topology`];
+    /// construct with [`ieee1901(n)`](Simulation::ieee1901) /
+    /// [`dcf(n)`](Simulation::dcf) for the fully-connected case or set a
+    /// [`topology`](Simulation::topology) explicitly. Sweeps restamp the
+    /// count internally.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the station count via ieee1901(n)/dcf(n) or Simulation::topology(...)"
+    )]
+    pub fn num_stations(self, n: usize) -> Self {
+        self.set_num_stations(n)
+    }
+
+    /// Restamp the station count onto this template (sweep internals).
+    /// Resets the topology to fully-connected — a sweep over `n` has no
+    /// way to scale an explicit spatial layout.
+    pub(crate) fn set_num_stations(mut self, n: usize) -> Self {
         self.n = n;
+        self.topology = Topology::fully_connected(n);
         self
+    }
+
+    /// Place the stations on an explicit [`Topology`]. The station count
+    /// follows the topology; a fully-connected topology reproduces the
+    /// legacy single-domain engine byte-for-byte, while spatial
+    /// topologies run the multi-domain coordinator (see
+    /// [`try_run_topology`](Simulation::try_run_topology)).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.n = topology.num_stations();
+        self.topology = topology;
+        self
+    }
+
+    /// Shard independent topology components across this many worker
+    /// threads (via [`crate::BatchRunner`]; default 1). Results are
+    /// byte-identical for any worker count.
+    pub fn domain_workers(mut self, workers: usize) -> Self {
+        self.domain_workers = workers;
+        self
+    }
+
+    /// Build from a [`Scenario`] — the topology-first front door.
+    /// Equivalent to `scenario.simulation()`.
+    pub fn scenario(scenario: &Scenario) -> Self {
+        scenario.simulation()
     }
 
     /// Use custom channel timing.
@@ -292,6 +345,13 @@ impl Simulation {
                  call run()/try_run() directly, or select Backend::Slotted",
             ));
         }
+        if !self.topology.is_fully_connected() {
+            return Err(plc_core::error::Error::invalid_config(
+                "a spatial topology has no single slotted engine to build; \
+                 call run()/try_run() (or try_run_topology() for the \
+                 per-cell breakdown) instead",
+            ));
+        }
         let mut proc_rng = SmallRng::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -354,6 +414,9 @@ impl Simulation {
     pub fn try_run(&self) -> plc_core::error::Result<SimReport> {
         match self.backend {
             Backend::Slotted => {
+                if !self.topology.is_fully_connected() {
+                    return Ok(self.try_run_topology()?.report);
+                }
                 let mut engine = self.try_build()?;
                 engine.run();
                 Ok(SimReport::from_metrics(
@@ -372,6 +435,41 @@ impl Simulation {
                 )
             }
         }
+    }
+
+    /// Run and return the full multi-domain view: the merged report plus
+    /// per-cell reports and the cross-domain interaction counters.
+    ///
+    /// Works for any topology — a fully-connected one runs the legacy
+    /// single-domain engine and wraps its report as the only cell (zero
+    /// jams, zero defers). Requires [`Backend::Slotted`]; the mean-field
+    /// backend rejects multi-domain topologies with a typed error.
+    pub fn try_run_topology(&self) -> plc_core::error::Result<MultiDomainReport> {
+        if self.backend != Backend::Slotted {
+            return Err(plc_core::error::Error::invalid_config(
+                "the mean-field backend does not model multi-domain topologies; \
+                 use Backend::Slotted for this configuration",
+            ));
+        }
+        if self.topology.is_fully_connected() {
+            let mut engine = self.try_build()?;
+            engine.run();
+            let report =
+                SimReport::from_metrics(engine.metrics().clone(), self.timing.frame_length);
+            return Ok(MultiDomainReport {
+                cells: vec![report.clone()],
+                report,
+                jammed_tx: 0,
+                sensed_defers: 0,
+            });
+        }
+        crate::multidomain::run_spatial(self, &self.topology)
+    }
+
+    /// [`try_run_topology`](Simulation::try_run_topology), panicking on
+    /// invalid configuration.
+    pub fn run_topology(&self) -> MultiDomainReport {
+        self.try_run_topology().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The analytic quantities behind a mean-field run — the solved fixed
@@ -400,6 +498,9 @@ impl Simulation {
                  use Backend::Slotted for this configuration"
             )))
         };
+        if !self.topology.is_fully_connected() {
+            return reject("multi-domain topologies");
+        }
         if self.traffic != TrafficModel::Saturated {
             return reject("unsaturated traffic");
         }

@@ -1,0 +1,130 @@
+//! Topology-first scenario description — the redesigned front door.
+//!
+//! A [`Scenario`] pairs a [`Topology`] (where the stations are and what
+//! they hear) with a protocol and CSMA parameter table, and converts
+//! into the familiar [`Simulation`] builder for everything else
+//! (horizon, seed, traffic, sinks, …):
+//!
+//! ```
+//! use plc_sim::{Scenario, Topology};
+//!
+//! // Legacy single-domain setting, topology-first spelling:
+//! let report = Scenario::ieee1901(Topology::fully_connected(3))
+//!     .simulation()
+//!     .horizon_us(5.0e6)
+//!     .seed(7)
+//!     .run();
+//! assert!(report.collision_probability > 0.0);
+//! ```
+//!
+//! `Simulation::ieee1901(n)` / `Simulation::dcf(n)` remain as sugar for
+//! `Scenario::ieee1901(Topology::fully_connected(n))` — byte-identical
+//! by construction (they build the same `Simulation`).
+
+use crate::runner::Simulation;
+use crate::topology::Topology;
+use plc_core::config::CsmaConfig;
+use plc_mac::process::Protocol;
+
+/// What to simulate: a station layout plus the MAC protocol contending
+/// on it. Convert with [`simulation`](Scenario::simulation).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    topology: Topology,
+    protocol: Protocol,
+    config: CsmaConfig,
+}
+
+impl Scenario {
+    /// IEEE 1901 stations (default CA1 parameter table) on `topology`.
+    pub fn ieee1901(topology: Topology) -> Self {
+        Scenario {
+            topology,
+            protocol: Protocol::Ieee1901,
+            config: CsmaConfig::ieee1901_ca01(),
+        }
+    }
+
+    /// 802.11 DCF stations (classic CW 16…512 table) on `topology`.
+    pub fn dcf(topology: Topology) -> Self {
+        Scenario {
+            topology,
+            protocol: Protocol::Dcf80211,
+            config: CsmaConfig::dcf_like(16, 6).expect("valid"),
+        }
+    }
+
+    /// Use a custom CSMA parameter table.
+    pub fn config(mut self, config: CsmaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The scenario's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total station count across all cells.
+    pub fn num_stations(&self) -> usize {
+        self.topology.num_stations()
+    }
+
+    /// Lower into the [`Simulation`] builder for run-time knobs
+    /// (horizon, seed, traffic, burst/retry policies, sinks, workers).
+    pub fn simulation(&self) -> Simulation {
+        let base = match self.protocol {
+            Protocol::Ieee1901 => Simulation::ieee1901(self.topology.num_stations()),
+            Protocol::Dcf80211 => Simulation::dcf(self.topology.num_stations()),
+        };
+        base.config(self.config.clone())
+            .topology(self.topology.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_scenario_equals_legacy_sugar() {
+        let a = Scenario::ieee1901(Topology::fully_connected(3))
+            .simulation()
+            .horizon_us(1e6)
+            .seed(42)
+            .run();
+        let b = Simulation::ieee1901(3).horizon_us(1e6).seed(42).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dcf_scenario_equals_legacy_sugar() {
+        let a = Scenario::dcf(Topology::fully_connected(2))
+            .simulation()
+            .horizon_us(1e6)
+            .seed(5)
+            .run();
+        let b = Simulation::dcf(2).horizon_us(1e6).seed(5).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_config_flows_through() {
+        let s = Scenario::ieee1901(Topology::fully_connected(2))
+            .config(CsmaConfig::constant_window(256).unwrap());
+        let a = s.simulation().horizon_us(1e6).seed(2).run();
+        let b = Simulation::ieee1901(2)
+            .config(CsmaConfig::constant_window(256).unwrap())
+            .horizon_us(1e6)
+            .seed(2)
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Scenario::ieee1901(Topology::fully_connected(4));
+        assert_eq!(s.num_stations(), 4);
+        assert!(s.topology().is_fully_connected());
+    }
+}

@@ -628,7 +628,7 @@ struct CheckpointHeader {
 fn run_cell(template: &Simulation, n: usize, master: u64, point_index: u64, rep: u64) -> SimReport {
     template
         .clone()
-        .num_stations(n)
+        .set_num_stations(n)
         .seed(derive_seed(master, point_index, rep))
         .run()
 }

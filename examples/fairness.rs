@@ -32,8 +32,19 @@ fn main() {
     let n = 4;
     let horizon = 3.0e7;
 
-    let trace_1901 = run_trace(Simulation::ieee1901(n).horizon_us(horizon).seed(4));
-    let trace_dcf = run_trace(Simulation::dcf(n).horizon_us(horizon).seed(4));
+    // Same stations, same wire, two protocols: build the contention domain
+    // once as a topology and instantiate a scenario per protocol.
+    let domain = Topology::fully_connected(n);
+    let trace_1901 = run_trace(
+        Simulation::scenario(&Scenario::ieee1901(domain.clone()))
+            .horizon_us(horizon)
+            .seed(4),
+    );
+    let trace_dcf = run_trace(
+        Simulation::scenario(&Scenario::dcf(domain))
+            .horizon_us(horizon)
+            .seed(4),
+    );
 
     println!("Short-term fairness, N = {n} saturated stations\n");
     let mut table = Table::new(vec!["window", "Jain (1901)", "Jain (802.11)"]);

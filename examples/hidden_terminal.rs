@@ -1,0 +1,74 @@
+//! Hidden terminals on a shared wire: the topology API end to end.
+//!
+//! Two 2-station PLC networks share one cable. The distance between them
+//! decides everything: close enough and they carrier-sense each other and
+//! time-share the medium; far enough and the signal drops below the noise
+//! floor and both get the full medium; in between lies the hidden band,
+//! where a neighbor's transmission is too weak to sense but strong enough
+//! to corrupt frames — the classic hidden-terminal problem, on a wire.
+//!
+//! Run with: `cargo run --release --example hidden_terminal`
+
+use plc::prelude::*;
+use plc_stats::table::{fmt_prob, Table};
+
+fn main() {
+    let horizon_us = 2.0e7; // 20 s of simulated time per gap
+    let spacing = 2.0; // metres between stations of one network
+
+    let mut table = Table::new(vec![
+        "gap (m)",
+        "regime",
+        "S aggregate",
+        "MPDUs ok",
+        "jammed tx",
+        "sensed defers",
+    ]);
+
+    for gap in [10.0, 80.0, 200.0] {
+        // Two cells of two stations each, `gap` metres of cable apart.
+        let topology = Topology::builder()
+            .cell(&[(0.0, 0.0), (spacing, 0.0)])
+            .cell(&[(gap, 0.0), (gap + spacing, 0.0)])
+            .build()
+            .expect("valid topology");
+
+        // Can the nearest cross-network pair sense each other? Interfere?
+        let regime = if topology.hears(1, 2) {
+            "sensed (time-share)"
+        } else if topology.interferes(1, 2) {
+            "hidden (jamming)"
+        } else {
+            "isolated (reuse)"
+        };
+
+        let report = Simulation::scenario(&Scenario::ieee1901(topology))
+            .horizon_us(horizon_us)
+            .seed(7)
+            .run_topology();
+
+        table.row(vec![
+            format!("{gap:.0}"),
+            regime.to_string(),
+            fmt_prob(report.report.norm_throughput),
+            report.report.metrics.mpdus_ok.to_string(),
+            report.jammed_tx.to_string(),
+            report.sensed_defers.to_string(),
+        ]);
+    }
+
+    println!(
+        "Two 2-station IEEE 1901 networks sharing a wire, {:.0} s per row\n\n{}",
+        horizon_us / 1e6,
+        table.render()
+    );
+    println!(
+        "At 10 m the networks hear each other and share the medium like one\n\
+         contention domain. At 200 m the cable attenuates the neighbor below\n\
+         the noise floor and each network gets the whole medium — aggregate\n\
+         throughput roughly doubles. At 80 m the neighbor is inaudible to\n\
+         carrier sense yet still corrupts overlapping frames: transmissions\n\
+         jam, selective retransmission resends the same blocks, and goodput\n\
+         collapses. CSMA/CA only protects what it can hear."
+    );
+}

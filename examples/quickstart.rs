@@ -35,8 +35,11 @@ fn main() {
     .run(42)
     .expect("valid inputs");
 
-    // 2. The modular engine via the high-level builder.
-    let engine = Simulation::ieee1901(n)
+    // 2. The modular engine via the scenario front door. A fully-connected
+    //    topology is the classic single contention domain — this is exactly
+    //    what the `Simulation::ieee1901(n)` sugar expands to.
+    let scenario = Scenario::ieee1901(Topology::fully_connected(n));
+    let engine = Simulation::scenario(&scenario)
         .horizon_us(horizon_us)
         .seed(42)
         .run();

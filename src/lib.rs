@@ -71,8 +71,9 @@ pub mod prelude {
     };
     pub use plc_phy::{ChannelModel, PbErrorModel, PhyRate, ToneMap};
     pub use plc_sim::{
-        Backend, BatchRunner, BurstPolicy, EarlyStop, PaperSim, Quantity, RunSummary, SimReport,
-        Simulation, StepOutcome, SweepGrid, SweepResults, TraceEvent, TrafficModel,
+        Backend, BatchRunner, BurstPolicy, EarlyStop, MultiDomainReport, PaperSim, Quantity,
+        RunSummary, Scenario, SimReport, Simulation, StepOutcome, SweepGrid, SweepResults,
+        Topology, TraceEvent, TrafficModel,
     };
     pub use plc_testbed::{CollisionExperiment, PowerStrip, TestbedConfig};
 }
