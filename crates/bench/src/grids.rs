@@ -1,0 +1,72 @@
+//! Named sweep grids for the `experiments job` front end.
+//!
+//! A job directory records its grid by *name* (see
+//! [`plc_jobs::JobManifest::grid_name`]), so `experiments job resume
+//! --dir D` can rebuild the exact grid without the caller re-specifying
+//! it — the manifest fingerprint check then proves the rebuild matches.
+//! Every grid here is fully deterministic: fixed master seed, fixed
+//! shape, no environment-dependent knobs (worker count is execution
+//! policy and is applied by the CLI on top).
+
+use plc_sim::{Simulation, SweepGrid};
+
+/// The registered grid names, in display order.
+pub fn known_grids() -> &'static [&'static str] {
+    &["chaos-smoke", "n50-sat", "stuck-smoke"]
+}
+
+/// Build the named grid, or `None` for an unknown name.
+pub fn named_grid(name: &str) -> Option<SweepGrid> {
+    match name {
+        // Small, fast, multi-point: the kill-and-resume chaos tests'
+        // workhorse (6 points × 2 replications, a few ms per cell).
+        "chaos-smoke" => Some(
+            SweepGrid::new(4242)
+                .config("ca1", Simulation::ieee1901(1).horizon_us(4.0e5))
+                .stations(2..=7)
+                .replications(2),
+        ),
+        // The saturated-N≈50 sweep path the job-overhead gate times:
+        // ten single-replication points on the deep-backoff engine
+        // workload.
+        "n50-sat" => Some(
+            SweepGrid::new(4243)
+                .config("ca1_sat", Simulation::ieee1901(1).horizon_us(5.0e8))
+                .stations(41..=50)
+                .replications(1),
+        ),
+        // One pathological point whose horizon can never finish inside
+        // a sane watchdog deadline — the quarantine-path exerciser.
+        "stuck-smoke" => Some(
+            SweepGrid::new(5)
+                .config("stuck", Simulation::ieee1901(1).horizon_us(5.0e10))
+                .stations([20])
+                .replications(1),
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_grid_builds_nonempty() {
+        for name in known_grids() {
+            let grid = named_grid(name).expect("known grid builds");
+            assert!(grid.num_points() > 0, "{name} is empty");
+        }
+        assert!(named_grid("no-such-grid").is_none());
+    }
+
+    #[test]
+    fn chaos_smoke_shape_is_pinned() {
+        // The kill-and-resume CI test depends on this shape: enough
+        // points to kill mid-journal, small enough to finish in seconds.
+        let grid = named_grid("chaos-smoke").unwrap();
+        assert_eq!(grid.num_points(), 6);
+        assert_eq!(grid.replication_budget(), 2);
+        assert_eq!(grid.master_seed(), 4242);
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod grids;
 pub mod snapshot;
 
 /// How long the experiments run.

@@ -276,6 +276,30 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
                 .expect("multi-domain snapshot workload must run");
         },
     ));
+    // The saturated N≈50 sweep path run through the journaled job
+    // engine: same cells as a plain `SweepGrid::run`, plus the manifest,
+    // per-point journal flushes and the atomic results write. The
+    // trajectory shows what crash-tolerance costs end to end; the CI
+    // gate (`--job-overhead`, see [`job_overhead`]) asserts the paired
+    // plain-vs-job ratio.
+    workloads.push(time_workload(
+        "job_resume_overhead",
+        &registry,
+        "engine.steps",
+        || {
+            let dir =
+                std::env::temp_dir().join(format!("plc_bench_job_snapshot_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            plc_jobs::Job::create(
+                job_overhead_grid(scale, Some(&registry)),
+                plc_jobs::JobConfig::new(&dir),
+            )
+            .expect("job snapshot workload must create")
+            .run()
+            .expect("job snapshot workload must run");
+            let _ = std::fs::remove_dir_all(&dir);
+        },
+    ));
     // The mean-field backend at fleet scale: many 10k-station contention
     // domains solved on the batch pool. Unit of work is stations solved
     // (`meanfield.stations`), not engine slots — the analytic backend
@@ -304,6 +328,87 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
         schema: SCHEMA.to_string(),
         date: today_utc(),
         workloads,
+    })
+}
+
+/// The ten-point saturated-N≈50 sweep both sides of the job-overhead
+/// gate run: one replication per point keeps every cell on the deep
+/// backoff path the `engine_1901_n50_sat_500s` workload pins.
+fn job_overhead_grid(scale: f64, registry: Option<&Registry>) -> plc_sim::SweepGrid {
+    let mut template = Simulation::ieee1901(1).horizon_us(5.0e8 * scale);
+    if let Some(r) = registry {
+        template = template.registry(r);
+    }
+    plc_sim::SweepGrid::new(4243)
+        .config("ca1_sat", template)
+        .stations(41..=50)
+        .replications(1)
+        .workers(1)
+}
+
+/// Result of the paired plain-vs-journaled timing behind the
+/// `bench-snapshot --job-overhead` CI gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOverhead {
+    /// Best-of-`rounds` wall seconds for the plain [`SweepGrid`] run.
+    pub plain_secs: f64,
+    /// Best-of-`rounds` wall seconds for the same grid under
+    /// [`plc_jobs::Job`] (manifest + journal + atomic results).
+    pub job_secs: f64,
+    /// `job_secs / plain_secs` — the gate fails when this exceeds
+    /// `1 + tolerance`.
+    pub ratio: f64,
+}
+
+/// Time the `job_resume_overhead` grid both plain and journaled,
+/// best-of-`rounds` each, interleaved so drift hits both sides alike.
+/// Also asserts the job's `results.json` payload is byte-identical to
+/// the plain sweep every round — the overhead gate doubles as a
+/// determinism check.
+pub fn job_overhead(scale: f64, rounds: usize) -> Result<JobOverhead> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(Error::runtime(format!("invalid horizon scale {scale}")));
+    }
+    let rounds = rounds.max(1);
+    let mut plain_secs = f64::INFINITY;
+    let mut job_secs = f64::INFINITY;
+    let mut plain_json: Option<String> = None;
+    for round in 0..rounds {
+        let started = Instant::now();
+        let results = job_overhead_grid(scale, None).run();
+        plain_secs = plain_secs.min(started.elapsed().as_secs_f64());
+        let json = results.to_json();
+        if plain_json.get_or_insert_with(|| json.clone()) != &json {
+            return Err(Error::runtime("plain sweep varied across rounds"));
+        }
+
+        let dir = std::env::temp_dir().join(format!(
+            "plc_bench_job_overhead_{}_{round}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let started = Instant::now();
+        let report = plc_jobs::Job::create(
+            job_overhead_grid(scale, None),
+            plc_jobs::JobConfig::new(&dir),
+        )?
+        .run()?;
+        job_secs = job_secs.min(started.elapsed().as_secs_f64());
+        let job_json = report
+            .results
+            .ok_or_else(|| Error::runtime("job-overhead job did not complete"))?
+            .to_json();
+        let _ = std::fs::remove_dir_all(&dir);
+        if Some(&job_json) != plain_json.as_ref() {
+            return Err(Error::runtime(
+                "journaled job diverged from the plain sweep",
+            ));
+        }
+    }
+    Ok(JobOverhead {
+        plain_secs,
+        job_secs,
+        ratio: job_secs / plain_secs,
     })
 }
 
@@ -405,11 +510,22 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 10);
+        assert_eq!(snap.workloads.len(), 11);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);
         assert!(parsed.file_name().starts_with("BENCH_"));
+    }
+
+    #[test]
+    fn job_overhead_pairs_plain_and_journaled_runs() {
+        // Tiny horizon: exercises the pairing + byte-identity check, not
+        // the timing itself (CI runs it at gate scale).
+        let o = job_overhead(2.0e-5, 1).unwrap();
+        assert!(o.plain_secs.is_finite() && o.plain_secs > 0.0);
+        assert!(o.job_secs.is_finite() && o.job_secs > 0.0);
+        assert!(o.ratio > 0.0);
+        assert!(job_overhead(f64::NAN, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Kill-and-resume chaos tests against the real `experiments` binary:
+//! a sweep job is SIGKILLed mid-journal (a stall fault holds the
+//! checkpoint hook open as the kill window) and resumed in a fresh
+//! process — with a different worker count — and the final
+//! `results.json` must be byte-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EXE: &str = env!("CARGO_BIN_EXE_experiments");
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plc_job_resume_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_job(args: &[&str]) -> std::process::Output {
+    Command::new(EXE)
+        .arg("job")
+        .args(args)
+        .output()
+        .expect("experiments binary runs")
+}
+
+/// Poll `journal.jsonl` in `dir` until it holds at least `lines`
+/// newline-terminated entries (i.e. fully flushed lines).
+fn wait_for_journal_lines(dir: &Path, lines: usize) {
+    let path = dir.join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(&path) {
+            if contents.ends_with('\n') && contents.lines().count() >= lines {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never reached {lines} lines"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn killed_job_resumes_byte_identical_across_worker_counts() {
+    // Reference: the same grid run to completion without interference.
+    let ref_dir = temp_dir("reference");
+    let out = run_job(&[
+        "run",
+        "--grid",
+        "chaos-smoke",
+        "--dir",
+        ref_dir.to_str().unwrap(),
+        "--workers",
+        "1",
+    ]);
+    assert!(out.status.success(), "reference run failed: {out:?}");
+    let reference = std::fs::read_to_string(ref_dir.join("results.json")).unwrap();
+
+    // Chaos run: stall the checkpoint hook after the 3rd journaled point
+    // so the process sits in a known window, then SIGKILL it there.
+    let chaos_dir = temp_dir("chaos");
+    let mut child = Command::new(EXE)
+        .args([
+            "job",
+            "run",
+            "--grid",
+            "chaos-smoke",
+            "--dir",
+            chaos_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--stall-after",
+            "3",
+            "--stall-ms",
+            "20000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("chaos child spawns");
+    wait_for_journal_lines(&chaos_dir, 3);
+    child.kill().expect("SIGKILL the stalled job");
+    child.wait().expect("reap the killed job");
+    assert!(
+        !chaos_dir.join("results.json").exists(),
+        "killed job must not have assembled results"
+    );
+
+    // Status reads progress from the journal alone, no live process.
+    let out = run_job(&["status", "--dir", chaos_dir.to_str().unwrap()]);
+    assert!(out.status.success(), "status failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("3/6 points settled"),
+        "unexpected status: {stdout}"
+    );
+
+    // Resume on MORE workers; the grid is rebuilt from the manifest.
+    let out = run_job(&[
+        "resume",
+        "--dir",
+        chaos_dir.to_str().unwrap(),
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "resume failed: {out:?}");
+    let resumed = std::fs::read_to_string(chaos_dir.join("results.json")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resumed results.json must be byte-identical to the clean run"
+    );
+
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    std::fs::remove_dir_all(&chaos_dir).unwrap();
+}
+
+#[test]
+fn quarantined_points_exit_nonzero_with_repro_lines() {
+    let dir = temp_dir("quarantine");
+    let out = run_job(&[
+        "run",
+        "--grid",
+        "stuck-smoke",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--timeout-ms",
+        "50",
+        "--retries",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "quarantine must map to exit 3: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("repro: experiments job run --grid stuck-smoke"),
+        "stderr: {stderr}"
+    );
+    assert!(dir.join("quarantine.jsonl").exists());
+    // The job still completed: every point is accounted for on disk.
+    assert!(dir.join("results.json").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run_job(&["run", "--dir", "/tmp/plc-job-nowhere"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run_job(&[
+        "run",
+        "--grid",
+        "no-such-grid",
+        "--dir",
+        "/tmp/plc-job-nowhere",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run_job(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

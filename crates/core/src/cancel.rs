@@ -1,0 +1,112 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag a controller sets once
+//! and a worker polls from its hot loop. It is the cancellation
+//! primitive of the whole workspace: the slotted engine polls one per
+//! slot when installed (and compiles the check out entirely when not —
+//! see `SlottedEngine::run` in `plc-sim`), `BatchRunner` consults one
+//! between work items, and the `plc-jobs` watchdog arms one per sweep
+//! point so a pathological configuration degrades to a typed timeout
+//! instead of hanging the pool.
+//!
+//! Cancellation is **cooperative and permanent**: setting the flag
+//! never interrupts anything by force, it only asks pollers to stop at
+//! their next check, and a cancelled token stays cancelled forever
+//! (arm a fresh token per attempt instead of reusing one).
+//!
+//! ```
+//! use plc_core::CancelToken;
+//!
+//! let token = CancelToken::new();
+//! let watcher = token.clone();
+//! assert!(!watcher.is_cancelled());
+//! token.cancel();
+//! assert!(watcher.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-shot cancellation flag. Clones observe the same flag.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested. One relaxed-acquire atomic
+    /// load — cheap enough to poll once per simulated slot.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether two tokens share the same underlying flag.
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.same_token(&c));
+        c.cancel();
+        assert!(t.is_cancelled());
+        // Distinct tokens are independent.
+        let other = CancelToken::new();
+        assert!(!other.same_token(&t));
+        assert!(!other.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let setter = t.clone();
+        let h = std::thread::spawn(move || setter.cancel());
+        h.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let t = CancelToken::new();
+        assert!(format!("{t:?}").contains("cancelled: false"));
+        t.cancel();
+        assert!(format!("{t:?}").contains("cancelled: true"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Crash-safe file helpers.
+//!
+//! One primitive, used everywhere a file must never be observed torn:
+//! [`atomic_write`] writes to a temporary file in the target's
+//! directory, syncs it, then renames it over the destination. A crash
+//! (or SIGKILL) at any instant leaves either the old contents or the
+//! new contents — never a prefix. The `plc-jobs` manifest and journal
+//! compaction, and `plc-obs` registry snapshot export, all go through
+//! this helper.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replace `path` with `contents`.
+///
+/// The bytes land in `<path>.<pid>.tmp` in the same directory (rename
+/// is only atomic within one filesystem), are flushed and fsynced, and
+/// the temp file is renamed over `path`. On any error the temp file is
+/// removed and the destination is untouched.
+///
+/// ```
+/// let dir = std::env::temp_dir();
+/// let path = dir.join(format!("plc_core_fs_doc_{}.json", std::process::id()));
+/// plc_core::fs::atomic_write(&path, "{\"ok\":true}").unwrap();
+/// assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+/// std::fs::remove_file(&path).unwrap();
+/// ```
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("atomic_write target has no file name: {}", path.display()),
+        )
+    })?;
+    name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&name),
+        None => std::path::PathBuf::from(&name),
+    };
+
+    let write_all = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.flush()?;
+        // Durability: the rename must not be reordered before the data.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    match write_all() {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("plc_core_fs_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_fresh_file() {
+        let p = temp_path("fresh");
+        let _ = std::fs::remove_file(&p);
+        atomic_write(&p, b"hello").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"hello");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn replaces_existing_file_whole() {
+        let p = temp_path("replace");
+        std::fs::write(&p, "old contents, longer than the new ones").unwrap();
+        atomic_write(&p, "new").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "new");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let p = temp_path("clean");
+        atomic_write(&p, "x").unwrap();
+        let dir = p.parent().unwrap();
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&name) && n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write(std::path::Path::new(""), "x").is_err());
+    }
+}

@@ -22,8 +22,14 @@
 //!   the exact reply byte offsets the report quotes (bytes 25–32 acked,
 //!   33–40 collided).
 //!
-//! Everything here is plain data with byte-level encode/parse where the
-//! paper's methodology depends on wire formats. No I/O, no randomness.
+//! Everything above is plain data with byte-level encode/parse where the
+//! paper's methodology depends on wire formats — no I/O, no randomness.
+//! Two workspace-wide infrastructure primitives also live here because
+//! every layer shares them: [`cancel`] (the cooperative [`CancelToken`]
+//! the engine hot loop and job watchdogs poll) and [`fs`]
+//! ([`fs::atomic_write`], the temp-file + rename helper behind every
+//! crash-safe artifact: job manifests, journal compaction, registry
+//! snapshot export).
 //!
 //! ## Design
 //!
@@ -35,15 +41,18 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cancel;
 pub mod config;
 pub mod error;
 pub mod frame;
+pub mod fs;
 pub mod mme;
 pub mod priority;
 pub mod timing;
 pub mod units;
 
 pub use addr::{MacAddr, Tei};
+pub use cancel::CancelToken;
 pub use config::{CsmaConfig, StageParams};
 pub use error::{Error, Result};
 pub use priority::Priority;

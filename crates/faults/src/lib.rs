@@ -40,6 +40,6 @@ pub mod retry;
 pub mod rng;
 
 pub use mme::{MmeFate, MmeFaults};
-pub use plan::{DeviceReset, FaultPlan, FaultPlanBuilder, NoiseBurst};
+pub use plan::{DeviceReset, FaultPlan, FaultPlanBuilder, JobStall, NoiseBurst};
 pub use retry::RetryPolicy;
 pub use rng::FaultRng;

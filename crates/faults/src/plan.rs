@@ -39,6 +39,32 @@ impl NoiseBurst {
     }
 }
 
+/// A scheduled *host-side* stall for chaos-testing checkpointed job
+/// runners: after `after_points` journaled sweep points, the runner's
+/// checkpoint hook sleeps `stall_ms` of wall-clock time.
+///
+/// Unlike every other fault in this crate, the stall perturbs the
+/// **process running the simulation**, not the simulated network — it
+/// exists so a kill-and-resume harness can hold a job in a known
+/// "mid-journal" state long enough to SIGKILL it deterministically, and
+/// so watchdog timeouts have a reproducible victim. It is pure data
+/// here; the `plc-jobs` runner interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStall {
+    /// Journaled points to complete before the stall engages.
+    pub after_points: usize,
+    /// Wall-clock stall duration, milliseconds.
+    pub stall_ms: u64,
+}
+
+impl JobStall {
+    /// Whether the hook should stall after `points_done` journaled
+    /// points (fires exactly once, on the `after_points`-th completion).
+    pub fn fires_at(&self, points_done: usize) -> bool {
+        points_done == self.after_points
+    }
+}
+
 /// A seeded, serializable schedule of faults.
 ///
 /// The plan is pure data: injectors ([`crate::MmeFaults`], the testbed's
@@ -291,5 +317,19 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn builder_rejects_bad_loss() {
         let _ = FaultPlan::builder().mme_loss(1.5);
+    }
+
+    #[test]
+    fn job_stall_round_trips_and_fires_once() {
+        let stall = JobStall {
+            after_points: 3,
+            stall_ms: 500,
+        };
+        let json = serde_json::to_string(&stall).unwrap();
+        let back: JobStall = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stall);
+        assert!(!stall.fires_at(2));
+        assert!(stall.fires_at(3));
+        assert!(!stall.fires_at(4));
     }
 }

@@ -1,0 +1,531 @@
+//! The job engine: checkpointed, resumable execution of a [`SweepGrid`].
+//!
+//! A *job* is a sweep bound to a directory. The directory is the whole
+//! contract:
+//!
+//! | file              | contents                                         |
+//! |-------------------|--------------------------------------------------|
+//! | `manifest.json`   | versioned grid fingerprint + execution record    |
+//! | `journal.jsonl`   | one flushed JSON line per settled point          |
+//! | `quarantine.jsonl`| bad settlements with ready-to-run repro commands |
+//! | `results.json`    | the assembled [`SweepResults`], written atomically on completion |
+//! | `metrics.json`    | registry snapshot (when a registry is attached)  |
+//!
+//! Because every point is a pure function of `(master_seed,
+//! point_index)` — [`SweepGrid::run_point_at`] is pinned byte-identical
+//! to the whole-grid fan-out — a job that is killed at *any* instant and
+//! resumed (with any worker count) produces a `results.json`
+//! byte-identical to an uninterrupted run.
+
+use crate::journal::{
+    append_quarantine, load_quarantine, Journal, JournalEntry, PointOutcome, QuarantineRecord,
+};
+use crate::manifest::JobManifest;
+use crate::sink::ResultSink;
+use crate::watchdog::Watchdog;
+use plc_core::{CancelToken, Error, Result};
+use plc_faults::JobStall;
+use plc_sim::sweep::{SweepGrid, SweepResults};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// File name of the manifest inside a job directory.
+pub const MANIFEST_FILE_NAME: &str = "manifest.json";
+/// File name of the assembled results inside a job directory.
+pub const RESULTS_FILE_NAME: &str = "results.json";
+/// File name of the registry export inside a job directory.
+pub const METRICS_FILE_NAME: &str = "metrics.json";
+
+/// Execution policy of one job (everything that may differ between a
+/// run and its resume without breaking byte-identity).
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// The job directory (created if absent).
+    pub dir: PathBuf,
+    /// Job-level re-settle budget per point: a point that times out or
+    /// fails is replayed (same derived seeds) up to this many extra
+    /// times before it is quarantined. Default 0.
+    pub retries: u32,
+    /// Per-point watchdog deadline; `None` (default) arms no watchdog
+    /// and costs nothing.
+    pub timeout: Option<Duration>,
+    /// Name under which a front end can rebuild the grid on resume.
+    pub grid_name: Option<String>,
+    /// Only settle these point indices (repro / partial runs). The job
+    /// completes — and writes `results.json` — only once *every* grid
+    /// point is settled in the journal.
+    pub points: Option<Vec<usize>>,
+    /// Chaos hook: stall the checkpoint hook after the n-th point
+    /// journaled by this process (kill-window injection for crash
+    /// tests).
+    pub stall: Option<JobStall>,
+    /// Command prefix for quarantine repro lines, e.g.
+    /// `experiments job run --grid chaos-smoke --dir out`.
+    pub repro_prefix: Option<String>,
+}
+
+impl JobConfig {
+    /// Policy with every knob at its default for `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JobConfig {
+            dir: dir.into(),
+            retries: 0,
+            timeout: None,
+            grid_name: None,
+            points: None,
+            stall: None,
+            repro_prefix: None,
+        }
+    }
+}
+
+/// What one [`Job::run`] did.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The assembled sweep — `Some` only when every grid point is
+    /// settled (then also on disk as `results.json`).
+    pub results: Option<SweepResults>,
+    /// Points settled by this process.
+    pub executed: usize,
+    /// Points skipped because the journal already held them.
+    pub resumed: usize,
+    /// Extra attempts consumed by job-level retries.
+    pub retried: u64,
+    /// Points this run quarantined.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl JobReport {
+    /// Whether the job is fully settled.
+    pub fn is_complete(&self) -> bool {
+        self.results.is_some()
+    }
+}
+
+/// Read the manifest of the job under `dir`.
+pub fn read_manifest(dir: &Path) -> Result<JobManifest> {
+    let path = dir.join(MANIFEST_FILE_NAME);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| Error::runtime(format!("no job manifest at {}: {e}", path.display())))?;
+    serde_json::from_str(&text)
+        .map_err(|e| Error::runtime(format!("corrupt job manifest at {}: {e}", path.display())))
+}
+
+/// A checkpointed sweep job bound to a directory.
+pub struct Job {
+    grid: SweepGrid,
+    cfg: JobConfig,
+    manifest: JobManifest,
+    settled: BTreeMap<usize, JournalEntry>,
+    resumed: usize,
+    sinks: Vec<Box<dyn ResultSink>>,
+    registry: Option<plc_obs::Registry>,
+    cancel: CancelToken,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("dir", &self.cfg.dir)
+            .field("grid", &self.grid)
+            .field("settled", &self.settled.len())
+            .field("resumed", &self.resumed)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Job {
+    /// Start a fresh job: create the directory and atomically write the
+    /// manifest. Refuses a directory that already holds a manifest —
+    /// that is what [`resume`](Job::resume) is for.
+    pub fn create(grid: SweepGrid, cfg: JobConfig) -> Result<Job> {
+        if grid.num_points() == 0 {
+            return Err(Error::invalid_config(
+                "job grid has no points (no configs or no station counts)",
+            ));
+        }
+        std::fs::create_dir_all(&cfg.dir)?;
+        let manifest_path = cfg.dir.join(MANIFEST_FILE_NAME);
+        if manifest_path.exists() {
+            return Err(Error::invalid_config(format!(
+                "{} already holds a job manifest; resume it or pick a fresh directory",
+                cfg.dir.display()
+            )));
+        }
+        let manifest = JobManifest::from_grid(
+            &grid,
+            cfg.timeout.map(|t| t.as_millis() as u64),
+            cfg.grid_name.clone(),
+        );
+        let mut doc = serde_json::to_string(&manifest).expect("manifest serializes");
+        doc.push('\n');
+        plc_core::fs::atomic_write(&manifest_path, doc.as_bytes())?;
+        Ok(Job {
+            grid,
+            cfg,
+            manifest,
+            settled: BTreeMap::new(),
+            resumed: 0,
+            sinks: Vec::new(),
+            registry: None,
+            cancel: CancelToken::new(),
+        })
+    }
+
+    /// Resume the job under `cfg.dir`: validate the on-disk manifest
+    /// against `grid`, load the journal (dropping a torn tail), compact
+    /// it, and skip every settled point. A mismatching grid is refused
+    /// — a journal is never merged across sweeps.
+    pub fn resume(grid: SweepGrid, cfg: JobConfig) -> Result<Job> {
+        let manifest = read_manifest(&cfg.dir)?;
+        let rebuilt = JobManifest::from_grid(
+            &grid,
+            cfg.timeout.map(|t| t.as_millis() as u64),
+            cfg.grid_name.clone(),
+        );
+        if let Some(why) = manifest.mismatch(&rebuilt) {
+            return Err(Error::invalid_config(format!(
+                "cannot resume {}: {}",
+                cfg.dir.display(),
+                why
+            )));
+        }
+        let mut settled = BTreeMap::new();
+        for entry in Journal::load(&cfg.dir)? {
+            if entry.point_index < grid.num_points() {
+                settled.insert(entry.point_index, entry);
+            }
+        }
+        let clean: Vec<JournalEntry> = settled.values().cloned().collect();
+        Journal::compact(&cfg.dir, &clean)?;
+        let resumed = settled.len();
+        Ok(Job {
+            grid,
+            cfg,
+            manifest,
+            settled,
+            resumed,
+            sinks: Vec::new(),
+            registry: None,
+            cancel: CancelToken::new(),
+        })
+    }
+
+    /// [`create`](Job::create) when `cfg.dir` holds no manifest,
+    /// [`resume`](Job::resume) otherwise.
+    pub fn create_or_resume(grid: SweepGrid, cfg: JobConfig) -> Result<Job> {
+        if cfg.dir.join(MANIFEST_FILE_NAME).exists() {
+            Job::resume(grid, cfg)
+        } else {
+            Job::create(grid, cfg)
+        }
+    }
+
+    /// Attach a streaming sink (repeatable). Sinks observe settled
+    /// points after their journal line is durable; they cannot perturb
+    /// results.
+    pub fn sink(mut self, sink: Box<dyn ResultSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Record job instrumentation into `registry`: the
+    /// `job.points_done` / `job.points_retried` / `job.points_quarantined`
+    /// / `job.points_resumed` counters and the `job.checkpoint_flush`
+    /// span timer. The registry is also exported to `metrics.json` when
+    /// the job completes.
+    pub fn registry(mut self, registry: &plc_obs::Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// The job's manifest.
+    pub fn manifest(&self) -> &JobManifest {
+        &self.manifest
+    }
+
+    /// Points already settled in the journal.
+    pub fn settled_points(&self) -> usize {
+        self.settled.len()
+    }
+
+    /// A token that gracefully stops the run between points: settled
+    /// work stays journaled, and a later [`resume`](Job::resume)
+    /// finishes the rest.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Execute every unsettled point, journaling each as it lands.
+    ///
+    /// Points are evaluated on the grid's worker pool; the journal, the
+    /// sinks and the quarantine ledger are all fed from the collector
+    /// thread, in completion order. When the last point settles, the
+    /// assembled [`SweepResults`] is written atomically to
+    /// `results.json` and every sink's
+    /// [`on_complete`](ResultSink::on_complete) fires.
+    pub fn run(mut self) -> Result<JobReport> {
+        let counters = self.registry.as_ref().map(|r| {
+            (
+                r.try_counter("job.points_done").ok(),
+                r.try_counter("job.points_retried").ok(),
+                r.try_counter("job.points_quarantined").ok(),
+                r.try_counter("job.points_resumed").ok(),
+                r.try_timer("job.checkpoint_flush").ok(),
+            )
+        });
+        let (done_ctr, retried_ctr, quarantined_ctr, resumed_ctr, flush_timer) =
+            counters.unwrap_or((None, None, None, None, None));
+        if let Some(c) = &resumed_ctr {
+            c.add(self.resumed as u64);
+        }
+
+        let todo: Vec<usize> = (0..self.grid.num_points())
+            .filter(|idx| !self.settled.contains_key(idx))
+            .filter(|idx| {
+                self.cfg
+                    .points
+                    .as_ref()
+                    .map(|only| only.contains(idx))
+                    .unwrap_or(true)
+            })
+            .collect();
+
+        let mut journal = Journal::open_append(&self.cfg.dir)?;
+        let grid = &self.grid;
+        let cfg = &self.cfg;
+        let sinks = &mut self.sinks;
+        let mut io_error: Option<std::io::Error> = None;
+        let mut executed = 0usize;
+        let mut retried = 0u64;
+        let mut quarantined: Vec<QuarantineRecord> = Vec::new();
+        let mut fresh: Vec<JournalEntry> = Vec::new();
+
+        let outcomes = plc_sim::BatchRunner::new()
+            .workers(grid.num_workers())
+            .run_cancellable(
+                &self.cancel,
+                todo,
+                |_, idx, _shard_registry| settle_point(grid, cfg, idx),
+                |_, entry: &JournalEntry| {
+                    {
+                        let _span = flush_timer.as_ref().map(|t| t.start());
+                        if io_error.is_none() {
+                            if let Err(e) = journal.append(entry) {
+                                io_error = Some(e);
+                            }
+                        }
+                    }
+                    executed += 1;
+                    retried += u64::from(entry.job_attempts - 1);
+                    if let Some(c) = &done_ctr {
+                        c.inc();
+                    }
+                    if let Some(c) = &retried_ctr {
+                        c.add(u64::from(entry.job_attempts - 1));
+                    }
+                    if !entry.outcome.is_ok() {
+                        let record = quarantine_record(grid, cfg, entry);
+                        if io_error.is_none() {
+                            if let Err(e) = append_quarantine(&cfg.dir, &record) {
+                                io_error = Some(e);
+                            }
+                        }
+                        if let Some(c) = &quarantined_ctr {
+                            c.inc();
+                        }
+                        quarantined.push(record);
+                    }
+                    for sink in sinks.iter_mut() {
+                        sink.on_point(entry);
+                    }
+                    fresh.push(entry.clone());
+                    if let Some(stall) = cfg.stall {
+                        if stall.fires_at(executed) {
+                            std::thread::sleep(Duration::from_millis(stall.stall_ms));
+                        }
+                    }
+                },
+            );
+        drop(outcomes);
+        drop(journal);
+        if let Some(e) = io_error {
+            return Err(e.into());
+        }
+        for entry in fresh {
+            self.settled.insert(entry.point_index, entry);
+        }
+
+        let results = if self.settled.len() == self.grid.num_points() {
+            let results = SweepResults {
+                master_seed: self.grid.master_seed(),
+                replications: self.grid.replication_budget(),
+                points: self
+                    .settled
+                    .values()
+                    .map(|e| e.outcome.to_point_result())
+                    .collect(),
+            };
+            let mut doc = results.to_json();
+            doc.push('\n');
+            plc_core::fs::atomic_write(self.cfg.dir.join(RESULTS_FILE_NAME), doc.as_bytes())?;
+            for sink in self.sinks.iter_mut() {
+                sink.on_complete(&results);
+            }
+            if let Some(registry) = &self.registry {
+                registry.write_json_atomic(self.cfg.dir.join(METRICS_FILE_NAME))?;
+            }
+            Some(results)
+        } else {
+            None
+        };
+
+        Ok(JobReport {
+            results,
+            executed,
+            resumed: self.resumed,
+            retried,
+            quarantined,
+        })
+    }
+}
+
+/// Settle one point on a worker thread: run it under an optional
+/// watchdog, replaying bad settlements until the job-level retry budget
+/// is exhausted. Replays use the same derived seeds, so a retry that
+/// recovers is byte-identical to a first-try success.
+fn settle_point(grid: &SweepGrid, cfg: &JobConfig, idx: usize) -> JournalEntry {
+    let mut attempts: u32 = 1;
+    loop {
+        let token = CancelToken::new();
+        let watchdog = cfg.timeout.map(|t| Watchdog::arm(t, token.clone()));
+        let result = grid
+            .run_point_with(idx, Some(&token))
+            .expect("job schedules only in-range points");
+        if let Some(dog) = watchdog {
+            dog.disarm();
+        }
+        let outcome = if token.is_cancelled() {
+            // Partial metrics from a cancelled engine are not data.
+            let (config, n) = grid.point_spec(idx).expect("in-range point has a spec");
+            PointOutcome::TimedOut {
+                config: config.to_string(),
+                n,
+                point_index: idx,
+                timeout_ms: cfg
+                    .timeout
+                    .map(|t| t.as_millis() as u64)
+                    .unwrap_or_default(),
+            }
+        } else {
+            PointOutcome::Done(result)
+        };
+        if !outcome.is_ok() && attempts <= cfg.retries {
+            attempts += 1;
+            continue;
+        }
+        return JournalEntry {
+            point_index: idx,
+            job_attempts: attempts,
+            outcome,
+        };
+    }
+}
+
+/// Render the quarantine record for a badly settled point.
+fn quarantine_record(grid: &SweepGrid, cfg: &JobConfig, entry: &JournalEntry) -> QuarantineRecord {
+    let (config, n) = grid
+        .point_spec(entry.point_index)
+        .map(|(c, n)| (c.to_string(), n))
+        .unwrap_or_default();
+    let reason = match &entry.outcome {
+        PointOutcome::Done(r) => r.failure().unwrap_or("unknown failure").to_string(),
+        PointOutcome::TimedOut { timeout_ms, .. } => {
+            format!("watchdog timeout after {timeout_ms} ms")
+        }
+    };
+    let repro = match &cfg.repro_prefix {
+        Some(prefix) => format!("{prefix} --points {}", entry.point_index),
+        None => format!(
+            "re-run this job with `points = [{}]` in its JobConfig",
+            entry.point_index
+        ),
+    };
+    QuarantineRecord {
+        point_index: entry.point_index,
+        config,
+        n,
+        job_attempts: entry.job_attempts,
+        reason,
+        repro,
+    }
+}
+
+/// Progress of a job directory, derived from the manifest and journal
+/// alone — readable while the job runs, after a crash, or from another
+/// process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job's manifest.
+    pub manifest: JobManifest,
+    /// Points settled in the journal.
+    pub settled: usize,
+    /// Settled points with a usable summary.
+    pub ok: usize,
+    /// Settled points quarantined (failed or timed out).
+    pub quarantined: usize,
+    /// Grid points in total.
+    pub total: usize,
+    /// Whether `results.json` exists (the job ran to completion).
+    pub complete: bool,
+}
+
+impl JobStatus {
+    /// Read the status of the job under `dir`.
+    pub fn read(dir: &Path) -> Result<JobStatus> {
+        let manifest = read_manifest(dir)?;
+        let mut settled: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+        for entry in Journal::load(dir)? {
+            settled.insert(entry.point_index, entry);
+        }
+        let ok = settled.values().filter(|e| e.outcome.is_ok()).count();
+        let quarantined = settled.len() - ok;
+        Ok(JobStatus {
+            total: manifest.num_points,
+            settled: settled.len(),
+            ok,
+            quarantined,
+            complete: dir.join(RESULTS_FILE_NAME).exists(),
+            manifest,
+        })
+    }
+
+    /// One human-readable progress line.
+    pub fn render(&self) -> String {
+        let name = self.manifest.grid_name.as_deref().unwrap_or("unnamed");
+        let state = if self.complete {
+            "complete"
+        } else if self.settled == self.total {
+            "settled (results pending)"
+        } else {
+            "in progress"
+        };
+        format!(
+            "job '{}' (seed {}): {}/{} points settled, {} ok, {} quarantined — {}",
+            name,
+            self.manifest.master_seed,
+            self.settled,
+            self.total,
+            self.ok,
+            self.quarantined,
+            state
+        )
+    }
+
+    /// Quarantine ledger of the job under `dir` (empty when absent).
+    pub fn quarantine(dir: &Path) -> Result<Vec<QuarantineRecord>> {
+        Ok(load_quarantine(dir)?)
+    }
+}

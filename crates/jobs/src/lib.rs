@@ -1,0 +1,69 @@
+//! # plc-jobs — crash-tolerant, resumable sweep jobs
+//!
+//! [`plc_sim::sweep::SweepGrid`] answers "run this grid"; this crate
+//! answers "run this grid **overnight, on a machine that might die**".
+//! A [`Job`] binds a grid to a directory and makes four promises:
+//!
+//! 1. **Durability** — every settled point is appended to an on-disk
+//!    journal and flushed before the job moves on; the manifest and all
+//!    final artifacts are written via temp-file + rename
+//!    ([`plc_core::fs::atomic_write`]), so no crash instant can leave a
+//!    torn document (a torn journal *tail* is dropped and compacted
+//!    away on resume).
+//! 2. **Exact resume** — [`Job::resume`] validates the on-disk
+//!    [`JobManifest`] against the rebuilt grid (a journal is never
+//!    merged across sweeps), skips settled points, and finishes the
+//!    rest. Because each point is a pure function of `(master_seed,
+//!    point_index)`, the final `results.json` is **byte-identical** to
+//!    an uninterrupted run — for any kill instant and any worker count.
+//! 3. **Progress despite pathology** — a per-point [`Watchdog`] cancels
+//!    a stuck point through the engine's cooperative
+//!    [`CancelToken`](plc_core::CancelToken) poll; timeouts and
+//!    contained failures are replayed under a bounded retry budget
+//!    (same seeds — a recovered retry is indistinguishable from a
+//!    first-try success) and then **quarantined** with a ready-to-run
+//!    repro command instead of sinking the sweep.
+//! 4. **Observability** — settled points stream through [`ResultSink`]s
+//!    as their journal lines become durable, and an attached
+//!    [`plc_obs::Registry`] records `job.points_done` /
+//!    `job.points_retried` / `job.points_quarantined` /
+//!    `job.points_resumed` and times every checkpoint flush.
+//!
+//! ```
+//! use plc_jobs::{Job, JobConfig};
+//! use plc_sim::{Simulation, SweepGrid};
+//!
+//! let dir = std::env::temp_dir().join(format!("plc_jobs_doc_{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let grid = SweepGrid::new(42)
+//!     .config("ca1", Simulation::ieee1901(1).horizon_us(2.0e5))
+//!     .stations([2, 3])
+//!     .replications(2);
+//! let report = Job::create(grid.clone(), JobConfig::new(&dir)).unwrap().run().unwrap();
+//! let results = report.results.expect("all points settled");
+//! // Byte-identical to running the grid without the job engine:
+//! assert_eq!(results.to_json(), grid.run().to_json());
+//! // ...and a resume of the finished job recomputes nothing.
+//! let resumed = Job::resume(grid, JobConfig::new(&dir)).unwrap().run().unwrap();
+//! assert_eq!(resumed.executed, 0);
+//! assert_eq!(resumed.resumed, 2);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod journal;
+pub mod manifest;
+pub mod sink;
+pub mod watchdog;
+
+pub use job::{
+    read_manifest, Job, JobConfig, JobReport, JobStatus, MANIFEST_FILE_NAME, METRICS_FILE_NAME,
+    RESULTS_FILE_NAME,
+};
+pub use journal::{Journal, JournalEntry, PointOutcome, QuarantineRecord, QUARANTINE_FILE_NAME};
+pub use manifest::{JobManifest, FORMAT_VERSION};
+pub use sink::{ChannelSink, JsonlFileSink, ResultSink};
+pub use watchdog::Watchdog;

@@ -1,0 +1,122 @@
+//! Per-point watchdog: a deadline thread that cancels a stuck point.
+//!
+//! The engine has no preemption — a pathological configuration can grind
+//! through an enormous horizon. The watchdog arms a wall-clock deadline
+//! before a point attempt starts; if the attempt is still running when
+//! the deadline passes, the watchdog fires the attempt's
+//! [`CancelToken`], which the engine's slot loop polls cooperatively.
+//! The attempt then returns promptly with partial metrics, the job layer
+//! sees the fired token and discards them as a timeout.
+//!
+//! Disarming (the normal case — the point finished in time) wakes the
+//! deadline thread immediately and joins it, so watchdogs never pile up
+//! behind fast points.
+
+use plc_core::CancelToken;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A one-shot deadline armed over a single point attempt.
+#[derive(Debug)]
+pub struct Watchdog {
+    disarmed: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arm a deadline: unless [`disarm`](Watchdog::disarm)ed first,
+    /// `token` is cancelled once `timeout` of wall-clock time elapses.
+    pub fn arm(timeout: Duration, token: CancelToken) -> Watchdog {
+        let disarmed = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&disarmed);
+        let handle = std::thread::Builder::new()
+            .name("plc-jobs-watchdog".into())
+            .spawn(move || {
+                let (lock, cvar) = &*shared;
+                let deadline = Instant::now() + timeout;
+                let mut off = lock.lock().expect("watchdog lock");
+                loop {
+                    if *off {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        token.cancel();
+                        return;
+                    }
+                    let (guard, _) = cvar
+                        .wait_timeout(off, deadline - now)
+                        .expect("watchdog wait");
+                    off = guard;
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            disarmed,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stand down: wake the deadline thread and join it. Dropping a
+    /// `Watchdog` disarms the same way; after either, a late fire is
+    /// impossible — the caller checks the *token* to learn whether the
+    /// deadline won the race.
+    pub fn disarm(mut self) {
+        self.stand_down();
+    }
+
+    fn stand_down(&mut self) {
+        let (lock, cvar) = &*self.disarmed;
+        *lock.lock().expect("watchdog lock") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stand_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_the_deadline() {
+        let token = CancelToken::new();
+        let dog = Watchdog::arm(Duration::from_millis(10), token.clone());
+        let started = Instant::now();
+        while !token.is_cancelled() {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(dog);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn disarm_before_deadline_leaves_the_token_clean() {
+        let token = CancelToken::new();
+        let dog = Watchdog::arm(Duration::from_secs(3600), token.clone());
+        dog.disarm();
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn drop_is_disarm() {
+        let token = CancelToken::new();
+        {
+            let _dog = Watchdog::arm(Duration::from_secs(3600), token.clone());
+        }
+        // The deadline thread is joined by Drop; a later fire is
+        // impossible.
+        assert!(!token.is_cancelled());
+    }
+}

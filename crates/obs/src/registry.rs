@@ -432,6 +432,18 @@ impl Registry {
     pub fn to_json(&self) -> String {
         serde_json::to_string(&self.snapshot()).expect("registry snapshot serializes infallibly")
     }
+
+    /// Write [`to_json`](Registry::to_json) to `path` **atomically**
+    /// (temp file in the same directory + rename, via
+    /// [`plc_core::fs::atomic_write`]): a crash mid-export leaves either
+    /// the previous snapshot or the new one on disk, never a torn JSON
+    /// document. This is how long-running jobs persist their metrics
+    /// alongside each checkpoint flush.
+    pub fn write_json_atomic(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut doc = self.to_json();
+        doc.push('\n');
+        plc_core::fs::atomic_write(path, doc.as_bytes())
+    }
 }
 
 /// Monotone event counter handle.
@@ -805,6 +817,24 @@ mod tests {
         assert!(a.find("alpha").unwrap() < a.find("zeta").unwrap());
         let back: RegistrySnapshot = serde_json::from_str(&a).expect("parse");
         assert_eq!(back.counter("alpha"), Some(2));
+    }
+
+    #[test]
+    fn atomic_json_export_round_trips_and_overwrites() {
+        let path = std::env::temp_dir().join(format!("plc_obs_export_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let reg = Registry::new();
+        reg.counter("job.points_done").add(3);
+        reg.write_json_atomic(&path).expect("export");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, format!("{}\n", reg.to_json()));
+        // A second export replaces the file wholesale.
+        reg.counter("job.points_done").add(1);
+        reg.write_json_atomic(&path).expect("re-export");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let back: RegistrySnapshot = serde_json::from_str(text.trim()).expect("parse");
+        assert_eq!(back.counter("job.points_done"), Some(4));
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

@@ -201,6 +201,108 @@ impl BatchRunner {
         out
     }
 
+    /// [`run_observed`](BatchRunner::run_observed) with cooperative
+    /// cancellation: each shard checks `token` **between items** and
+    /// stops picking up new ones once it fires (an item already running
+    /// completes — per-item interruption is the engine's own
+    /// [`cancel`](crate::Simulation::cancel) hook). Results come back
+    /// in input order as `Some` for items that ran and `None` for items
+    /// skipped after cancellation; a token that never fires yields all
+    /// `Some`, bit-identical to [`run`](BatchRunner::run).
+    ///
+    /// Shard registries still merge into the master in shard order, so
+    /// whatever work did happen is accounted for.
+    ///
+    /// # Panics
+    ///
+    /// If merging a shard registry into the master fails (a metric name
+    /// registered with different kinds on the two sides).
+    pub fn run_cancellable<I, T, F, P>(
+        &self,
+        token: &plc_core::CancelToken,
+        items: Vec<I>,
+        f: F,
+        mut on_result: P,
+    ) -> Vec<Option<T>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I, &Registry) -> T + Sync,
+        P: FnMut(usize, &T),
+    {
+        let total = items.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(total);
+        let shard_regs: Vec<Registry> = (0..workers)
+            .map(|_| {
+                if self.registry.is_some() {
+                    Registry::new()
+                } else {
+                    Registry::disabled()
+                }
+            })
+            .collect();
+
+        let out = if workers == 1 {
+            let reg = &shard_regs[0];
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    if token.is_cancelled() {
+                        return None;
+                    }
+                    let r = f(i, item, reg);
+                    on_result(i, &r);
+                    Some(r)
+                })
+                .collect()
+        } else {
+            let mut shards: Vec<Vec<(usize, I)>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in items.into_iter().enumerate() {
+                shards[i % workers].push((i, item));
+            }
+            let (tx, rx) = mpsc::channel::<(usize, T)>();
+            let mut out: Vec<Option<T>> = Vec::with_capacity(total);
+            out.resize_with(total, || None);
+            std::thread::scope(|scope| {
+                for (shard, shard_items) in shards.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    let f = &f;
+                    let reg = shard_regs[shard].clone();
+                    let token = token.clone();
+                    scope.spawn(move || {
+                        for (i, item) in shard_items {
+                            if token.is_cancelled() {
+                                break;
+                            }
+                            if tx.send((i, f(i, item, &reg))).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, result) in rx {
+                    on_result(i, &result);
+                    out[i] = Some(result);
+                }
+            });
+            out
+        };
+
+        if let Some(master) = &self.registry {
+            for reg in &shard_regs {
+                master
+                    .merge_from(reg)
+                    .unwrap_or_else(|e| panic!("shard registry merge failed: {e}"));
+            }
+        }
+        out
+    }
+
     /// Run many independent simulations and return their reports in
     /// input order. With a master registry attached, each engine is
     /// instrumented into its shard's registry and the shards merge
@@ -315,6 +417,73 @@ mod tests {
             },
         );
         assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn run_cancellable_with_idle_token_matches_run() {
+        let token = plc_core::CancelToken::new();
+        let out = BatchRunner::new().workers(3).run_cancellable(
+            &token,
+            (0..30u64).collect(),
+            |_, x, _| x * 3,
+            |_, _| {},
+        );
+        let plain = BatchRunner::new()
+            .workers(3)
+            .run((0..30u64).collect(), |_, x, _| x * 3);
+        assert_eq!(
+            out.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+            plain
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing() {
+        for workers in [1, 4] {
+            let token = plc_core::CancelToken::new();
+            token.cancel();
+            let mut observed = 0;
+            let out = BatchRunner::new().workers(workers).run_cancellable(
+                &token,
+                (0..20u64).collect(),
+                |_, x, _| x,
+                |_, _| observed += 1,
+            );
+            assert_eq!(out.len(), 20);
+            assert!(out.iter().all(Option::is_none), "workers={workers}");
+            assert_eq!(observed, 0);
+        }
+    }
+
+    #[test]
+    fn cancelling_mid_batch_skips_the_tail() {
+        // Inline path: the token is checked before every item, so a
+        // cancel from the first result hook leaves exactly one Some.
+        let token = plc_core::CancelToken::new();
+        let out = BatchRunner::new().workers(1).run_cancellable(
+            &token,
+            (0..10u64).collect(),
+            |_, x, _| x,
+            |_, _| token.cancel(),
+        );
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 1);
+        assert_eq!(out[0], Some(0));
+    }
+
+    #[test]
+    fn cancellable_still_merges_shard_registries() {
+        let master = Registry::new();
+        let token = plc_core::CancelToken::new();
+        BatchRunner::new()
+            .workers(2)
+            .registry(&master)
+            .run_cancellable(
+                &token,
+                (0..6u64).collect(),
+                |_, _, reg| reg.counter("items").inc(),
+                |_, _| {},
+            );
+        assert_eq!(master.snapshot().counter("items"), Some(6));
     }
 
     #[test]

@@ -126,6 +126,17 @@ pub struct EngineConfig {
     /// process exports a [`plc_mac::SoaView`]; disable to force the
     /// per-object reference path.
     pub soa: bool,
+    /// Cooperative cancellation: when installed, [`SlottedEngine::run`]
+    /// polls the token once per slot (idle runs are still absorbed in
+    /// one fast-forward jump first) and returns early when it fires,
+    /// leaving partial metrics behind. `None` (the default) is **zero
+    /// cost**: the run loop compiles without any check — the engine
+    /// dispatches to the exact pre-cancellation loops — so installing
+    /// no token keeps the hot path byte-for-byte as fast as before.
+    /// Cancellation never perturbs results that complete: a run that
+    /// reaches the horizon with an un-fired token is bit-identical to
+    /// one without a token installed.
+    pub cancel: Option<plc_core::CancelToken>,
 }
 
 impl EngineConfig {
@@ -144,6 +155,7 @@ impl EngineConfig {
             noise: Vec::new(),
             fast_forward: true,
             soa: true,
+            cancel: None,
         }
     }
 
@@ -1238,6 +1250,13 @@ impl<P: BackoffProcess> SlottedEngine<P> {
     /// observers force per-slot stepping, since both need every step
     /// materialized.
     pub fn run(&mut self) -> &Metrics {
+        // Cancellable runs poll the token once per slot in dedicated
+        // loops; the common no-token case falls through to the exact
+        // pre-cancellation loops below, keeping cancellation support
+        // zero-cost when unused.
+        if self.cfg.cancel.is_some() {
+            return self.run_cancellable();
+        }
         let fast = self.cfg.fast_forward && !self.cfg.emit_snapshots && self.observers.is_empty();
         // External `step()` calls may have mutated station state since the
         // cache was last folded.
@@ -1285,6 +1304,61 @@ impl<P: BackoffProcess> SlottedEngine<P> {
             }
         } else {
             while self.t <= self.cfg.horizon {
+                self.step_instrumented::<false>();
+            }
+        }
+        &self.metrics
+    }
+
+    /// The cancellable mirror of [`run`](Self::run): the same four
+    /// hoisted loop variants with one extra condition — an acquire load
+    /// of the [`EngineConfig::cancel`] token — per slot. Idle runs are
+    /// still absorbed in a single fast-forward jump before the next
+    /// poll, so cancellation latency is bounded by one busy slot plus
+    /// one idle run. A run whose token never fires performs the same
+    /// mutations in the same order as [`run`](Self::run) and is
+    /// bit-identical to it.
+    fn run_cancellable(&mut self) -> &Metrics {
+        let token = self
+            .cfg
+            .cancel
+            .clone()
+            .expect("run_cancellable requires an installed token");
+        let fast = self.cfg.fast_forward && !self.cfg.emit_snapshots && self.observers.is_empty();
+        self.hint_valid = false;
+        if self.timers.is_none() && self.observers.is_empty() {
+            if fast {
+                while self.t <= self.cfg.horizon && !token.is_cancelled() {
+                    if self.fast_forward_idle() == 0 {
+                        self.step_inner::<true>();
+                        self.steps += 1;
+                    }
+                }
+            } else {
+                while self.t <= self.cfg.horizon && !token.is_cancelled() {
+                    self.step_inner::<false>();
+                    self.steps += 1;
+                }
+            }
+        } else if fast {
+            let started = std::time::Instant::now();
+            let mut stepped = 0u64;
+            let mut ff_time = std::time::Duration::ZERO;
+            while self.t <= self.cfg.horizon && !token.is_cancelled() {
+                if self.fast_forward_timed(&mut ff_time) > 0 {
+                    continue;
+                }
+                self.step_inner::<true>();
+                self.steps += 1;
+                stepped += 1;
+            }
+            if let Some(t) = &self.timers {
+                t.step
+                    .record_many(stepped, started.elapsed().saturating_sub(ff_time));
+                t.steps.add(stepped);
+            }
+        } else {
+            while self.t <= self.cfg.horizon && !token.is_cancelled() {
                 self.step_instrumented::<false>();
             }
         }

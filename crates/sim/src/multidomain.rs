@@ -296,6 +296,7 @@ fn run_isolated(
         noise: sim.noise.clone(),
         fast_forward: sim.fast_forward,
         soa: sim.soa,
+        cancel: sim.cancel.clone(),
     };
     let mut engine = SlottedEngine::try_new(cfg, stations, seed)?;
     if let Some(reg) = &sim.registry {

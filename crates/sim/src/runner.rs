@@ -62,6 +62,7 @@ pub struct Simulation {
     pub(crate) snapshots: bool,
     pub(crate) fast_forward: bool,
     pub(crate) soa: bool,
+    pub(crate) cancel: Option<plc_core::CancelToken>,
     pub(crate) sinks: Vec<SharedSink>,
     pub(crate) observers: Vec<(SharedObserver, u64)>,
     pub(crate) registry: Option<plc_obs::Registry>,
@@ -88,6 +89,7 @@ impl std::fmt::Debug for Simulation {
             .field("snapshots", &self.snapshots)
             .field("fast_forward", &self.fast_forward)
             .field("soa", &self.soa)
+            .field("cancel", &self.cancel.is_some())
             .field("sinks", &self.sinks.len())
             .field("observers", &self.observers.len())
             .field("registry", &self.registry.is_some())
@@ -120,6 +122,7 @@ impl Simulation {
             snapshots: false,
             fast_forward: true,
             soa: true,
+            cancel: None,
             sinks: Vec::new(),
             observers: Vec::new(),
             registry: None,
@@ -302,6 +305,21 @@ impl Simulation {
         self
     }
 
+    /// Install a cooperative [`CancelToken`](plc_core::CancelToken):
+    /// the slotted engine polls it once per slot and returns early when
+    /// it fires, leaving partial metrics behind (the report computed
+    /// from them covers only the simulated time actually run — check
+    /// [`CancelToken::is_cancelled`](plc_core::CancelToken::is_cancelled)
+    /// afterwards and discard the report if exactness matters, as the
+    /// `plc-jobs` watchdog does). Without a token the engine dispatches
+    /// to its exact pre-cancellation loops, so support is zero-cost
+    /// when unused. The deterministic mean-field backend solves in
+    /// microseconds and ignores the token.
+    pub fn cancel(mut self, token: plc_core::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Attach a trace sink; every built engine emits its events into it.
     /// Repeatable.
     pub fn sink(mut self, sink: SharedSink) -> Self {
@@ -385,6 +403,7 @@ impl Simulation {
             noise: self.noise.clone(),
             fast_forward: self.fast_forward,
             soa: self.soa,
+            cancel: self.cancel.clone(),
         };
         let mut engine = SlottedEngine::try_new(cfg, stations, self.seed)?;
         for s in &self.sinks {

@@ -21,6 +21,7 @@
 //! | [`stats`] | `plc-stats` | summaries, confidence intervals, fairness, histograms |
 //! | [`obs`] | `plc-obs` | counters/gauges/histograms/span-timers, engine & sweep observers |
 //! | [`faults`] | `plc-faults` | deterministic fault plans: MME loss/delay, brownouts, wrap, noise, retry policies |
+//! | [`jobs`] | `plc-jobs` | crash-tolerant sweep jobs: checkpoint journal, exact resume, watchdogs, quarantine |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ struct ReadmeDoctests;
 pub use plc_analysis as analysis;
 pub use plc_core as core;
 pub use plc_faults as faults;
+pub use plc_jobs as jobs;
 pub use plc_mac as mac;
 pub use plc_obs as obs;
 pub use plc_phy as phy;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use plc_core::priority::Priority;
     pub use plc_core::timing::MacTiming;
     pub use plc_core::units::Microseconds;
+    pub use plc_jobs::{Job, JobConfig, JobStatus, ResultSink};
     pub use plc_mac::{AnyBackoff, Backoff1901, BackoffDcf, BackoffProcess, RetryPolicy};
     pub use plc_obs::{
         shared, CollectingObserver, EngineObs, Observer, Registry, SharedObserver, SweepProgress,
