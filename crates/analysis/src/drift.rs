@@ -321,6 +321,14 @@ pub struct DelaySummary {
     pub truncated_mass: f64,
 }
 
+impl DelaySummary {
+    /// 99th-percentile access delay in µs (`None` when the walked
+    /// horizon was too short to pin the quantile).
+    pub fn p99_us(&self) -> Option<f64> {
+        self.p99_slots.map(|s| s * self.slot_us)
+    }
+}
+
 /// Delay summary for one tagged station of a class at attempt rate
 /// `tau` / busy probability `p` in an `n`-station domain.
 pub fn delay_summary(

@@ -51,7 +51,10 @@ pub mod round_model;
 pub mod throughput;
 
 pub use bianchi::{BianchiFixedPoint, BianchiModel};
-pub use boost::{boost_search, optimize_constant_window, BoostOptions, Candidate};
+pub use boost::{
+    boost_search, optimize_constant_window, screen_schedule, BoostOptions, Candidate,
+    ScheduleScreen,
+};
 pub use cano_malone::{CanoMaloneFixedPoint, CanoMaloneModel};
 pub use coupled::{CoupledFixedPoint, CoupledModel};
 pub use drift::{delay_summary, DelayDistribution, DelaySummary, DriftModel, DriftTrajectory};

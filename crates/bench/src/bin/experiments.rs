@@ -12,6 +12,12 @@
 //! experiments job resume --dir DIR [--grid NAME] [--workers N] [--retries K]
 //!                        [--timeout-ms MS] [--stream FILE]
 //! experiments job status --dir DIR
+//! experiments boost run|resume --dir DIR [--space NAME] [--portfolio NAME]
+//!                              [--seed N] [--rungs N] [--screen-keep N]
+//!                              [--horizon-us F] [--replications N]
+//!                              [--workers N] [--stall-after N --stall-ms MS]
+//! experiments boost status --dir DIR
+//! experiments boost spaces
 //!
 //!   --smoke    tiny horizons: exercise every pipeline in seconds
 //!              (integration-test mode; artifacts are noise)
@@ -22,7 +28,8 @@
 //!   NAME       any of: table1 figure1 table2 figure2 throughput
 //!              priorities boost fairness mme_overhead bursts models
 //!              errors delay load coexistence aggregation adaptation
-//!              chaos validate-backends multidomain (default: all, in order)
+//!              chaos validate-backends multidomain boost-portfolio
+//!              (default: all, in order)
 //!
 //! bench-snapshot times the pinned engine workloads and writes
 //! BENCH_<date>.json into DIR (default: the current directory); with
@@ -33,6 +40,18 @@
 //! --job-overhead instead runs the paired plain-vs-journaled timing and
 //! exits nonzero when the journaled job costs more than the tolerance
 //! (default 0.02 = 2%) over the plain sweep.
+//!
+//! `boost` drives the closed-loop configuration optimizer (the
+//! `plc-boost` crate): a mean-field screen over a named (CW, DC)
+//! search space, then crash-resumable slotted confirm rungs over a
+//! named scenario portfolio with successive halving, ending in a
+//! Pareto front + recommended schedule written atomically as
+//! `pareto.json`. `run` starts a search, `resume` continues a killed
+//! one (byte-identical artifact for any kill instant and worker
+//! count), `status` renders progress from the on-disk journals,
+//! `spaces` lists the named spaces and portfolios. The bare
+//! experiment name `boost` (no verb) still runs the E3 analytic
+//! search.
 //!
 //! `job` drives crash-tolerant sweep jobs (the `plc-jobs` engine) over
 //! the named grids in `plc_bench::grids`. `run` creates a checkpointed
@@ -51,9 +70,20 @@ use plc_core::error::{Error, Result};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // "boost" doubles as the E3 experiment name, so the optimizer CLI
+    // claims it only when followed by one of its verbs; bare
+    // `experiments boost` still runs the E3 analytic search.
     let code = match args.first().map(String::as_str) {
         Some("bench-snapshot") => run_bench_snapshot(&args[1..]),
         Some("job") => run_job(&args[1..]),
+        Some("boost")
+            if matches!(
+                args.get(1).map(String::as_str),
+                Some("run" | "resume" | "status" | "spaces")
+            ) =>
+        {
+            run_boost(&args[1..])
+        }
         _ => run_experiments(&args),
     };
     std::process::exit(code);
@@ -338,6 +368,131 @@ fn job_run(verb: &str, args: &[String]) -> Result<i32> {
         }
         return Ok(3);
     }
+    Ok(0)
+}
+
+/// `experiments boost ...` — drive closed-loop configuration boosting
+/// (the `plc-boost` optimizer). Exit 0 on success, 2 on usage errors,
+/// 1 on any other failure.
+fn run_boost(args: &[String]) -> i32 {
+    const USAGE: &str = "usage: experiments boost run|resume --dir DIR [--space NAME] \
+         [--portfolio NAME] [--seed N] [--rungs N] [--screen-keep N] \
+         [--horizon-us F] [--replications N] [--workers N] \
+         [--stall-after N --stall-ms MS]\n\
+         \x20      experiments boost status --dir DIR\n\
+         \x20      experiments boost spaces";
+    let verb = args[0].as_str();
+    let result = match verb {
+        "run" | "resume" => boost_run(verb, &args[1..]),
+        "status" => boost_status(&args[1..]),
+        "spaces" => {
+            println!(
+                "search spaces: {}\nportfolios:    {}",
+                plc_boost::SearchSpace::names().join(" "),
+                plc_boost::Portfolio::names().join(" ")
+            );
+            Ok(0)
+        }
+        other => {
+            eprintln!("unknown boost verb '{other}'\n{USAGE}");
+            return 2;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("boost {verb} failed: {e}");
+            1
+        }
+    }
+}
+
+/// `boost run` / `boost resume`: execute (the rest of) a boosting
+/// search and print the verdict.
+fn boost_run(verb: &str, args: &[String]) -> Result<i32> {
+    let Some(dir) = flag_value(args, "--dir")? else {
+        eprintln!("boost {verb} requires --dir DIR");
+        return Ok(2);
+    };
+    let mut cfg = plc_boost::BoostConfig::new(&dir);
+    if let Some(space) = flag_value(args, "--space")? {
+        cfg.space = space;
+    }
+    if let Some(portfolio) = flag_value(args, "--portfolio")? {
+        cfg.portfolio = portfolio;
+    }
+    if let Some(seed) = int_flag::<u64>(args, "--seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(rungs) = int_flag::<usize>(args, "--rungs")? {
+        cfg.rungs = rungs;
+    }
+    if let Some(keep) = int_flag::<usize>(args, "--screen-keep")? {
+        cfg.screen_keep = keep;
+    }
+    if let Some(h) = flag_value(args, "--horizon-us")? {
+        cfg.base_horizon_us = h
+            .parse::<f64>()
+            .map_err(|e| Error::runtime(format!("--horizon-us must be a number: {e}")))?;
+    }
+    if let Some(reps) = int_flag::<u64>(args, "--replications")? {
+        cfg.replications = reps;
+    }
+    cfg.workers = int_flag::<usize>(args, "--workers")?;
+    let stall_after = int_flag::<usize>(args, "--stall-after")?;
+    let stall_ms = int_flag::<u64>(args, "--stall-ms")?;
+    cfg.stall = match (stall_after, stall_ms) {
+        (Some(after_points), Some(stall_ms)) => Some(plc_faults::JobStall {
+            after_points,
+            stall_ms,
+        }),
+        (None, None) => None,
+        _ => {
+            eprintln!("--stall-after and --stall-ms go together");
+            return Ok(2);
+        }
+    };
+
+    let run = match verb {
+        "run" => plc_boost::BoostRun::create(cfg)?,
+        _ => plc_boost::BoostRun::resume(cfg)?,
+    };
+    let registry = plc_obs::Registry::new();
+    let report = run.registry(&registry).run()?;
+    let artifact = &report.artifact;
+    let snap = registry.snapshot();
+    let rec = &artifact.recommended;
+    println!(
+        "boost {verb}: {} finalist(s), {} on the Pareto front — artifact {}",
+        artifact.finalists.len(),
+        artifact.pareto.len(),
+        report.artifact_path.display()
+    );
+    println!(
+        "recommended '{}' (cw {:?}, dc {:?}) beats '{}' on {}/3 objectives",
+        rec.candidate.label,
+        rec.candidate.cw,
+        rec.candidate.dc,
+        artifact.baseline.label,
+        rec.beats_baseline.count()
+    );
+    println!(
+        "counters: {} screens, {} rung(s) run, {} candidate(s) pruned",
+        snap.counter("boost.evals").unwrap_or(0),
+        snap.counter("boost.rungs").unwrap_or(0),
+        snap.counter("boost.pruned").unwrap_or(0)
+    );
+    Ok(0)
+}
+
+/// `boost status`: render progress from the manifests and journals
+/// alone — safe to run while another process owns the search.
+fn boost_status(args: &[String]) -> Result<i32> {
+    let Some(dir) = flag_value(args, "--dir")? else {
+        eprintln!("boost status requires --dir DIR");
+        return Ok(2);
+    };
+    print!("{}", plc_boost::boost_status(std::path::Path::new(&dir))?);
     Ok(0)
 }
 

@@ -4,6 +4,7 @@
 pub mod adaptation;
 pub mod aggregation;
 pub mod boost;
+pub mod boost_portfolio;
 pub mod bursts;
 pub mod chaos;
 pub mod coexistence;

@@ -30,6 +30,7 @@
 //! | [`exp::chaos`] | E14 — Table 2 under deterministic fault injection |
 //! | [`exp::validate_backends`] | E15 — slotted vs mean-field backend cross-validation |
 //! | [`exp::multidomain`] | E16 — multi-domain coexistence: throughput vs inter-network coupling |
+//! | [`exp::boost_portfolio`] | E17 — closed-loop boosting: portfolio Pareto search (`plc-boost`) |
 //!
 //! ## Errors and observability
 //!
@@ -159,6 +160,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("chaos", exp::chaos::run),
         ("validate-backends", exp::validate_backends::run),
         ("multidomain", exp::multidomain::run),
+        ("boost-portfolio", exp::boost_portfolio::run),
     ]
 }
 
@@ -173,7 +175,7 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len());
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
     }
 
     #[test]

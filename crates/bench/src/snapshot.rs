@@ -300,6 +300,28 @@ pub fn collect(scale: f64) -> Result<BenchSnapshot> {
             let _ = std::fs::remove_dir_all(&dir);
         },
     ));
+    // The boost optimizer's screening rung: the full default candidate
+    // space pushed through the mean-field fixed point + delay DTMC at
+    // every default-portfolio operating point. This is the cost of
+    // "admission" into the expensive slotted rungs, so a regression
+    // here multiplies directly into boosting-run latency. Unit of work
+    // is fixed-point screens (`boost.evals`); `scale` shrinks the
+    // round count, not the per-screen cost.
+    workloads.push(time_workload(
+        "boost_rung_screen",
+        &registry,
+        "boost.evals",
+        || {
+            let space = plc_boost::SearchSpace::default_space();
+            let portfolio = plc_boost::Portfolio::default_portfolio();
+            let timing = plc_core::timing::MacTiming::paper_default();
+            let rounds = ((5.0 * scale).ceil() as usize).max(1);
+            for _ in 0..rounds {
+                plc_boost::screen_space(&space, &portfolio, &timing, Some(&registry))
+                    .expect("boost screen workload must solve");
+            }
+        },
+    ));
     // The mean-field backend at fleet scale: many 10k-station contention
     // domains solved on the batch pool. Unit of work is stations solved
     // (`meanfield.stations`), not engine slots — the analytic backend
@@ -510,7 +532,7 @@ mod tests {
     fn collect_and_check_roundtrip() {
         // Tiny horizons: this is a schema/plumbing test, not a benchmark.
         let snap = collect(2.0e-5).unwrap();
-        assert_eq!(snap.workloads.len(), 11);
+        assert_eq!(snap.workloads.len(), 12);
         check(&snap).unwrap();
         let parsed = BenchSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(parsed, snap);

@@ -117,6 +117,115 @@ fn killed_job_resumes_byte_identical_across_worker_counts() {
     std::fs::remove_dir_all(&chaos_dir).unwrap();
 }
 
+/// The kill window of the first test is mid-journal. This one covers
+/// the *whole-document* write paths: the on-disk state a SIGKILL leaves
+/// inside `atomic_write` of the manifest or the journal compaction is
+/// the destination (old or new bytes, never torn) plus a stray
+/// `<name>.<pid>.<seq>.tmp` — so we manufacture those strays, kill a
+/// resuming process a second time (exercising compaction-on-load), and
+/// require the final results to still be byte-identical.
+#[test]
+fn resume_survives_manifest_and_compaction_write_debris() {
+    let ref_dir = temp_dir("debris_reference");
+    let out = run_job(&[
+        "run",
+        "--grid",
+        "chaos-smoke",
+        "--dir",
+        ref_dir.to_str().unwrap(),
+        "--workers",
+        "1",
+    ]);
+    assert!(out.status.success(), "reference run failed: {out:?}");
+    let reference = std::fs::read_to_string(ref_dir.join("results.json")).unwrap();
+
+    // First kill: mid-journal, as in the classic chaos test.
+    let chaos_dir = temp_dir("debris_chaos");
+    let spawn_stalled = |after: &str| {
+        Command::new(EXE)
+            .args([
+                "job",
+                if chaos_dir.join("manifest.json").exists() {
+                    "resume"
+                } else {
+                    "run"
+                },
+                "--grid",
+                "chaos-smoke",
+                "--dir",
+                chaos_dir.to_str().unwrap(),
+                "--workers",
+                "1",
+                "--stall-after",
+                after,
+                "--stall-ms",
+                "20000",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("chaos child spawns")
+    };
+    let mut child = spawn_stalled("2");
+    wait_for_journal_lines(&chaos_dir, 2);
+    child.kill().expect("SIGKILL the stalled job");
+    child.wait().expect("reap the killed job");
+
+    // Simulate a writer killed inside atomic_write of the manifest and
+    // of a journal compaction: stray temp files with plausible partial
+    // bytes. Neither was renamed, so neither may contribute state.
+    let manifest_bytes = std::fs::read_to_string(chaos_dir.join("manifest.json")).unwrap();
+    std::fs::write(
+        chaos_dir.join("manifest.json.424242.0.tmp"),
+        &manifest_bytes[..manifest_bytes.len() / 2],
+    )
+    .unwrap();
+    let journal_bytes = std::fs::read_to_string(chaos_dir.join("journal.jsonl")).unwrap();
+    std::fs::write(
+        chaos_dir.join("journal.jsonl.424242.1.tmp"),
+        &journal_bytes[..journal_bytes.len() - 3],
+    )
+    .unwrap();
+
+    // Status must read through the debris.
+    let out = run_job(&["status", "--dir", chaos_dir.to_str().unwrap()]);
+    assert!(out.status.success(), "status failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("2/6 points settled"),
+        "unexpected status: {:?}",
+        out
+    );
+
+    // Second kill: a *resuming* process (which compacted the journal on
+    // load) is killed mid-journal again.
+    let mut child = spawn_stalled("2");
+    wait_for_journal_lines(&chaos_dir, 4);
+    child.kill().expect("SIGKILL the resumed job");
+    child.wait().expect("reap the killed job");
+    assert!(
+        !chaos_dir.join("journal.jsonl.424242.1.tmp").exists(),
+        "resume's compaction must sweep stray journal temp files"
+    );
+
+    // Final resume completes and matches the clean run byte for byte.
+    let out = run_job(&[
+        "resume",
+        "--dir",
+        chaos_dir.to_str().unwrap(),
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "final resume failed: {out:?}");
+    let resumed = std::fs::read_to_string(chaos_dir.join("results.json")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "results after manifest/compaction debris must match the clean run"
+    );
+
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    std::fs::remove_dir_all(&chaos_dir).unwrap();
+}
+
 #[test]
 fn quarantined_points_exit_nonzero_with_repro_lines() {
     let dir = temp_dir("quarantine");

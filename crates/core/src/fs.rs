@@ -2,21 +2,36 @@
 //!
 //! One primitive, used everywhere a file must never be observed torn:
 //! [`atomic_write`] writes to a temporary file in the target's
-//! directory, syncs it, then renames it over the destination. A crash
-//! (or SIGKILL) at any instant leaves either the old contents or the
-//! new contents — never a prefix. The `plc-jobs` manifest and journal
+//! directory, syncs it, renames it over the destination, and fsyncs the
+//! parent directory so the rename itself is durable. A crash (or
+//! SIGKILL) at any instant leaves either the old contents or the new
+//! contents — never a prefix. The `plc-jobs` manifest and journal
 //! compaction, and `plc-obs` registry snapshot export, all go through
 //! this helper.
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global sequence number folded into every temp-file name, so
+/// two threads writing the *same* destination concurrently never share
+/// a temp file (the pid alone cannot tell them apart).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Atomically replace `path` with `contents`.
 ///
-/// The bytes land in `<path>.<pid>.tmp` in the same directory (rename
-/// is only atomic within one filesystem), are flushed and fsynced, and
-/// the temp file is renamed over `path`. On any error the temp file is
-/// removed and the destination is untouched.
+/// The bytes land in `<path>.<pid>.<seq>.tmp` in the same directory
+/// (rename is only atomic within one filesystem; the per-process
+/// sequence number keeps concurrent writers of the same path on
+/// distinct temp files), are flushed and fsynced, and the temp file is
+/// renamed over `path`. On Unix the parent directory is then fsynced as
+/// well — without it the rename lives only in the directory's page
+/// cache and a power loss after return could resurrect the old file,
+/// the exact torn state this helper promises to rule out. On
+/// non-Unix platforms the directory sync is a no-op: Windows has no
+/// portable directory-handle fsync, and NTFS journals the rename in its
+/// own metadata log. On any error the temp file is removed and the
+/// destination is untouched.
 ///
 /// ```
 /// let dir = std::env::temp_dir();
@@ -34,7 +49,8 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::
             format!("atomic_write target has no file name: {}", path.display()),
         )
     })?;
-    name.push(format!(".{}.tmp", std::process::id()));
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    name.push(format!(".{}.{}.tmp", std::process::id(), seq));
     let tmp = match dir {
         Some(d) => d.join(&name),
         None => std::path::PathBuf::from(&name),
@@ -46,7 +62,8 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::
         f.flush()?;
         // Durability: the rename must not be reordered before the data.
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
     };
     match write_all() {
         Ok(()) => Ok(()),
@@ -55,6 +72,22 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::
             Err(e)
         }
     }
+}
+
+/// Fsync the directory holding `path` so a completed rename survives
+/// power loss. Unix only; see [`atomic_write`] for the Windows story.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let dir = match path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        Some(d) => d.to_path_buf(),
+        None => std::path::PathBuf::from("."),
+    };
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    Ok(())
 }
 
 #[cfg(test)]
@@ -102,5 +135,60 @@ mod tests {
     #[test]
     fn rejects_pathless_target() {
         assert!(atomic_write(std::path::Path::new(""), "x").is_err());
+    }
+
+    #[test]
+    fn temp_names_are_unique_within_the_process() {
+        // Two writes of the same destination must draw distinct sequence
+        // numbers — the pid alone used to collide across threads.
+        let a = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let b = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concurrent_same_path_writers_never_tear() {
+        // The regression this pins: with pid-only temp names, two threads
+        // writing the same destination share a temp file, and one can
+        // rename the other's partially written bytes into place. With the
+        // sequence suffix every observed read must be exactly one
+        // writer's complete payload: 64 KiB of a single writer's byte.
+        const LEN: usize = 64 * 1024;
+        const WRITERS: u8 = 4;
+        const ROUNDS: usize = 50;
+        let p = temp_path("race");
+        let _ = std::fs::remove_file(&p);
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let p = p.clone();
+                    s.spawn(move || {
+                        let payload = vec![b'a' + w; LEN];
+                        for _ in 0..ROUNDS {
+                            atomic_write(&p, &payload).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let mut observed = 0usize;
+            loop {
+                let done = writers.iter().all(|h| h.is_finished());
+                if let Ok(bytes) = std::fs::read(&p) {
+                    let first = *bytes.first().expect("observed an empty (torn) file");
+                    assert!(
+                        bytes.len() == LEN && bytes.iter().all(|&b| b == first),
+                        "torn read: {} bytes, first byte {:?}",
+                        bytes.len(),
+                        first as char
+                    );
+                    observed += 1;
+                }
+                if done {
+                    break;
+                }
+            }
+            assert!(observed > 0, "reader never observed the file");
+        });
+        let _ = std::fs::remove_file(&p);
     }
 }

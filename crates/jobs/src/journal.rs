@@ -138,14 +138,18 @@ impl Journal {
 
     /// Atomically rewrite the journal under `dir` to exactly `entries`
     /// (one line each) — this is the compaction that scrubs a torn tail
-    /// after a crash, via temp-file + rename.
+    /// after a crash, via temp-file + rename. Stray `journal.jsonl.*.tmp`
+    /// files a killed writer left behind are removed as well: they were
+    /// never renamed into place, so they hold no settled work.
     pub fn compact(dir: &Path, entries: &[JournalEntry]) -> std::io::Result<()> {
         let mut doc = String::new();
         for e in entries {
             doc.push_str(&serde_json::to_string(e).expect("journal entry serializes"));
             doc.push('\n');
         }
-        plc_core::fs::atomic_write(dir.join(Self::FILE_NAME), doc.as_bytes())
+        plc_core::fs::atomic_write(dir.join(Self::FILE_NAME), doc.as_bytes())?;
+        remove_stray_tmp_files(dir, Self::FILE_NAME);
+        Ok(())
     }
 
     /// Open the journal under `dir` for appending (creating it empty if
@@ -170,6 +174,26 @@ impl Journal {
     /// Path of the journal file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Best-effort removal of `<file_name>.<pid>.<seq>.tmp` leftovers from
+/// writers that were killed mid-`atomic_write`. Such files were never
+/// renamed over the destination, so deleting them loses nothing; errors
+/// are swallowed because a leftover temp file is cosmetic, not state.
+fn remove_stray_tmp_files(dir: &Path, file_name: &str) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("{file_name}.");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if name.starts_with(&prefix) && name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
     }
 }
 
@@ -256,6 +280,28 @@ mod tests {
         let clean = std::fs::read_to_string(&path).unwrap();
         assert_eq!(clean.lines().count(), 2);
         assert!(clean.ends_with('\n'));
+        assert_eq!(Journal::load(&dir).unwrap(), back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_tmp_files_are_ignored_by_load_and_cleaned_by_compaction() {
+        // A writer SIGKILLed inside `atomic_write` leaves
+        // `journal.jsonl.<pid>.<seq>.tmp` behind: never renamed, so it
+        // must not contribute entries, and compaction must sweep it.
+        let dir = temp_dir("straytmp");
+        let mut j = Journal::open_append(&dir).unwrap();
+        j.append(&entry(0)).unwrap();
+        j.append(&entry(1)).unwrap();
+        drop(j);
+        let stray = dir.join(format!("{}.99999.7.tmp", Journal::FILE_NAME));
+        // Partial bytes of a *valid-looking* entry: if load ever read tmp
+        // files, this would parse and corrupt the settled set.
+        std::fs::write(&stray, serde_json::to_string(&entry(2)).unwrap()).unwrap();
+        let back = Journal::load(&dir).unwrap();
+        assert_eq!(back, vec![entry(0), entry(1)], "tmp file leaked into load");
+        Journal::compact(&dir, &back).unwrap();
+        assert!(!stray.exists(), "compaction left the stray tmp file");
         assert_eq!(Journal::load(&dir).unwrap(), back);
         std::fs::remove_dir_all(&dir).unwrap();
     }

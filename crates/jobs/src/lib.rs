@@ -53,12 +53,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod group;
 pub mod job;
 pub mod journal;
 pub mod manifest;
 pub mod sink;
 pub mod watchdog;
 
+pub use group::{group_status, GroupManifest, GroupMember, GroupReport, JobGroup, GROUP_FILE_NAME};
 pub use job::{
     read_manifest, Job, JobConfig, JobReport, JobStatus, MANIFEST_FILE_NAME, METRICS_FILE_NAME,
     RESULTS_FILE_NAME,

@@ -35,8 +35,6 @@
 
 use crate::metrics::{Metrics, StationMetrics};
 use crate::runner::SimReport;
-use plc_analysis::drift::delay_summary;
-use plc_analysis::meanfield::MeanFieldModel;
 use plc_analysis::throughput::{mean_intersuccess_time, normalized_throughput};
 use plc_analysis::{DelaySummary, MeanFieldSolution};
 use plc_core::config::CsmaConfig;
@@ -77,20 +75,10 @@ pub struct MeanFieldReport {
     pub delay: DelaySummary,
 }
 
-/// Walk the delay DTMC far enough for the p99 where feasible, but keep
-/// the walk bounded: at fleet scale the conditional delay is astronomical
-/// (`p → 1` pins stations in the last stage) and the summary reports the
-/// truncated mass instead.
-fn delay_walk_slots(mean_slots: f64) -> usize {
-    if mean_slots.is_finite() {
-        (mean_slots * 50.0).ceil().clamp(1_000.0, 100_000.0) as usize
-    } else {
-        100_000
-    }
-}
-
 /// Solve the fixed point and derive the delay summary for a
-/// single-class domain.
+/// single-class domain. Delegates to the shared screening API
+/// (`plc_analysis::boost::screen_schedule`) so the backend and the
+/// `plc-boost` optimizer rank schedules with identical math.
 pub(crate) fn meanfield_analysis(
     config: &CsmaConfig,
     n: usize,
@@ -101,22 +89,11 @@ pub(crate) fn meanfield_analysis(
             "mean-field backend needs at least one station",
         ));
     }
-    if !timing.is_valid() {
-        return Err(Error::invalid_config(
-            "mean-field backend needs strictly positive slot/Ts/Tc timing",
-        ));
-    }
-    let solution = MeanFieldModel::single(config.clone(), n).solve()?;
-    let class = &solution.classes[0];
-    let delay = delay_summary(
-        config,
-        class.tau,
-        class.collision_probability,
-        n,
-        timing,
-        delay_walk_slots(class.mean_access_delay_slots),
-    );
-    Ok(MeanFieldReport { solution, delay })
+    let screen = plc_analysis::boost::screen_schedule(config, n, timing)?;
+    Ok(MeanFieldReport {
+        solution: screen.solution,
+        delay: screen.delay,
+    })
 }
 
 /// Synthesize a [`SimReport`] from one mean-field solve (see the module

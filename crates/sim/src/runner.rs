@@ -46,6 +46,7 @@ use serde::{Deserialize, Serialize};
 pub struct Simulation {
     pub(crate) n: usize,
     pub(crate) topology: Topology,
+    pub(crate) cell_size: Option<usize>,
     pub(crate) domain_workers: usize,
     pub(crate) backend: Backend,
     pub(crate) protocol: Protocol,
@@ -106,6 +107,7 @@ impl Simulation {
         Simulation {
             n,
             topology: Topology::fully_connected(n),
+            cell_size: None,
             domain_workers: 1,
             backend: Backend::Slotted,
             protocol: Protocol::Ieee1901,
@@ -184,10 +186,29 @@ impl Simulation {
 
     /// Restamp the station count onto this template (sweep internals).
     /// Resets the topology to fully-connected — a sweep over `n` has no
-    /// way to scale an explicit spatial layout.
+    /// way to scale an *explicit* spatial layout — unless
+    /// [`cells_of`](Simulation::cells_of) declared a cell structure, in
+    /// which case the isolated-cells layout is rebuilt at the new count.
     pub(crate) fn set_num_stations(mut self, n: usize) -> Self {
         self.n = n;
-        self.topology = Topology::fully_connected(n);
+        self.topology = match self.cell_size {
+            Some(size) => Topology::isolated_cells(n, size),
+            None => Topology::fully_connected(n),
+        };
+        self
+    }
+
+    /// Group stations into isolated cells of `cell_size` (see
+    /// [`Topology::isolated_cells`]) — and, unlike
+    /// [`topology`](Simulation::topology)'s explicit layout, keep that
+    /// structure when a [`SweepGrid`](crate::SweepGrid) restamps the
+    /// station count onto this template. This is the portfolio plumbing
+    /// for multi-domain sweep scenarios: a grid over `n` scales the
+    /// number of cells, not the contention density inside one.
+    pub fn cells_of(mut self, cell_size: usize) -> Self {
+        assert!(cell_size >= 1, "cell_size must be at least 1");
+        self.cell_size = Some(cell_size);
+        self.topology = Topology::isolated_cells(self.n, cell_size);
         self
     }
 
@@ -199,6 +220,8 @@ impl Simulation {
     pub fn topology(mut self, topology: Topology) -> Self {
         self.n = topology.num_stations();
         self.topology = topology;
+        // An explicit layout overrides any earlier `cells_of` structure.
+        self.cell_size = None;
         self
     }
 

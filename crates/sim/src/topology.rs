@@ -106,6 +106,34 @@ impl Topology {
         TopologyBuilder::new()
     }
 
+    /// `n` stations grouped into isolated cells of `cell_size` (the last
+    /// cell takes the remainder): stations sit 1 m apart inside a cell
+    /// (well inside sense range) and cells sit 1 km apart (below the
+    /// interference threshold), so every cell is an independent
+    /// contention domain on the legacy fast path. This is the shape the
+    /// sweep engine can restamp to any station count — see
+    /// [`Simulation::cells_of`](crate::Simulation::cells_of).
+    pub fn isolated_cells(n: usize, cell_size: usize) -> Self {
+        assert!(cell_size >= 1, "cell_size must be at least 1");
+        if n == 0 {
+            return Topology::fully_connected(0);
+        }
+        let mut b = Topology::builder();
+        let mut placed = 0usize;
+        let mut cell_index = 0usize;
+        while placed < n {
+            let len = cell_size.min(n - placed);
+            let positions: Vec<(f64, f64)> = (0..len)
+                .map(|i| (cell_index as f64 * 1_000.0 + i as f64, 0.0))
+                .collect();
+            b = b.cell(&positions);
+            placed += len;
+            cell_index += 1;
+        }
+        b.build()
+            .expect("isolated-cells layout is always a valid topology")
+    }
+
     /// Build a spatial topology directly from explicit matrices — the
     /// escape hatch for property tests and for hearing data measured on
     /// real deployments rather than derived from the synthetic channel.

@@ -22,6 +22,7 @@
 //! | [`obs`] | `plc-obs` | counters/gauges/histograms/span-timers, engine & sweep observers |
 //! | [`faults`] | `plc-faults` | deterministic fault plans: MME loss/delay, brownouts, wrap, noise, retry policies |
 //! | [`jobs`] | `plc-jobs` | crash-tolerant sweep jobs: checkpoint journal, exact resume, watchdogs, quarantine |
+//! | [`boost`] | `plc-boost` | closed-loop config boosting: successive halving over (CW, DC) schedules against a scenario portfolio, Pareto-front artifact |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 struct ReadmeDoctests;
 
 pub use plc_analysis as analysis;
+pub use plc_boost as boost;
 pub use plc_core as core;
 pub use plc_faults as faults;
 pub use plc_jobs as jobs;
@@ -63,6 +65,7 @@ pub mod prelude {
         gamma_tolerance, throughput_tolerance, BianchiModel, CanoMaloneModel, CoupledModel,
         MeanFieldModel, Model1901, RoundModel,
     };
+    pub use plc_boost::{BoostConfig, BoostRun, Portfolio, SearchSpace};
     pub use plc_core::config::{CsmaConfig, StageParams, DC_DISABLED};
     pub use plc_core::priority::Priority;
     pub use plc_core::timing::MacTiming;
